@@ -1,0 +1,54 @@
+// Figure 10(a,b): accuracy under fluctuating sub-stream arrival rates,
+// sampling fraction fixed at 60%.
+//
+//   Setting1: (50k : 25k : 12.5k : 625)   — high-value stream D starved
+//   Setting2: (25k : 25k : 25k : 25k)     — balanced
+//   Setting3: (625 : 12.5k : 25k : 50k)   — high-value stream D dominant
+//
+// Paper's result: ApproxIoT beats SRS in every setting (5.5x on Gaussian
+// Setting1; 74x on Poisson Setting1); both improve towards Setting3.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "workload/generators.hpp"
+
+namespace {
+
+using namespace approxiot;
+using namespace approxiot::bench;
+
+void run_family(const char* name, bool gaussian, std::uint64_t seed_base) {
+  std::printf("\n--- Fig 10(%s): %s distribution, fraction 60%% ---\n",
+              gaussian ? "a" : "b", name);
+  std::printf("%-24s%12s%12s%12s\n", "", "Setting1", "Setting2", "Setting3");
+
+  for (core::EngineKind engine :
+       {core::EngineKind::kApproxIoT, core::EngineKind::kSrs}) {
+    std::vector<double> losses;
+    for (int setting = 1; setting <= 3; ++setting) {
+      // Scale the paper's rates down 10x to keep the bench fast; the
+      // relative mix is what drives the effect.
+      auto specs = workload::fluctuating_setting(setting, gaussian);
+      for (auto& spec : specs) spec.rate_items_per_s /= 10.0;
+      auto result = analytics::run_accuracy_experiment(
+          accuracy_config(engine, 0.60,
+                          seed_base + static_cast<std::uint64_t>(setting)),
+          make_source(std::move(specs),
+                      seed_base + static_cast<std::uint64_t>(setting)));
+      losses.push_back(result.mean_sum_loss_pct);
+    }
+    print_row(std::string("loss% ") + core::engine_kind_name(engine),
+              losses, "%12.5f");
+  }
+}
+
+}  // namespace
+
+int main() {
+  print_header("Figure 10(a,b): accuracy under fluctuating input rates",
+               "ApproxIoT < SRS in every setting; loss shrinks as the "
+               "high-value sub-stream's rate grows");
+  run_family("Gaussian", true, 3000);
+  run_family("Poisson", false, 4000);
+  return 0;
+}

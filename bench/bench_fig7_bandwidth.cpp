@@ -1,0 +1,52 @@
+// Figure 7: bandwidth saving vs sampling fraction.
+//
+// The saving rate on the WAN links towards the datacenter is measured
+// against the native run. Paper's result: the saving is ~(100 - fraction)%
+// for both ApproxIoT and SRS — the sampled fraction is all that crosses
+// the WAN.
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace approxiot;
+using namespace approxiot::bench;
+
+/// Bytes crossing the final (edge -> datacenter) hop during a fixed run.
+std::uint64_t dc_hop_bytes(core::EngineKind engine, double fraction) {
+  netsim::Simulator sim;
+  netsim::TreeNetConfig config =
+      testbed_config(engine, fraction, SimTime::from_seconds(1.0));
+  netsim::TreeNetwork net(
+      sim, config,
+      constant_rate_source(60000.0, config.sources, config.source_tick));
+  net.run_for(SimTime::from_seconds(8.0));
+  net.drain();
+  return net.bytes_per_hop().back();
+}
+
+}  // namespace
+
+int main() {
+  print_header("Figure 7: bandwidth saving vs sampling fraction",
+               "saving ~= (100 - fraction)% for both systems");
+
+  print_cols("fraction(%)", paper_fractions());
+
+  const std::uint64_t native_bytes =
+      dc_hop_bytes(core::EngineKind::kNative, 1.0);
+
+  for (core::EngineKind engine :
+       {core::EngineKind::kApproxIoT, core::EngineKind::kSrs}) {
+    std::vector<double> savings;
+    for (int f : paper_fractions()) {
+      const std::uint64_t bytes = dc_hop_bytes(engine, f / 100.0);
+      savings.push_back(100.0 * (1.0 - static_cast<double>(bytes) /
+                                           static_cast<double>(native_bytes)));
+    }
+    print_row(std::string("BW saving% ") + core::engine_kind_name(engine),
+              savings, "%12.1f");
+  }
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Sampling overhead microbenchmarks (google-benchmark).
+//
+// Backs the §V-B observation that at a 100% fraction ApproxIoT, SRS and
+// native execution have near-identical throughput (11003 / 11046 / 11134
+// items/s in the paper) — i.e. the sampling machinery itself is cheap.
+// Also measures Algorithm R vs Algorithm L reservoir cost at low
+// fractions, where L's skip-ahead pays off.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/node.hpp"
+#include "core/srs_node.hpp"
+#include "sampling/reservoir.hpp"
+
+namespace {
+
+using namespace approxiot;
+
+std::vector<Item> make_items(std::size_t n, std::size_t streams) {
+  std::vector<Item> items;
+  items.reserve(n);
+  Rng rng(5);
+  for (std::size_t i = 0; i < n; ++i) {
+    items.push_back(
+        Item{SubStreamId{i % streams + 1}, rng.next_double() * 100.0, 0});
+  }
+  return items;
+}
+
+void BM_NativePassthrough(benchmark::State& state) {
+  const auto items = make_items(static_cast<std::size_t>(state.range(0)), 4);
+  for (auto _ : state) {
+    double sum = 0.0;
+    for (const Item& item : items) sum += item.value;
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_NativePassthrough)->Arg(100000);
+
+void BM_WHSampNode(benchmark::State& state) {
+  const auto items = make_items(static_cast<std::size_t>(state.range(0)), 4);
+  const double fraction = static_cast<double>(state.range(1)) / 100.0;
+  core::NodeConfig config;
+  config.cost_function = "fixed";
+  config.budget.fixed_sample_size =
+      static_cast<std::size_t>(fraction * static_cast<double>(items.size()));
+  core::SamplingNode node(config);
+  core::ItemBundle bundle;
+  bundle.items = items;
+  for (auto _ : state) {
+    auto out = node.process_interval({bundle});
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_WHSampNode)
+    ->Args({100000, 100})
+    ->Args({100000, 60})
+    ->Args({100000, 10});
+
+void BM_SrsNode(benchmark::State& state) {
+  const auto items = make_items(static_cast<std::size_t>(state.range(0)), 4);
+  core::SrsNode node(core::SrsNodeConfig{
+      NodeId{1}, static_cast<double>(state.range(1)) / 100.0, 7});
+  core::ItemBundle bundle;
+  bundle.items = items;
+  for (auto _ : state) {
+    auto out = node.process_interval({bundle});
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SrsNode)
+    ->Args({100000, 100})
+    ->Args({100000, 60})
+    ->Args({100000, 10});
+
+template <sampling::ReservoirAlgorithm Algo>
+void BM_Reservoir(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto capacity = static_cast<std::size_t>(state.range(1));
+  for (auto _ : state) {
+    sampling::ReservoirSampler<double> reservoir(capacity, Rng(3), Algo);
+    for (std::size_t i = 0; i < n; ++i) {
+      reservoir.offer(static_cast<double>(i));
+    }
+    benchmark::DoNotOptimize(reservoir.contents());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK_TEMPLATE(BM_Reservoir, sampling::ReservoirAlgorithm::kAlgorithmR)
+    ->Args({1000000, 100000})
+    ->Args({1000000, 1000});
+BENCHMARK_TEMPLATE(BM_Reservoir, sampling::ReservoirAlgorithm::kAlgorithmL)
+    ->Args({1000000, 100000})
+    ->Args({1000000, 1000});
+
+}  // namespace
+
+BENCHMARK_MAIN();

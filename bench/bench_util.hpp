@@ -1,0 +1,152 @@
+// Shared helpers for the figure-reproduction benches: the paper's
+// sampling-fraction sweep, table printing, and the netsim experiment
+// runner used by the throughput/latency/bandwidth figures.
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analytics/experiment.hpp"
+#include "core/pipeline.hpp"
+#include "netsim/tree.hpp"
+#include "workload/substream.hpp"
+
+namespace approxiot::bench {
+
+/// The paper's x-axis in Figs. 5-8: sampling fractions in percent.
+inline const std::vector<int>& paper_fractions() {
+  static const std::vector<int> kFractions = {10, 20, 40, 60, 80, 90};
+  return kFractions;
+}
+
+inline void print_header(const std::string& title,
+                         const std::string& paper_shape) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  std::printf("paper shape: %s\n", paper_shape.c_str());
+}
+
+inline void print_row(const std::string& label,
+                      const std::vector<double>& values,
+                      const char* fmt = "%12.4f") {
+  std::printf("%-24s", label.c_str());
+  for (double v : values) std::printf(fmt, v);
+  std::printf("\n");
+}
+
+inline void print_cols(const std::string& label,
+                       const std::vector<int>& cols) {
+  std::printf("%-24s", label.c_str());
+  for (int c : cols) std::printf("%12d", c);
+  std::printf("\n");
+}
+
+/// Builds the accuracy-experiment config used by Figs. 5/10/11a: the
+/// paper's 4-2-1 edge tree, 1 s windows made of 10 ticks.
+inline analytics::AccuracyExperimentConfig accuracy_config(
+    core::EngineKind engine, double fraction, std::uint64_t seed,
+    std::size_t windows = 10) {
+  analytics::AccuracyExperimentConfig config;
+  config.tree.engine = engine;
+  config.tree.layer_widths = {4, 2};
+  config.tree.sampling_fraction = fraction;
+  config.tree.rng_seed = seed;
+  config.windows = windows;
+  config.ticks_per_window = 10;
+  config.tick = SimTime::from_millis(100);
+  return config;
+}
+
+/// Adapts a StreamGenerator spec set into a fresh TickSource.
+inline analytics::TickSource make_source(
+    std::vector<workload::SubStreamSpec> specs, std::uint64_t seed) {
+  auto gen = std::make_shared<workload::StreamGenerator>(std::move(specs),
+                                                         seed);
+  return [gen](SimTime now, SimTime dt) { return gen->tick(now, dt); };
+}
+
+/// netsim tree config matching the paper's testbed (§V-A): 8 sources,
+/// 4-2-1 layers, 20/40/80 ms RTT hops, 1 Gbps links.
+inline netsim::TreeNetConfig testbed_config(core::EngineKind engine,
+                                            double fraction,
+                                            SimTime window) {
+  netsim::TreeNetConfig config;
+  config.engine = engine;
+  config.sampling_fraction = fraction;
+  config.interval = window;
+  config.sources = 8;
+  config.layer_widths = {4, 2};
+  config.hop_rtts = {SimTime::from_millis(20), SimTime::from_millis(40),
+                     SimTime::from_millis(80)};
+  config.bandwidth_bps = 1e9;
+  config.edge_service_rate = 400000.0;
+  config.root_service_rate = 100000.0;
+  config.source_tick = SimTime::from_millis(100);
+  return config;
+}
+
+/// Constant-rate source shared by the netsim benches: `total_rate`
+/// items/s across 4 sub-streams, sharded over the 8 sources.
+inline netsim::SourceFn constant_rate_source(double total_rate,
+                                             std::size_t sources,
+                                             SimTime tick) {
+  const double per_source = total_rate / static_cast<double>(sources);
+  const double per_tick = per_source * tick.seconds();
+  return [per_tick](std::size_t source, SimTime now) {
+    std::vector<Item> items;
+    const auto n = static_cast<std::size_t>(per_tick);
+    items.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      // 4 sub-streams interleaved across sources (paper's mix).
+      items.push_back(Item{SubStreamId{source % 4 + 1}, 1.0, now.us});
+    }
+    return items;
+  };
+}
+
+/// Runs the simulated testbed at `offered_rate` for `duration` and
+/// reports whether the root kept up (bounded backlog).
+struct SustainResult {
+  bool sustained{false};
+  double processed_per_s{0.0};
+  double backlog_s{0.0};
+};
+
+inline SustainResult run_at_rate(core::EngineKind engine, double fraction,
+                                 SimTime window, double offered_rate,
+                                 SimTime duration) {
+  netsim::Simulator sim;
+  netsim::TreeNetConfig config = testbed_config(engine, fraction, window);
+  netsim::TreeNetwork net(
+      sim, config,
+      constant_rate_source(offered_rate, config.sources, config.source_tick));
+  net.run_for(duration);
+
+  SustainResult result;
+  result.backlog_s = net.root_backlog().seconds();
+  // Sustained == the root's service backlog stays within one window.
+  result.sustained = result.backlog_s < window.seconds();
+  result.processed_per_s = static_cast<double>(net.items_generated()) /
+                           duration.seconds();
+  return result;
+}
+
+/// Binary-searches the maximum sustainable offered rate (the paper's
+/// methodology: tune sources until the datacenter node saturates).
+inline double max_sustainable_rate(core::EngineKind engine, double fraction,
+                                   SimTime window, double lo, double hi,
+                                   SimTime duration, int iterations = 7) {
+  for (int i = 0; i < iterations; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (run_at_rate(engine, fraction, window, mid, duration).sustained) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace approxiot::bench

@@ -1,0 +1,195 @@
+// experiment_cli: config-driven experiment runner.
+//
+// Runs an accuracy experiment described by key=value pairs (command line
+// or a config file via @file), printing the paper's metrics for any
+// combination of engine, workload, sampling fraction and tree shape —
+// handy for exploring the design space beyond the canned benches.
+//
+// Keys (defaults in brackets):
+//   engine    = approxiot | srs | native | snapshot   [approxiot]
+//   workload  = gaussian | poisson | skew | taxi | pollution [gaussian]
+//   fraction  = end-to-end sampling fraction          [0.1]
+//   windows   = query windows to run                  [10]
+//   ticks     = ticks per window                      [10]
+//   rate      = total items/s                         [20000]
+//   layers    = comma-free leaf/mid widths, e.g. "4x2" [4x2]
+//   policy    = equal | proportional | neyman         [equal]
+//   seed      = RNG seed                              [42]
+//
+// Examples:
+//   ./build/examples/experiment_cli engine=srs workload=skew fraction=0.1
+//   ./build/examples/experiment_cli @experiment.conf
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analytics/experiment.hpp"
+#include "common/config.hpp"
+#include "workload/generators.hpp"
+#include "workload/pollution.hpp"
+#include "workload/substream.hpp"
+#include "workload/taxi.hpp"
+
+using namespace approxiot;
+
+namespace {
+
+Result<core::EngineKind> parse_engine(const std::string& name) {
+  if (name == "approxiot") return core::EngineKind::kApproxIoT;
+  if (name == "srs") return core::EngineKind::kSrs;
+  if (name == "native") return core::EngineKind::kNative;
+  if (name == "snapshot") return core::EngineKind::kSnapshot;
+  return Status::invalid_argument("unknown engine '" + name + "'");
+}
+
+Result<std::vector<std::size_t>> parse_layers(const std::string& text) {
+  std::vector<std::size_t> widths;
+  std::stringstream in(text);
+  std::string part;
+  while (std::getline(in, part, 'x')) {
+    char* end = nullptr;
+    const long w = std::strtol(part.c_str(), &end, 10);
+    if (end == part.c_str() || *end != '\0' || w <= 0) {
+      return Status::invalid_argument("bad layer width '" + part + "'");
+    }
+    widths.push_back(static_cast<std::size_t>(w));
+  }
+  if (widths.empty()) {
+    return Status::invalid_argument("layers must be like '4x2'");
+  }
+  return widths;
+}
+
+Result<analytics::TickSource> make_workload(const std::string& name,
+                                            double rate,
+                                            std::uint64_t seed) {
+  if (name == "gaussian" || name == "poisson") {
+    auto specs = name == "gaussian" ? workload::gaussian_quad(rate / 4.0)
+                                    : workload::poisson_quad(rate / 4.0);
+    auto gen =
+        std::make_shared<workload::StreamGenerator>(std::move(specs), seed);
+    return analytics::TickSource(
+        [gen](SimTime now, SimTime dt) { return gen->tick(now, dt); });
+  }
+  if (name == "skew") {
+    auto gen = std::make_shared<workload::StreamGenerator>(
+        workload::skewed_poisson(rate), seed);
+    return analytics::TickSource(
+        [gen](SimTime now, SimTime dt) { return gen->tick(now, dt); });
+  }
+  if (name == "taxi") {
+    workload::TaxiConfig config;
+    config.mean_rate_items_per_s = rate;
+    config.seed = seed;
+    auto gen = std::make_shared<workload::TaxiGenerator>(config);
+    return analytics::TickSource(
+        [gen](SimTime now, SimTime dt) { return gen->tick(now, dt); });
+  }
+  if (name == "pollution") {
+    workload::PollutionConfig config;
+    config.seed = seed;
+    // sensors / period fixes the rate; scale sensors to the request.
+    config.sensors = static_cast<std::size_t>(
+        rate * config.report_period.seconds() / 4.0);
+    if (config.sensors == 0) config.sensors = 1;
+    auto gen = std::make_shared<workload::PollutionGenerator>(config);
+    return analytics::TickSource(
+        [gen](SimTime now, SimTime dt) { return gen->tick(now, dt); });
+  }
+  return Status::invalid_argument("unknown workload '" + name + "'");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Expand @file arguments into their key=value contents.
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (!arg.empty() && arg[0] == '@') {
+      std::ifstream file(arg.substr(1));
+      if (!file) {
+        std::fprintf(stderr, "cannot open config file '%s'\n",
+                     arg.c_str() + 1);
+        return 1;
+      }
+      std::stringstream buffer;
+      buffer << file.rdbuf();
+      auto cfg = Config::from_text(buffer.str());
+      if (!cfg) {
+        std::fprintf(stderr, "%s: %s\n", arg.c_str() + 1,
+                     cfg.status().to_string().c_str());
+        return 1;
+      }
+      for (const auto& key : cfg.value().keys()) {
+        args.push_back(key + "=" + cfg.value().get_string_or(key, ""));
+      }
+    } else {
+      args.push_back(arg);
+    }
+  }
+
+  auto parsed = Config::from_args(args);
+  if (!parsed) {
+    std::fprintf(stderr, "bad arguments: %s\n",
+                 parsed.status().to_string().c_str());
+    return 1;
+  }
+  const Config& cfg = parsed.value();
+
+  auto engine = parse_engine(cfg.get_string_or("engine", "approxiot"));
+  if (!engine) {
+    std::fprintf(stderr, "%s\n", engine.status().to_string().c_str());
+    return 1;
+  }
+  auto layers = parse_layers(cfg.get_string_or("layers", "4x2"));
+  if (!layers) {
+    std::fprintf(stderr, "%s\n", layers.status().to_string().c_str());
+    return 1;
+  }
+  const double rate = cfg.get_double_or("rate", 20000.0);
+  const auto seed = static_cast<std::uint64_t>(cfg.get_int_or("seed", 42));
+  auto source =
+      make_workload(cfg.get_string_or("workload", "gaussian"), rate, seed);
+  if (!source) {
+    std::fprintf(stderr, "%s\n", source.status().to_string().c_str());
+    return 1;
+  }
+
+  analytics::AccuracyExperimentConfig experiment;
+  experiment.tree.engine = engine.value();
+  experiment.tree.layer_widths = layers.value();
+  experiment.tree.sampling_fraction = cfg.get_double_or("fraction", 0.1);
+  experiment.tree.allocation_policy = cfg.get_string_or("policy", "equal");
+  experiment.tree.rng_seed = seed;
+  experiment.windows =
+      static_cast<std::size_t>(cfg.get_int_or("windows", 10));
+  experiment.ticks_per_window =
+      static_cast<std::size_t>(cfg.get_int_or("ticks", 10));
+
+  const auto result =
+      analytics::run_accuracy_experiment(experiment, source.value());
+
+  std::printf("engine            : %s\n",
+              core::engine_kind_name(engine.value()));
+  std::printf("workload          : %s @ %.0f items/s\n",
+              cfg.get_string_or("workload", "gaussian").c_str(), rate);
+  std::printf("fraction          : %.3f (effective %.3f)\n",
+              experiment.tree.sampling_fraction,
+              result.effective_fraction());
+  std::printf("windows measured  : %zu\n", result.windows_measured);
+  std::printf("mean SUM loss     : %.4f%%\n", result.mean_sum_loss_pct);
+  std::printf("max  SUM loss     : %.4f%%\n", result.max_sum_loss_pct);
+  std::printf("mean MEAN loss    : %.4f%%\n", result.mean_mean_loss_pct);
+  std::printf("reported rel. err : %.4f%%\n",
+              result.mean_reported_rel_error * 100.0);
+  std::printf("95%% CI coverage   : %.0f%%\n", result.sum_coverage * 100.0);
+  std::printf("items total       : %llu\n",
+              static_cast<unsigned long long>(result.items_total));
+  std::printf("items sampled     : %llu\n",
+              static_cast<unsigned long long>(result.items_sampled));
+  return 0;
+}

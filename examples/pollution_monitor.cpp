@@ -1,0 +1,79 @@
+// Pollution monitor: the paper's §VI-B case study — "what is the total
+// pollution value of PM, CO, SO2 and NO2 in every time window?" — on the
+// synthetic Brasov-style sensor workload, reporting per-pollutant totals
+// with error bounds at all three of the paper's confidence levels.
+//
+// Run: ./build/examples/pollution_monitor [fraction=0.2] [windows=5]
+#include <cstdio>
+
+#include "analytics/executor.hpp"
+#include "common/config.hpp"
+#include "core/pipeline.hpp"
+#include "stats/normal.hpp"
+#include "workload/ground_truth.hpp"
+#include "workload/pollution.hpp"
+#include "workload/substream.hpp"
+
+using namespace approxiot;
+
+int main(int argc, char** argv) {
+  auto config = Config::from_args({argv + 1, argv + argc});
+  if (!config) {
+    std::fprintf(stderr, "bad arguments: %s\n",
+                 config.status().to_string().c_str());
+    return 1;
+  }
+  const double fraction = config.value().get_double_or("fraction", 0.20);
+  const auto windows =
+      static_cast<std::size_t>(config.value().get_int_or("windows", 5));
+
+  core::EdgeTreeConfig tree_config;
+  tree_config.engine = core::EngineKind::kApproxIoT;
+  tree_config.layer_widths = {4, 2};
+  tree_config.sampling_fraction = fraction;
+  core::EdgeTree tree(tree_config);
+
+  workload::PollutionGenerator pollution;
+  workload::GroundTruth truth;
+
+  std::printf("Brasov-style pollution monitor, fraction %.0f%%\n\n",
+              fraction * 100.0);
+
+  SimTime now = SimTime::zero();
+  for (std::size_t w = 0; w < windows; ++w) {
+    truth.reset();
+    for (int tick = 0; tick < 10; ++tick) {
+      auto items = pollution.tick(now, SimTime::from_millis(100));
+      truth.add_all(items);
+      tree.tick(workload::shard_by_substream(items, tree.leaf_count()));
+      now = now + SimTime::from_millis(100);
+    }
+
+    std::printf("window %zu:\n", w);
+    std::printf("  %-8s%14s%14s%26s\n", "channel", "approx", "exact",
+                "error bound 68/95/99.7%");
+    for (const auto& spec : pollution.specs()) {
+      analytics::Query query;
+      query.aggregate = analytics::Aggregate::kSum;
+      query.group = {spec.id};
+
+      // The "68-95-99.7" rule: one estimate, three interval widths.
+      query.confidence = stats::kConfidence68;
+      const auto one_sigma = analytics::execute_approximate(query,
+                                                            tree.theta());
+      query.confidence = stats::kConfidence95;
+      const auto two_sigma = analytics::execute_approximate(query,
+                                                            tree.theta());
+      query.confidence = stats::kConfidence997;
+      const auto three_sigma = analytics::execute_approximate(query,
+                                                              tree.theta());
+
+      std::printf("  %-8s%14.0f%14.0f     ±%7.0f/±%7.0f/±%7.0f\n",
+                  spec.name.c_str(), two_sigma.value.point,
+                  truth.sum(spec.id), one_sigma.value.margin,
+                  two_sigma.value.margin, three_sigma.value.margin);
+    }
+    (void)tree.close_window();
+  }
+  return 0;
+}

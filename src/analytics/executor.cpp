@@ -1,0 +1,90 @@
+#include "analytics/executor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.hpp"
+#include "core/estimators.hpp"
+#include "stats/moments.hpp"
+
+namespace approxiot::analytics {
+
+namespace {
+
+bool in_group(const Query& query, SubStreamId id) {
+  if (query.group.empty()) return true;
+  return std::find(query.group.begin(), query.group.end(), id) !=
+         query.group.end();
+}
+
+}  // namespace
+
+QueryAnswer execute_approximate(const Query& query,
+                                const core::ThetaStore& theta) {
+  auto summaries = core::summarize(theta);
+  summaries.erase(std::remove_if(summaries.begin(), summaries.end(),
+                                 [&](const core::SubStreamEstimate& s) {
+                                   return !in_group(query, s.id);
+                                 }),
+                  summaries.end());
+
+  double total_sum = 0.0;
+  double total_count = 0.0;
+  std::uint64_t sampled = 0;
+  for (const auto& s : summaries) {
+    total_sum += s.sum;
+    total_count += s.estimated_count;
+    sampled += s.sampled;
+  }
+
+  const core::ErrorEstimate err = core::estimate_error(summaries);
+
+  QueryAnswer answer;
+  answer.estimated_count = total_count;
+  answer.sampled_items = sampled;
+  switch (query.aggregate) {
+    case Aggregate::kSum:
+      answer.value =
+          stats::make_interval(total_sum, err.sum_variance, query.confidence);
+      break;
+    case Aggregate::kMean: {
+      const double mean = total_count > 0.0 ? total_sum / total_count : 0.0;
+      answer.value =
+          stats::make_interval(mean, err.mean_variance, query.confidence);
+      break;
+    }
+    case Aggregate::kCount:
+      // ĉ is exact under the Eq. 8 invariant, so its margin is 0.
+      answer.value = stats::make_interval(total_count, 0.0, query.confidence);
+      break;
+  }
+  return answer;
+}
+
+QueryAnswer execute_exact(const Query& query, const std::vector<Item>& items) {
+  stats::RunningMoments moments;
+  for (const Item& item : items) {
+    if (!in_group(query, item.source)) continue;
+    moments.add(item.value);
+  }
+
+  QueryAnswer answer;
+  answer.estimated_count = static_cast<double>(moments.count());
+  answer.sampled_items = moments.count();
+  double point = 0.0;
+  switch (query.aggregate) {
+    case Aggregate::kSum:
+      point = moments.sum();
+      break;
+    case Aggregate::kMean:
+      point = moments.mean();
+      break;
+    case Aggregate::kCount:
+      point = static_cast<double>(moments.count());
+      break;
+  }
+  answer.value = stats::make_interval(point, 0.0, query.confidence);
+  return answer;
+}
+
+}  // namespace approxiot::analytics

@@ -1,0 +1,30 @@
+// Query executors: the approximate path evaluates a Query over a
+// ThetaStore (weighted sample at the root); the exact path evaluates the
+// same Query over raw items (native execution / ground truth).
+#pragma once
+
+#include <vector>
+
+#include "analytics/query.hpp"
+#include "core/theta_store.hpp"
+#include "stats/confidence.hpp"
+
+namespace approxiot::analytics {
+
+struct QueryAnswer {
+  stats::ConfidenceInterval value;   // point estimate ± error bound
+  double estimated_count{0.0};       // ĉ over the query's group
+  std::uint64_t sampled_items{0};
+};
+
+/// Evaluates `query` over the weighted sample in Θ, with error bounds per
+/// §III-D. Restricting `query.group` filters the per-sub-stream summaries
+/// before combination.
+[[nodiscard]] QueryAnswer execute_approximate(const Query& query,
+                                              const core::ThetaStore& theta);
+
+/// Evaluates `query` exactly over raw items (margin = 0).
+[[nodiscard]] QueryAnswer execute_exact(const Query& query,
+                                        const std::vector<Item>& items);
+
+}  // namespace approxiot::analytics

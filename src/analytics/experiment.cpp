@@ -1,0 +1,63 @@
+#include "analytics/experiment.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "workload/substream.hpp"
+
+namespace approxiot::analytics {
+
+AccuracyResult run_accuracy_experiment(const AccuracyExperimentConfig& config,
+                                       const TickSource& source) {
+  core::EdgeTree tree(config.tree);
+  workload::GroundTruth truth;
+
+  AccuracyResult result;
+  double sum_loss_total = 0.0;
+  double mean_loss_total = 0.0;
+  double rel_error_total = 0.0;
+  std::size_t covered = 0;
+
+  SimTime now = SimTime::zero();
+  for (std::size_t w = 0; w < config.windows; ++w) {
+    truth.reset();
+    for (std::size_t t = 0; t < config.ticks_per_window; ++t) {
+      std::vector<Item> items = source(now, config.tick);
+      truth.add_all(items);
+      tree.tick(workload::shard_by_substream(items, tree.leaf_count()));
+      now = now + config.tick;
+    }
+
+    const core::ApproxResult approx = tree.close_window();
+    const double exact_sum = truth.total_sum();
+    const double exact_mean = truth.total_mean();
+
+    // Skip windows with no data at all (can happen for very low rates).
+    if (truth.total_count() == 0) continue;
+
+    sum_loss_total +=
+        workload::accuracy_loss_percent(approx.sum.point, exact_sum);
+    mean_loss_total +=
+        workload::accuracy_loss_percent(approx.mean.point, exact_mean);
+    result.max_sum_loss_pct = std::max(
+        result.max_sum_loss_pct,
+        workload::accuracy_loss_percent(approx.sum.point, exact_sum));
+    rel_error_total += approx.sum.relative_margin();
+    if (approx.sum.covers(exact_sum)) ++covered;
+
+    result.items_total += truth.total_count();
+    result.items_sampled += approx.sampled_items;
+    ++result.windows_measured;
+  }
+
+  if (result.windows_measured > 0) {
+    const auto n = static_cast<double>(result.windows_measured);
+    result.mean_sum_loss_pct = sum_loss_total / n;
+    result.mean_mean_loss_pct = mean_loss_total / n;
+    result.mean_reported_rel_error = rel_error_total / n;
+    result.sum_coverage = static_cast<double>(covered) / n;
+  }
+  return result;
+}
+
+}  // namespace approxiot::analytics

@@ -1,0 +1,60 @@
+// Shared accuracy-experiment harness.
+//
+// Every accuracy figure in the paper (Figs. 5, 10, 11a) follows the same
+// recipe: stream a workload through an edge tree at some sampling
+// fraction, close query windows, and report accuracy loss against the
+// exact (native) answer. run_accuracy_experiment() implements that recipe
+// once; the per-figure bench binaries only vary the workload and the
+// parameter sweep.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/time.hpp"
+#include "core/pipeline.hpp"
+#include "workload/ground_truth.hpp"
+
+namespace approxiot::analytics {
+
+/// Produces the items arriving in [now, now+dt) (adapts StreamGenerator,
+/// TaxiGenerator, PollutionGenerator, ...).
+using TickSource = std::function<std::vector<Item>(SimTime now, SimTime dt)>;
+
+struct AccuracyExperimentConfig {
+  core::EdgeTreeConfig tree{};
+  std::size_t windows{10};
+  std::size_t ticks_per_window{10};
+  SimTime tick{SimTime::from_millis(100)};
+};
+
+struct AccuracyResult {
+  // Accuracy loss (percent, the paper's unit) of the windowed SUM query.
+  double mean_sum_loss_pct{0.0};
+  double max_sum_loss_pct{0.0};
+  // Accuracy loss of the windowed MEAN query.
+  double mean_mean_loss_pct{0.0};
+  // Mean relative error bound the system *reported* (margin/|point|).
+  double mean_reported_rel_error{0.0};
+  // Fraction of windows whose reported interval covered the exact sum.
+  double sum_coverage{0.0};
+  // Volume accounting.
+  std::uint64_t items_total{0};
+  std::uint64_t items_sampled{0};
+  std::size_t windows_measured{0};
+
+  [[nodiscard]] double effective_fraction() const noexcept {
+    return items_total > 0 ? static_cast<double>(items_sampled) /
+                                 static_cast<double>(items_total)
+                           : 0.0;
+  }
+};
+
+/// Streams `source` through a fresh EdgeTree built from `config.tree`,
+/// closing one query window every `ticks_per_window` ticks, and compares
+/// against exact per-window ground truth.
+[[nodiscard]] AccuracyResult run_accuracy_experiment(
+    const AccuracyExperimentConfig& config, const TickSource& source);
+
+}  // namespace approxiot::analytics

@@ -1,0 +1,80 @@
+#include "analytics/extended.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.hpp"
+#include "core/estimators.hpp"
+
+namespace approxiot::analytics {
+
+std::vector<TopKEntry> execute_topk(const core::ThetaStore& theta,
+                                    std::size_t k, double confidence) {
+  const auto summaries = core::summarize(theta);
+
+  std::vector<TopKEntry> entries;
+  entries.reserve(summaries.size());
+  for (const auto& s : summaries) {
+    // Per-stratum variance: the Eq. 11 term of this sub-stream alone.
+    double variance = 0.0;
+    if (s.sampled > 0) {
+      const double zeta = static_cast<double>(s.sampled);
+      const double fpc =
+          s.estimated_count > zeta ? s.estimated_count - zeta : 0.0;
+      variance = s.estimated_count * fpc * s.sample_variance / zeta;
+    }
+    TopKEntry entry;
+    entry.id = s.id;
+    entry.sum = stats::make_interval(s.sum, variance, confidence);
+    entry.estimated_count = s.estimated_count;
+    entries.push_back(entry);
+  }
+
+  std::sort(entries.begin(), entries.end(),
+            [](const TopKEntry& a, const TopKEntry& b) {
+              if (a.sum.point != b.sum.point) return a.sum.point > b.sum.point;
+              return a.id < b.id;
+            });
+  if (entries.size() > k) entries.resize(k);
+  return entries;
+}
+
+bool topk_winner_is_significant(const std::vector<TopKEntry>& entries) {
+  if (entries.empty()) return false;
+  if (entries.size() == 1) return true;
+  return entries[0].sum.lower() > entries[1].sum.upper();
+}
+
+Result<double> execute_quantile(const core::ThetaStore& theta, double q) {
+  if (q < 0.0 || q > 1.0) {
+    return Status::invalid_argument("quantile must be in [0, 1]");
+  }
+
+  // Collect (value, weight) pairs across all sub-streams.
+  std::vector<std::pair<double, double>> weighted;
+  for (SubStreamId id : theta.sub_streams()) {
+    for (const core::WeightedSample& pair : theta.pairs(id)) {
+      for (const Item& item : pair.items) {
+        weighted.emplace_back(item.value, pair.weight);
+      }
+    }
+  }
+  if (weighted.empty()) {
+    return Status::failed_precondition("no sampled items in theta");
+  }
+
+  std::sort(weighted.begin(), weighted.end());
+  double total = 0.0;
+  for (const auto& [_, w] : weighted) total += w;
+
+  // Walk the weighted CDF to the q-th mass point.
+  const double target = q * total;
+  double cum = 0.0;
+  for (const auto& [value, weight] : weighted) {
+    cum += weight;
+    if (cum >= target) return value;
+  }
+  return weighted.back().first;
+}
+
+}  // namespace approxiot::analytics

@@ -1,0 +1,53 @@
+// Extended approximate queries — the paper's future-work direction
+// ("we plan to extend the system to support more complex queries such as
+// joins, top-k"). Two queries compose naturally with the weighted sample
+// in Θ:
+//
+//  * top-k: rank sub-streams by their estimated SUM (each with its own
+//    CLT error bound). Because SUM_i is unbiased per stratum, the
+//    ranking is consistent; the per-entry bounds let a caller detect
+//    rank ties that the sample cannot resolve.
+//  * quantile: the Horvitz–Thompson weighted empirical quantile of item
+//    values — each sampled item stands for `weight` originals, so the
+//    quantile is read off the weighted cumulative distribution.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+#include "core/theta_store.hpp"
+#include "stats/confidence.hpp"
+
+namespace approxiot::analytics {
+
+struct TopKEntry {
+  SubStreamId id{};
+  stats::ConfidenceInterval sum;  // SUM_i ± bound
+  double estimated_count{0.0};
+};
+
+/// Top `k` sub-streams by estimated SUM, descending; ties break on id.
+/// Returns fewer entries when Θ has fewer sub-streams.
+[[nodiscard]] std::vector<TopKEntry> execute_topk(
+    const core::ThetaStore& theta, std::size_t k,
+    double confidence = stats::kConfidence95);
+
+/// True iff the top-1 entry's lower bound clears the runner-up's upper
+/// bound — i.e. the sample is large enough to certify the winner.
+[[nodiscard]] bool topk_winner_is_significant(
+    const std::vector<TopKEntry>& entries);
+
+/// Weighted empirical quantile of item values, q in [0,1]. Returns an
+/// error when Θ holds no items.
+[[nodiscard]] Result<double> execute_quantile(const core::ThetaStore& theta,
+                                              double q);
+
+/// Convenience: weighted median.
+[[nodiscard]] inline Result<double> execute_median(
+    const core::ThetaStore& theta) {
+  return execute_quantile(theta, 0.5);
+}
+
+}  // namespace approxiot::analytics

@@ -1,0 +1,24 @@
+#include "analytics/query.hpp"
+
+namespace approxiot::analytics {
+
+const char* aggregate_name(Aggregate a) noexcept {
+  switch (a) {
+    case Aggregate::kSum:
+      return "sum";
+    case Aggregate::kMean:
+      return "mean";
+    case Aggregate::kCount:
+      return "count";
+  }
+  return "?";
+}
+
+Result<Aggregate> parse_aggregate(const std::string& text) {
+  if (text == "sum") return Aggregate::kSum;
+  if (text == "mean") return Aggregate::kMean;
+  if (text == "count") return Aggregate::kCount;
+  return Status::invalid_argument("unknown aggregate '" + text + "'");
+}
+
+}  // namespace approxiot::analytics

@@ -1,0 +1,33 @@
+// Query model: the linear aggregation queries ApproxIoT supports (§III-C,
+// and the paper's limitation note that only linear queries are handled).
+// A query names an aggregate over item values, optionally grouped by
+// sub-stream, evaluated per window.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+
+namespace approxiot::analytics {
+
+enum class Aggregate { kSum, kMean, kCount };
+
+[[nodiscard]] const char* aggregate_name(Aggregate a) noexcept;
+
+struct Query {
+  QueryId id{};
+  std::string name;
+  Aggregate aggregate{Aggregate::kSum};
+  /// Empty == aggregate over all sub-streams; otherwise restrict to these.
+  std::vector<SubStreamId> group;
+  /// Confidence level for the reported error bound.
+  double confidence{0.9544997361036416};  // 95% (two sigma)
+};
+
+/// Parses "sum" | "mean" | "count".
+[[nodiscard]] Result<Aggregate> parse_aggregate(const std::string& text);
+
+}  // namespace approxiot::analytics

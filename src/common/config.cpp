@@ -1,0 +1,148 @@
+#include "common/config.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+
+namespace approxiot {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  auto begin = std::find_if_not(s.begin(), s.end(), [](unsigned char c) {
+    return std::isspace(c) != 0;
+  });
+  auto end = std::find_if_not(s.rbegin(), s.rend(), [](unsigned char c) {
+               return std::isspace(c) != 0;
+             }).base();
+  return (begin < end) ? std::string(begin, end) : std::string();
+}
+
+Status parse_pair(const std::string& token, Config& out) {
+  const auto eq = token.find('=');
+  if (eq == std::string::npos) {
+    return Status::invalid_argument("expected key=value, got '" + token + "'");
+  }
+  const std::string key = trim(token.substr(0, eq));
+  const std::string value = trim(token.substr(eq + 1));
+  if (key.empty()) {
+    return Status::invalid_argument("empty key in '" + token + "'");
+  }
+  out.set(key, value);
+  return Status::ok();
+}
+
+}  // namespace
+
+Result<Config> Config::from_args(const std::vector<std::string>& args) {
+  Config cfg;
+  for (const auto& arg : args) {
+    if (Status s = parse_pair(arg, cfg); !s.is_ok()) return s;
+  }
+  return cfg;
+}
+
+Result<Config> Config::from_text(const std::string& text) {
+  Config cfg;
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    line = trim(line);
+    if (line.empty()) continue;
+    if (Status s = parse_pair(line, cfg); !s.is_ok()) {
+      return Status::invalid_argument("line " + std::to_string(lineno) + ": " +
+                                      s.message());
+    }
+  }
+  return cfg;
+}
+
+void Config::set(const std::string& key, const std::string& value) {
+  values_[key] = value;
+}
+
+bool Config::contains(const std::string& key) const {
+  return values_.count(key) > 0;
+}
+
+std::vector<std::string> Config::keys() const {
+  std::vector<std::string> out;
+  out.reserve(values_.size());
+  for (const auto& [k, _] : values_) out.push_back(k);
+  return out;
+}
+
+Result<std::string> Config::get_string(const std::string& key) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return Status::not_found("key '" + key + "'");
+  return it->second;
+}
+
+Result<std::int64_t> Config::get_int(const std::string& key) const {
+  auto str = get_string(key);
+  if (!str) return str.status();
+  const std::string& v = str.value();
+  char* end = nullptr;
+  errno = 0;
+  const long long parsed = std::strtoll(v.c_str(), &end, 10);
+  if (errno != 0 || end == v.c_str() || *end != '\0') {
+    return Status::invalid_argument("key '" + key + "': '" + v +
+                                    "' is not an integer");
+  }
+  return static_cast<std::int64_t>(parsed);
+}
+
+Result<double> Config::get_double(const std::string& key) const {
+  auto str = get_string(key);
+  if (!str) return str.status();
+  const std::string& v = str.value();
+  char* end = nullptr;
+  errno = 0;
+  const double parsed = std::strtod(v.c_str(), &end);
+  if (errno != 0 || end == v.c_str() || *end != '\0') {
+    return Status::invalid_argument("key '" + key + "': '" + v +
+                                    "' is not a number");
+  }
+  return parsed;
+}
+
+Result<bool> Config::get_bool(const std::string& key) const {
+  auto str = get_string(key);
+  if (!str) return str.status();
+  std::string v = str.value();
+  std::transform(v.begin(), v.end(), v.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  return Status::invalid_argument("key '" + key + "': '" + str.value() +
+                                  "' is not a boolean");
+}
+
+std::string Config::get_string_or(const std::string& key,
+                                  std::string fallback) const {
+  auto r = get_string(key);
+  return r ? r.value() : std::move(fallback);
+}
+
+std::int64_t Config::get_int_or(const std::string& key,
+                                std::int64_t fallback) const {
+  auto r = get_int(key);
+  return r ? r.value() : fallback;
+}
+
+double Config::get_double_or(const std::string& key, double fallback) const {
+  auto r = get_double(key);
+  return r ? r.value() : fallback;
+}
+
+bool Config::get_bool_or(const std::string& key, bool fallback) const {
+  auto r = get_bool(key);
+  return r ? r.value() : fallback;
+}
+
+}  // namespace approxiot

@@ -1,0 +1,49 @@
+// Key=value configuration parsing for examples and benchmark drivers.
+// Accepts "key=value" tokens (command line) or lines of the same form
+// (files); '#' starts a comment. Typed getters validate and report
+// precise errors instead of silently defaulting on malformed input.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace approxiot {
+
+class Config {
+ public:
+  Config() = default;
+
+  /// Parses "key=value" tokens, e.g. from argv. Unrecognised tokens
+  /// (no '=') produce an error status.
+  static Result<Config> from_args(const std::vector<std::string>& args);
+
+  /// Parses newline-separated "key=value" text with '#' comments.
+  static Result<Config> from_text(const std::string& text);
+
+  void set(const std::string& key, const std::string& value);
+
+  [[nodiscard]] bool contains(const std::string& key) const;
+  [[nodiscard]] std::vector<std::string> keys() const;
+
+  [[nodiscard]] Result<std::string> get_string(const std::string& key) const;
+  [[nodiscard]] Result<std::int64_t> get_int(const std::string& key) const;
+  [[nodiscard]] Result<double> get_double(const std::string& key) const;
+  [[nodiscard]] Result<bool> get_bool(const std::string& key) const;
+
+  [[nodiscard]] std::string get_string_or(const std::string& key,
+                                          std::string fallback) const;
+  [[nodiscard]] std::int64_t get_int_or(const std::string& key,
+                                        std::int64_t fallback) const;
+  [[nodiscard]] double get_double_or(const std::string& key,
+                                     double fallback) const;
+  [[nodiscard]] bool get_bool_or(const std::string& key, bool fallback) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace approxiot

@@ -1,0 +1,57 @@
+// Tiny leveled logger. Benchmarks run with logging at kWarn to keep the
+// hot path clean; tests can raise verbosity to trace sampling decisions.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace approxiot {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Process-global log configuration. Not thread-safe to mutate while
+/// logging concurrently; set once at startup.
+class Logger {
+ public:
+  static LogLevel level() noexcept;
+  static void set_level(LogLevel level) noexcept;
+
+  /// Writes one formatted line to stderr if `level` is enabled.
+  static void write(LogLevel level, const std::string& component,
+                    const std::string& message);
+
+  static const char* level_name(LogLevel level) noexcept;
+};
+
+namespace detail {
+class LogLine {
+ public:
+  LogLine(LogLevel level, const char* component)
+      : level_(level), component_(component) {}
+  ~LogLine() { Logger::write(level_, component_, stream_.str()); }
+
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace approxiot
+
+// Usage: AIOT_LOG(kInfo, "core") << "sampled " << n << " items";
+#define AIOT_LOG(level_suffix, component)                                  \
+  if (::approxiot::LogLevel::level_suffix < ::approxiot::Logger::level()) \
+    ;                                                                      \
+  else                                                                     \
+    ::approxiot::detail::LogLine(::approxiot::LogLevel::level_suffix,      \
+                                 component)

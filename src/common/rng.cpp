@@ -1,0 +1,87 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+namespace approxiot {
+
+std::uint64_t Rng::next_below(std::uint64_t bound) noexcept {
+  if (bound == 0) return 0;
+  // Lemire's nearly-divisionless method.
+  std::uint64_t x = next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  std::uint64_t l = static_cast<std::uint64_t>(m);
+  if (l < bound) {
+    std::uint64_t t = -bound % bound;
+    while (l < t) {
+      x = next();
+      m = static_cast<__uint128_t>(x) * bound;
+      l = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Rng::next_gaussian() noexcept {
+  if (has_cached_gaussian_) {
+    has_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  double u, v, s;
+  do {
+    u = 2.0 * next_double() - 1.0;
+    v = 2.0 * next_double() - 1.0;
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double mul = std::sqrt(-2.0 * std::log(s) / s);
+  cached_gaussian_ = v * mul;
+  has_cached_gaussian_ = true;
+  return u * mul;
+}
+
+double Rng::next_exponential(double lambda) noexcept {
+  // Inverse transform; guard against log(0).
+  double u;
+  do {
+    u = next_double();
+  } while (u <= 0.0);
+  return -std::log(u) / lambda;
+}
+
+std::uint64_t Rng::next_poisson(double mean) noexcept {
+  if (mean <= 0.0) return 0;
+  if (mean < 30.0) {
+    // Knuth: multiply uniforms until the product drops below e^-mean.
+    const double limit = std::exp(-mean);
+    double product = next_double();
+    std::uint64_t count = 0;
+    while (product > limit) {
+      product *= next_double();
+      ++count;
+    }
+    return count;
+  }
+  // Normal approximation with continuity correction; adequate for the
+  // workload generators where mean is large (1e3..1e7).
+  const double sample = mean + std::sqrt(mean) * next_gaussian() + 0.5;
+  if (sample < 0.0) return 0;
+  return static_cast<std::uint64_t>(sample);
+}
+
+void Rng::jump() noexcept {
+  static constexpr std::uint64_t kJump[] = {
+      0x180ec6d33cfd0abaULL, 0xd5a61266f0c9392cULL, 0xa9582618e03fc9aaULL,
+      0x39abdc4529b1661cULL};
+  std::array<std::uint64_t, 4> acc{};
+  for (std::uint64_t word : kJump) {
+    for (int bit = 0; bit < 64; ++bit) {
+      if (word & (1ULL << bit)) {
+        for (int i = 0; i < 4; ++i) acc[static_cast<size_t>(i)] ^= state_[static_cast<size_t>(i)];
+      }
+      next();
+    }
+  }
+  state_ = acc;
+  has_cached_gaussian_ = false;
+}
+
+}  // namespace approxiot

@@ -1,0 +1,114 @@
+// Minimal Status/Result error-propagation types (no exceptions on hot
+// paths; exceptions are reserved for programming errors / constructor
+// failures, per the repo's error-handling policy).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace approxiot {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kFailedPrecondition,
+  kResourceExhausted,
+  kUnavailable,
+  kInternal,
+};
+
+/// Human-readable name for a StatusCode ("OK", "NOT_FOUND", ...).
+[[nodiscard]] const char* status_code_name(StatusCode code) noexcept;
+
+/// A success/error outcome with an optional message. Cheap to copy on the
+/// success path (empty string).
+class Status {
+ public:
+  Status() noexcept = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok() noexcept { return {}; }
+  static Status invalid_argument(std::string msg) {
+    return {StatusCode::kInvalidArgument, std::move(msg)};
+  }
+  static Status not_found(std::string msg) {
+    return {StatusCode::kNotFound, std::move(msg)};
+  }
+  static Status already_exists(std::string msg) {
+    return {StatusCode::kAlreadyExists, std::move(msg)};
+  }
+  static Status out_of_range(std::string msg) {
+    return {StatusCode::kOutOfRange, std::move(msg)};
+  }
+  static Status failed_precondition(std::string msg) {
+    return {StatusCode::kFailedPrecondition, std::move(msg)};
+  }
+  static Status resource_exhausted(std::string msg) {
+    return {StatusCode::kResourceExhausted, std::move(msg)};
+  }
+  static Status unavailable(std::string msg) {
+    return {StatusCode::kUnavailable, std::move(msg)};
+  }
+  static Status internal(std::string msg) {
+    return {StatusCode::kInternal, std::move(msg)};
+  }
+
+  [[nodiscard]] bool is_ok() const noexcept {
+    return code_ == StatusCode::kOk;
+  }
+  [[nodiscard]] StatusCode code() const noexcept { return code_; }
+  [[nodiscard]] const std::string& message() const noexcept {
+    return message_;
+  }
+  [[nodiscard]] std::string to_string() const;
+
+  explicit operator bool() const noexcept { return is_ok(); }
+
+ private:
+  StatusCode code_{StatusCode::kOk};
+  std::string message_;
+};
+
+/// Either a value or a Status explaining why there is none.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Status status) : data_(std::move(status)) {
+    // A Result carrying an OK status but no value is a logic error; map it
+    // to kInternal so callers always see a failure reason.
+    if (std::holds_alternative<Status>(data_) &&
+        std::get<Status>(data_).is_ok()) {
+      data_ = Status::internal("Result constructed from OK status");
+    }
+  }
+
+  [[nodiscard]] bool is_ok() const noexcept {
+    return std::holds_alternative<T>(data_);
+  }
+  explicit operator bool() const noexcept { return is_ok(); }
+
+  [[nodiscard]] const T& value() const& { return std::get<T>(data_); }
+  [[nodiscard]] T& value() & { return std::get<T>(data_); }
+  [[nodiscard]] T&& value() && { return std::get<T>(std::move(data_)); }
+
+  [[nodiscard]] Status status() const {
+    if (is_ok()) return Status::ok();
+    return std::get<Status>(data_);
+  }
+
+  [[nodiscard]] T value_or(T fallback) const& {
+    return is_ok() ? std::get<T>(data_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+}  // namespace approxiot

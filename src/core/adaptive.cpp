@@ -1,0 +1,60 @@
+#include "core/adaptive.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace approxiot::core {
+
+AdaptiveController::AdaptiveController(double initial_fraction,
+                                       AdaptiveConfig config)
+    : config_(config),
+      fraction_(std::clamp(initial_fraction, config.min_fraction,
+                           config.max_fraction)) {
+  if (config.target_relative_error <= 0.0) {
+    throw std::invalid_argument("target relative error must be > 0");
+  }
+  if (config.min_fraction <= 0.0 ||
+      config.min_fraction > config.max_fraction ||
+      config.max_fraction > 1.0) {
+    throw std::invalid_argument("fraction clamp range is invalid");
+  }
+  history_.push_back(fraction_);
+}
+
+double AdaptiveController::observe(const stats::ConfidenceInterval& result) {
+  return observe_relative_error(result.relative_margin());
+}
+
+double AdaptiveController::observe_relative_error(double relative_error) {
+  const double target = config_.target_relative_error;
+
+  if (!std::isfinite(relative_error)) {
+    // Estimator produced a degenerate interval (e.g. nothing sampled):
+    // take the largest allowed corrective step upward.
+    fraction_ = std::min(fraction_ * config_.max_step, config_.max_fraction);
+    history_.push_back(fraction_);
+    return fraction_;
+  }
+
+  const double ratio = relative_error / target;
+  const double lo = 1.0 - config_.tolerance;
+  const double hi = 1.0 + config_.tolerance;
+  if (ratio >= lo && ratio <= hi) {
+    // Inside the hysteresis band: hold.
+    history_.push_back(fraction_);
+    return fraction_;
+  }
+
+  // Error above target -> sample more; below -> sample less. The sampling
+  // error of a mean scales ~ 1/sqrt(n), so a proportional controller on
+  // ratio^ (2*gain) with gain=0.5 is first-order correct.
+  double step = std::pow(ratio, 2.0 * config_.gain);
+  step = std::clamp(step, 1.0 / config_.max_step, config_.max_step);
+  fraction_ =
+      std::clamp(fraction_ * step, config_.min_fraction, config_.max_fraction);
+  history_.push_back(fraction_);
+  return fraction_;
+}
+
+}  // namespace approxiot::core

@@ -1,0 +1,60 @@
+// Adaptive feedback (§IV-B): "in the case the error bound of the
+// approximate result exceeds the desired budget of the user, an adaptive
+// feedback mechanism is activated to refine the sampling parameters at
+// all layers to improve the accuracy in subsequent runs."
+//
+// AdaptiveController implements that loop as a multiplicative-increase /
+// multiplicative-decrease controller on the end-to-end sampling fraction:
+// after every window it compares the observed relative error bound with
+// the user's target and nudges the fraction, clamped to [min, max]. The
+// controller is deliberately conservative (bounded step) so the fraction
+// does not oscillate on noisy windows; hysteresis skips adjustments when
+// the error is within a tolerance band of the target.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "stats/confidence.hpp"
+
+namespace approxiot::core {
+
+struct AdaptiveConfig {
+  /// Target relative error bound (margin / |estimate|), e.g. 0.01 == 1 %.
+  double target_relative_error{0.01};
+  /// Multiplicative band around the target treated as "close enough".
+  double tolerance{0.1};
+  /// Largest single-step multiplier applied to the fraction.
+  double max_step{2.0};
+  /// Fraction clamp range.
+  double min_fraction{0.01};
+  double max_fraction{1.0};
+  /// Exponent of the proportional response; < 1 damps the controller.
+  double gain{0.5};
+};
+
+class AdaptiveController {
+ public:
+  AdaptiveController(double initial_fraction, AdaptiveConfig config = {});
+
+  /// Feeds one window's result; returns the fraction to use next window.
+  double observe(const stats::ConfidenceInterval& result);
+
+  /// Same, from a pre-computed relative error.
+  double observe_relative_error(double relative_error);
+
+  [[nodiscard]] double fraction() const noexcept { return fraction_; }
+  [[nodiscard]] const AdaptiveConfig& config() const noexcept {
+    return config_;
+  }
+  [[nodiscard]] const std::vector<double>& history() const noexcept {
+    return history_;
+  }
+
+ private:
+  AdaptiveConfig config_;
+  double fraction_;
+  std::vector<double> history_;
+};
+
+}  // namespace approxiot::core

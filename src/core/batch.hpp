@@ -1,0 +1,49 @@
+// Message types exchanged between nodes in the logical tree.
+//
+// ItemBundle is the paper's (W^in, items) pair consumed from Ψ
+// (Algorithm 2 line 7); SampledBundle is the (W^out, sample) pair a node
+// produces (line 10) and either forwards to its parent or stores in Θ.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/weight_map.hpp"
+
+namespace approxiot::core {
+
+/// Input to WHSamp: a weight map plus items possibly spanning many
+/// sub-streams. Sub-streams absent from `w_in` are interpreted via the
+/// node's remembered weights (Fig. 3 rule), falling back to 1 at sources.
+struct ItemBundle {
+  WeightMap w_in;
+  std::vector<Item> items;
+
+  [[nodiscard]] bool empty() const noexcept { return items.empty(); }
+};
+
+/// Output of WHSamp: per-sub-stream updated weights and sampled items.
+struct SampledBundle {
+  WeightMap w_out;
+  std::map<SubStreamId, std::vector<Item>> sample;
+
+  [[nodiscard]] std::size_t item_count() const noexcept {
+    std::size_t n = 0;
+    for (const auto& [_, items] : sample) n += items.size();
+    return n;
+  }
+
+  /// Flattens into an ItemBundle for transmission to the parent node.
+  [[nodiscard]] ItemBundle to_bundle() const {
+    ItemBundle out;
+    out.w_in = w_out;
+    out.items.reserve(item_count());
+    for (const auto& [_, items] : sample) {
+      out.items.insert(out.items.end(), items.begin(), items.end());
+    }
+    return out;
+  }
+};
+
+}  // namespace approxiot::core

@@ -1,0 +1,54 @@
+#include "core/cost_function.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace approxiot::core {
+
+FractionCostFunction::FractionCostFunction(double ewma_alpha)
+    : alpha_(ewma_alpha) {
+  if (ewma_alpha <= 0.0 || ewma_alpha > 1.0) {
+    throw std::invalid_argument("EWMA alpha must be in (0, 1]");
+  }
+}
+
+std::size_t FractionCostFunction::sample_size(const ResourceBudget& budget,
+                                              std::uint64_t observed,
+                                              SimTime /*interval*/) {
+  const double x = static_cast<double>(observed);
+  if (ewma_ < 0.0) {
+    ewma_ = x;
+  } else {
+    ewma_ = alpha_ * x + (1.0 - alpha_) * ewma_;
+  }
+  const double fraction = std::clamp(budget.sampling_fraction, 0.0, 1.0);
+  // First interval with no history yet: accept everything (weight stays 1,
+  // so correctness is unaffected; only resource use is).
+  if (ewma_ <= 0.0) return observed > 0 ? static_cast<std::size_t>(observed)
+                                        : std::size_t{1};
+  return static_cast<std::size_t>(std::ceil(fraction * ewma_));
+}
+
+std::size_t RateCostFunction::sample_size(const ResourceBudget& budget,
+                                          std::uint64_t /*observed*/,
+                                          SimTime interval) {
+  const double cap = budget.max_items_per_second * interval.seconds();
+  if (cap <= 0.0) return 0;
+  return static_cast<std::size_t>(std::ceil(cap));
+}
+
+std::size_t FixedCostFunction::sample_size(const ResourceBudget& budget,
+                                           std::uint64_t /*observed*/,
+                                           SimTime /*interval*/) {
+  return budget.fixed_sample_size;
+}
+
+std::unique_ptr<CostFunction> make_cost_function(const std::string& name) {
+  if (name == "fraction") return std::make_unique<FractionCostFunction>();
+  if (name == "rate") return std::make_unique<RateCostFunction>();
+  if (name == "fixed") return std::make_unique<FixedCostFunction>();
+  throw std::invalid_argument("unknown cost function '" + name + "'");
+}
+
+}  // namespace approxiot::core

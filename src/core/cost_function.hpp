@@ -1,0 +1,81 @@
+// Cost function (Algorithm 2 line 3): translates a node's resource budget
+// into a per-interval reservoir size.
+//
+// The paper assumes "there exists a cost function which translates a given
+// query budget (latency/throughput/accuracy guarantees) into the
+// appropriate sample size" and adjusts it manually; we provide the three
+// obvious concrete policies plus the feedback hook the adaptive controller
+// (§IV-B) drives.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/time.hpp"
+
+namespace approxiot::core {
+
+/// A node's resource budget for one interval.
+struct ResourceBudget {
+  /// Target sampling fraction in (0, 1]; used by FractionCostFunction.
+  double sampling_fraction{1.0};
+  /// Hard cap on forwarded items per second; used by RateCostFunction.
+  double max_items_per_second{0.0};
+  /// Fixed reservoir size; used by FixedCostFunction.
+  std::size_t fixed_sample_size{0};
+};
+
+class CostFunction {
+ public:
+  virtual ~CostFunction() = default;
+
+  /// Reservoir budget for the next interval. `observed_items_last_interval`
+  /// feeds the estimate of incoming volume; `interval` is the window size.
+  [[nodiscard]] virtual std::size_t sample_size(
+      const ResourceBudget& budget, std::uint64_t observed_items_last_interval,
+      SimTime interval) = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// size = ceil(fraction × EWMA(items per interval)). The EWMA smooths rate
+/// fluctuation so the reservoir does not thrash between intervals.
+class FractionCostFunction final : public CostFunction {
+ public:
+  explicit FractionCostFunction(double ewma_alpha = 0.5);
+
+  [[nodiscard]] std::size_t sample_size(const ResourceBudget& budget,
+                                        std::uint64_t observed,
+                                        SimTime interval) override;
+  [[nodiscard]] std::string name() const override { return "fraction"; }
+
+  [[nodiscard]] double smoothed_rate() const noexcept { return ewma_; }
+
+ private:
+  double alpha_;
+  double ewma_{-1.0};  // <0 means "no observation yet"
+};
+
+/// size = max_items_per_second × interval_seconds (bandwidth-style cap).
+class RateCostFunction final : public CostFunction {
+ public:
+  [[nodiscard]] std::size_t sample_size(const ResourceBudget& budget,
+                                        std::uint64_t observed,
+                                        SimTime interval) override;
+  [[nodiscard]] std::string name() const override { return "rate"; }
+};
+
+/// size = budget.fixed_sample_size, unconditionally.
+class FixedCostFunction final : public CostFunction {
+ public:
+  [[nodiscard]] std::size_t sample_size(const ResourceBudget& budget,
+                                        std::uint64_t observed,
+                                        SimTime interval) override;
+  [[nodiscard]] std::string name() const override { return "fixed"; }
+};
+
+[[nodiscard]] std::unique_ptr<CostFunction> make_cost_function(
+    const std::string& name);
+
+}  // namespace approxiot::core

@@ -1,0 +1,60 @@
+#include "core/error.hpp"
+
+#include <cmath>
+
+namespace approxiot::core {
+
+ErrorEstimate estimate_error(
+    const std::vector<SubStreamEstimate>& summaries) {
+  ErrorEstimate out;
+
+  double total_count = 0.0;
+  for (const auto& s : summaries) total_count += s.estimated_count;
+
+  for (const auto& s : summaries) {
+    if (s.sampled == 0) continue;
+    const double c = s.estimated_count;
+    const double zeta = static_cast<double>(s.sampled);
+    // Finite-population correction: when every original item survived to
+    // the root (c == ζ) the stratum is known exactly. Clamp at 0 against
+    // small negative values from floating-point noise in ĉ.
+    const double fpc = c > zeta ? (c - zeta) : 0.0;
+    const double s2 = s.sample_variance;
+
+    // Eq. 11 term: c (c − ζ) s² / ζ.
+    out.sum_variance += c * fpc * s2 / zeta;
+
+    // Eq. 14 term: φ² · s²/ζ · (c − ζ)/c.
+    if (total_count > 0.0 && c > 0.0) {
+      const double phi = c / total_count;
+      out.mean_variance += phi * phi * (s2 / zeta) * (fpc / c);
+    }
+  }
+  return out;
+}
+
+ApproxResult approximate_query(const ThetaStore& theta, double confidence) {
+  const auto summaries = summarize(theta);
+
+  double total_sum = 0.0;
+  double total_count = 0.0;
+  std::uint64_t sampled = 0;
+  for (const auto& s : summaries) {
+    total_sum += s.sum;
+    total_count += s.estimated_count;
+    sampled += s.sampled;
+  }
+  const double mean = total_count > 0.0 ? total_sum / total_count : 0.0;
+
+  const ErrorEstimate err = estimate_error(summaries);
+
+  ApproxResult result;
+  result.sum = stats::make_interval(total_sum, err.sum_variance, confidence);
+  result.mean =
+      stats::make_interval(mean, err.mean_variance, confidence);
+  result.estimated_count = total_count;
+  result.sampled_items = sampled;
+  return result;
+}
+
+}  // namespace approxiot::core

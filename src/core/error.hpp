@@ -1,0 +1,45 @@
+// Error estimation (§III-D): CLT-based variance of the SUM and MEAN
+// estimators and "68-95-99.7"-rule confidence intervals.
+//
+//   V̂ar(SUM*) = Σ_i c_{i,b}(c_{i,b} − ζ_i) s²_{i,r} / ζ_i     (Eq. 11)
+//   V̂ar(MEAN*) = Σ_i φ_i² · s²_{i,r}/ζ_i · (c_{i,b}−ζ_i)/c_{i,b}  (Eq. 14)
+//
+// where c_{i,b} is recovered from Θ via Eq. 8, ζ_i is the number of
+// sampled items of S_i at the root, s²_{i,r} their sample variance, and
+// φ_i = c_{i,b} / Σ_j c_{j,b}. The finite-population-correction factor
+// (c−ζ) vanishes when a sub-stream was not down-sampled, giving zero
+// variance for exactly known strata.
+#pragma once
+
+#include <vector>
+
+#include "core/estimators.hpp"
+#include "core/theta_store.hpp"
+#include "stats/confidence.hpp"
+
+namespace approxiot::core {
+
+struct ErrorEstimate {
+  double sum_variance{0.0};
+  double mean_variance{0.0};
+};
+
+/// Computes Eq. 11 and Eq. 14 from per-sub-stream summaries.
+[[nodiscard]] ErrorEstimate estimate_error(
+    const std::vector<SubStreamEstimate>& summaries);
+
+/// The approximate result the root reports: `output ± error` for SUM and
+/// MEAN at a chosen confidence.
+struct ApproxResult {
+  stats::ConfidenceInterval sum;
+  stats::ConfidenceInterval mean;
+  double estimated_count{0.0};
+  std::uint64_t sampled_items{0};
+};
+
+/// One-call helper: summarize Θ, compute estimators and error bounds.
+/// `confidence` defaults to 95% (the paper's two-sigma level).
+[[nodiscard]] ApproxResult approximate_query(
+    const ThetaStore& theta, double confidence = stats::kConfidence95);
+
+}  // namespace approxiot::core

@@ -1,0 +1,67 @@
+#include "core/estimators.hpp"
+
+#include "stats/moments.hpp"
+
+namespace approxiot::core {
+
+std::vector<SubStreamEstimate> summarize(const ThetaStore& theta) {
+  std::vector<SubStreamEstimate> out;
+  for (SubStreamId id : theta.sub_streams()) {
+    SubStreamEstimate est;
+    est.id = id;
+    stats::RunningMoments moments;
+    for (const WeightedSample& pair : theta.pairs(id)) {
+      double pair_sum = 0.0;
+      for (const Item& item : pair.items) {
+        pair_sum += item.value;
+        moments.add(item.value);
+      }
+      est.sum += pair_sum * pair.weight;
+      est.estimated_count +=
+          static_cast<double>(pair.items.size()) * pair.weight;
+    }
+    est.sampled = moments.count();
+    est.sample_mean = moments.mean();
+    est.sample_variance = moments.sample_variance();
+    out.push_back(est);
+  }
+  return out;
+}
+
+double estimate_sum(const ThetaStore& theta, SubStreamId id) {
+  double sum = 0.0;
+  for (const WeightedSample& pair : theta.pairs(id)) {
+    double pair_sum = 0.0;
+    for (const Item& item : pair.items) pair_sum += item.value;
+    sum += pair_sum * pair.weight;
+  }
+  return sum;
+}
+
+double estimate_total_sum(const ThetaStore& theta) {
+  double total = 0.0;
+  for (SubStreamId id : theta.sub_streams()) {
+    total += estimate_sum(theta, id);
+  }
+  return total;
+}
+
+double estimate_count(const ThetaStore& theta, SubStreamId id) {
+  return theta.estimated_original_count(id);
+}
+
+double estimate_total_count(const ThetaStore& theta) {
+  double total = 0.0;
+  for (SubStreamId id : theta.sub_streams()) {
+    total += theta.estimated_original_count(id);
+  }
+  return total;
+}
+
+double estimate_total_mean(const ThetaStore& theta) {
+  const double count = estimate_total_count(theta);
+  if (count <= 0.0) return 0.0;
+  return estimate_total_sum(theta) / count;
+}
+
+}  // namespace approxiot::core

@@ -1,0 +1,47 @@
+// Statistics computation over Θ (§III-C): SUM, MEAN and COUNT estimators
+// for individual sub-streams and for the whole input stream.
+//
+//   SUM_i   = Σ_{(W,I)∈Θ_i} (Σ_k I_k) · W            (Eq. 3)
+//   SUM*    = Σ_i SUM_i                              (Eq. 4)
+//   ĉ_{i,b} = Σ_{(W,I)∈Θ_i} |I| · W                  (Eq. 8, exact)
+//   MEAN*   = SUM* / Σ_i ĉ_{i,b}                     (Eq. 13)
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/theta_store.hpp"
+
+namespace approxiot::core {
+
+/// Per-sub-stream summary produced while scanning Θ once; shared by the
+/// SUM/MEAN estimators and the error estimator so Θ is traversed once.
+struct SubStreamEstimate {
+  SubStreamId id{};
+  double sum{0.0};              // SUM_i (Eq. 3)
+  double estimated_count{0.0};  // ĉ_{i,b} (Eq. 8)
+  std::uint64_t sampled{0};     // ζ_i
+  double sample_mean{0.0};      // mean of sampled item values
+  double sample_variance{0.0};  // s²_{i,r} (Eq. 12, n-1 denominator)
+};
+
+/// Scans Θ and produces one SubStreamEstimate per sub-stream.
+[[nodiscard]] std::vector<SubStreamEstimate> summarize(const ThetaStore& theta);
+
+/// SUM_i for one sub-stream.
+[[nodiscard]] double estimate_sum(const ThetaStore& theta, SubStreamId id);
+
+/// SUM* across all sub-streams (Eq. 4).
+[[nodiscard]] double estimate_total_sum(const ThetaStore& theta);
+
+/// ĉ_{i,b} — estimated original item count of one sub-stream.
+[[nodiscard]] double estimate_count(const ThetaStore& theta, SubStreamId id);
+
+/// Σ_i ĉ_{i,b} — estimated original item count of the whole stream.
+[[nodiscard]] double estimate_total_count(const ThetaStore& theta);
+
+/// MEAN* (Eq. 13). Returns 0 when the estimated count is 0.
+[[nodiscard]] double estimate_total_mean(const ThetaStore& theta);
+
+}  // namespace approxiot::core

@@ -1,0 +1,102 @@
+#include "core/node.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "common/logging.hpp"
+
+namespace approxiot::core {
+
+SamplingNode::SamplingNode(NodeConfig config)
+    : config_(std::move(config)),
+      sampler_(Rng(config_.rng_seed), config_.whsamp),
+      cost_function_(make_cost_function(config_.cost_function)) {}
+
+std::vector<SampledBundle> SamplingNode::process_interval(
+    const std::vector<ItemBundle>& psi) {
+  // Line 3: derive the reservoir budget for this interval. The volume
+  // estimate is last interval's arrival count; on the very first interval
+  // (no history) the already-buffered Ψ stands in so the fraction-based
+  // cost function does not start from a degenerate budget.
+  std::uint64_t psi_items = 0;
+  for (const ItemBundle& bundle : psi) psi_items += bundle.items.size();
+  const std::uint64_t observed =
+      last_interval_items_ > 0 ? last_interval_items_ : psi_items;
+  const std::size_t size =
+      cost_function_->sample_size(config_.budget, observed, config_.interval);
+
+  std::vector<SampledBundle> outputs;
+  outputs.reserve(psi.size());
+
+  std::uint64_t items_this_interval = 0;
+  // Lines 5-19: consume Ψ pair by pair. Algorithm 2 passes `size` to
+  // every WHSamp call; with many pairs per interval that would multiply
+  // the effective budget, so the interval budget is shared across pairs
+  // in proportion to their item counts (Σ pair budgets ≈ size).
+  for (const ItemBundle& bundle : psi) {
+    if (bundle.items.empty()) continue;
+    items_this_interval += bundle.items.size();
+
+    std::size_t pair_budget =
+        psi_items > 0
+            ? static_cast<std::size_t>(
+                  (static_cast<double>(size) *
+                       static_cast<double>(bundle.items.size()) +
+                   static_cast<double>(psi_items) / 2.0) /
+                  static_cast<double>(psi_items))
+            : size;
+    // Fairness floor: stratification promises every sub-stream at least
+    // one reservoir slot (§II-B1). A tiny pair (e.g. one rare high-value
+    // item arriving alone) must not round its share down to zero, so the
+    // pair budget is at least the number of sub-streams it carries.
+    if (size > 0) {
+      std::set<SubStreamId> sources;
+      for (const Item& item : bundle.items) sources.insert(item.source);
+      pair_budget = std::max(pair_budget, sources.size());
+    }
+
+    // Fig. 3 rule: resolve the effective input weights. Weights that
+    // travelled with this bundle win; otherwise fall back to the last
+    // weight remembered for the sub-stream (default 1 at sources).
+    WeightMap effective = remembered_weights_;
+    effective.update_from(bundle.w_in);
+
+    SampledBundle out = sampler_.sample(bundle.items, pair_budget, effective);
+
+    // Remember the *input* weights for sub-streams whose weight arrived
+    // with this bundle, so later intervals can resolve weight-less items.
+    remembered_weights_.update_from(bundle.w_in);
+
+    metrics_.items_out += out.item_count();
+    outputs.push_back(std::move(out));
+  }
+
+  metrics_.items_in += items_this_interval;
+  ++metrics_.intervals;
+  last_interval_items_ = items_this_interval;
+
+  AIOT_LOG(kDebug, "core.node")
+      << "node " << config_.id << " interval done: in=" << items_this_interval
+      << " budget=" << size << " pairs=" << outputs.size();
+  return outputs;
+}
+
+RootNode::RootNode(NodeConfig config) : node_(std::move(config)) {}
+
+void RootNode::ingest_interval(const std::vector<ItemBundle>& psi) {
+  for (SampledBundle& bundle : node_.process_interval(psi)) {
+    theta_.add(bundle);
+  }
+}
+
+ApproxResult RootNode::run_query(double confidence) const {
+  return approximate_query(theta_, confidence);
+}
+
+ApproxResult RootNode::close_window(double confidence) {
+  ApproxResult result = run_query(confidence);
+  theta_.clear();
+  return result;
+}
+
+}  // namespace approxiot::core

@@ -1,0 +1,291 @@
+#include "core/pipeline.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/snapshot_node.hpp"
+
+namespace approxiot::core {
+
+const char* engine_kind_name(EngineKind kind) noexcept {
+  switch (kind) {
+    case EngineKind::kApproxIoT:
+      return "ApproxIoT";
+    case EngineKind::kSrs:
+      return "SRS";
+    case EngineKind::kNative:
+      return "Native";
+    case EngineKind::kSnapshot:
+      return "Snapshot";
+  }
+  return "?";
+}
+
+double per_layer_fraction(double end_to_end, std::size_t layers) noexcept {
+  if (layers == 0) return 1.0;
+  if (end_to_end <= 0.0) return 0.0;
+  if (end_to_end >= 1.0) return 1.0;
+  return std::pow(end_to_end, 1.0 / static_cast<double>(layers));
+}
+
+namespace {
+
+/// ApproxIoT stage: wraps SamplingNode.
+class WhsStage final : public PipelineStage {
+ public:
+  explicit WhsStage(NodeConfig config) : node_(std::move(config)) {}
+
+  std::vector<SampledBundle> process_interval(
+      const std::vector<ItemBundle>& psi) override {
+    return node_.process_interval(psi);
+  }
+
+  const NodeMetrics& metrics() const override { return node_.metrics(); }
+
+  void set_fraction(double fraction) override {
+    ResourceBudget b = node_.budget();
+    b.sampling_fraction = fraction;
+    node_.set_budget(b);
+  }
+
+ private:
+  SamplingNode node_;
+};
+
+/// SRS stage: wraps SrsNode.
+class SrsStage final : public PipelineStage {
+ public:
+  explicit SrsStage(SrsNodeConfig config) : node_(config) {}
+
+  std::vector<SampledBundle> process_interval(
+      const std::vector<ItemBundle>& psi) override {
+    return node_.process_interval(psi);
+  }
+
+  const NodeMetrics& metrics() const override { return node_.metrics(); }
+
+  void set_fraction(double fraction) override {
+    node_.set_probability(fraction);
+  }
+
+ private:
+  SrsNode node_;
+};
+
+/// Snapshot stage: wraps SnapshotNode (whole-interval decimation).
+class SnapshotStage final : public PipelineStage {
+ public:
+  explicit SnapshotStage(SnapshotNodeConfig config) : node_(config) {}
+
+  std::vector<SampledBundle> process_interval(
+      const std::vector<ItemBundle>& psi) override {
+    return node_.process_interval(psi);
+  }
+
+  const NodeMetrics& metrics() const override { return node_.metrics(); }
+
+  void set_fraction(double fraction) override { node_.set_fraction(fraction); }
+
+ private:
+  SnapshotNode node_;
+};
+
+/// Native stage: forwards everything untouched (weight stays 1).
+class NativeStage final : public PipelineStage {
+ public:
+  std::vector<SampledBundle> process_interval(
+      const std::vector<ItemBundle>& psi) override {
+    std::vector<SampledBundle> out;
+    out.reserve(psi.size());
+    for (const ItemBundle& bundle : psi) {
+      if (bundle.items.empty()) continue;
+      metrics_.items_in += bundle.items.size();
+      SampledBundle sampled;
+      for (const Item& item : bundle.items) {
+        sampled.sample[item.source].push_back(item);
+      }
+      for (const auto& [id, _] : sampled.sample) {
+        sampled.w_out.set(id, bundle.w_in.get(id));
+      }
+      metrics_.items_out += sampled.item_count();
+      out.push_back(std::move(sampled));
+    }
+    ++metrics_.intervals;
+    return out;
+  }
+
+  const NodeMetrics& metrics() const override { return metrics_; }
+  void set_fraction(double /*fraction*/) override {}
+
+ private:
+  NodeMetrics metrics_;
+};
+
+}  // namespace
+
+std::unique_ptr<PipelineStage> make_pipeline_stage(const StageConfig& config) {
+  switch (config.engine) {
+    case EngineKind::kApproxIoT: {
+      NodeConfig nc;
+      nc.id = config.id;
+      nc.interval = config.interval;
+      nc.budget.sampling_fraction = config.fraction;
+      nc.cost_function = "fraction";
+      nc.whsamp.allocation_policy = config.allocation_policy;
+      nc.whsamp.reservoir_algorithm = config.reservoir_algorithm;
+      nc.rng_seed = config.rng_seed;
+      return std::make_unique<WhsStage>(std::move(nc));
+    }
+    case EngineKind::kSrs: {
+      SrsNodeConfig sc;
+      sc.id = config.id;
+      sc.probability = config.fraction;
+      sc.rng_seed = config.rng_seed;
+      return std::make_unique<SrsStage>(sc);
+    }
+    case EngineKind::kNative:
+      return std::make_unique<NativeStage>();
+    case EngineKind::kSnapshot: {
+      SnapshotNodeConfig sc;
+      sc.id = config.id;
+      sc.period = 1;
+      auto out = std::make_unique<SnapshotStage>(sc);
+      out->set_fraction(config.fraction);
+      return out;
+    }
+  }
+  throw std::logic_error("unreachable engine kind");
+}
+
+std::unique_ptr<PipelineStage> EdgeTree::make_stage(std::size_t layer,
+                                                    std::size_t index,
+                                                    double fraction) {
+  StageConfig sc;
+  sc.engine = config_.engine;
+  sc.id = NodeId{(static_cast<std::uint64_t>(layer) << 32) | index};
+  sc.interval = config_.interval;
+  sc.fraction = fraction;
+  sc.allocation_policy = config_.allocation_policy;
+  sc.reservoir_algorithm = config_.reservoir_algorithm;
+  sc.rng_seed = config_.rng_seed * 0x9e3779b97f4a7c15ULL + sc.id.value() + 1;
+  return make_pipeline_stage(sc);
+}
+
+EdgeTree::EdgeTree(EdgeTreeConfig config) : config_(std::move(config)) {
+  if (config_.layer_widths.empty()) {
+    throw std::invalid_argument("EdgeTree needs at least one edge layer");
+  }
+  for (std::size_t w : config_.layer_widths) {
+    if (w == 0) throw std::invalid_argument("layer width must be > 0");
+  }
+  for (std::size_t i = 1; i < config_.layer_widths.size(); ++i) {
+    if (config_.layer_widths[i] > config_.layer_widths[i - 1]) {
+      throw std::invalid_argument(
+          "layer widths must not grow towards the root");
+    }
+  }
+
+  // Sampling layers = all edge layers + the root. Snapshot sampling is a
+  // sensor-side scheme (related work [38, 39]): it decimates whole
+  // intervals once, at the leaves, and passes through elsewhere —
+  // decimating at every layer would compound the period.
+  const std::size_t sampling_layers = config_.layer_widths.size() + 1;
+  per_layer_fraction_ =
+      per_layer_fraction(config_.sampling_fraction, sampling_layers);
+  const bool snapshot = config_.engine == EngineKind::kSnapshot;
+
+  stages_.resize(config_.layer_widths.size());
+  for (std::size_t layer = 0; layer < config_.layer_widths.size(); ++layer) {
+    const double f = snapshot
+                         ? (layer == 0 ? config_.sampling_fraction : 1.0)
+                         : per_layer_fraction_;
+    for (std::size_t i = 0; i < config_.layer_widths[layer]; ++i) {
+      stages_[layer].push_back(make_stage(layer, i, f));
+    }
+  }
+  root_stage_ =
+      make_stage(stages_.size(), 0, snapshot ? 1.0 : per_layer_fraction_);
+}
+
+std::size_t EdgeTree::leaf_count() const noexcept {
+  return config_.layer_widths.front();
+}
+
+void EdgeTree::tick(const std::vector<std::vector<Item>>& items_per_leaf) {
+  if (items_per_leaf.size() != leaf_count()) {
+    throw std::invalid_argument("tick() expects one item vector per leaf");
+  }
+
+  // Ψ for the current layer, indexed by node.
+  std::vector<std::vector<ItemBundle>> psi(leaf_count());
+  for (std::size_t i = 0; i < items_per_leaf.size(); ++i) {
+    items_ingested_ += items_per_leaf[i].size();
+    if (items_per_leaf[i].empty()) continue;
+    ItemBundle bundle;
+    bundle.items = items_per_leaf[i];
+    psi[i].push_back(std::move(bundle));
+  }
+
+  for (std::size_t layer = 0; layer < stages_.size(); ++layer) {
+    const std::size_t next_width = layer + 1 < stages_.size()
+                                       ? config_.layer_widths[layer + 1]
+                                       : 1;
+    std::vector<std::vector<ItemBundle>> next_psi(next_width);
+    for (std::size_t i = 0; i < stages_[layer].size(); ++i) {
+      auto outputs = stages_[layer][i]->process_interval(psi[i]);
+      // Children map onto parents by index scaling (contiguous blocks),
+      // the shape of the paper's 8-4-2-1 testbed.
+      const std::size_t parent =
+          i * next_width / stages_[layer].size();
+      for (SampledBundle& bundle : outputs) {
+        next_psi[parent].push_back(bundle.to_bundle());
+      }
+    }
+    psi = std::move(next_psi);
+  }
+
+  // Root: sample once more, then accumulate into Θ.
+  for (const auto& bundle : psi[0]) items_at_root_ += bundle.items.size();
+  for (SampledBundle& bundle : root_stage_->process_interval(psi[0])) {
+    theta_.add(bundle);
+  }
+}
+
+ApproxResult EdgeTree::close_window(double confidence) {
+  ApproxResult result = approximate_query(theta_, confidence);
+  theta_.clear();
+  return result;
+}
+
+ApproxResult EdgeTree::run_query(double confidence) const {
+  return approximate_query(theta_, confidence);
+}
+
+void EdgeTree::set_sampling_fraction(double end_to_end) {
+  config_.sampling_fraction = end_to_end;
+  const std::size_t sampling_layers = config_.layer_widths.size() + 1;
+  per_layer_fraction_ = per_layer_fraction(end_to_end, sampling_layers);
+  const bool snapshot = config_.engine == EngineKind::kSnapshot;
+  for (std::size_t layer = 0; layer < stages_.size(); ++layer) {
+    const double f = snapshot ? (layer == 0 ? end_to_end : 1.0)
+                              : per_layer_fraction_;
+    for (auto& stage : stages_[layer]) stage->set_fraction(f);
+  }
+  root_stage_->set_fraction(snapshot ? 1.0 : per_layer_fraction_);
+}
+
+EdgeTree::TreeMetrics EdgeTree::metrics() const {
+  TreeMetrics m;
+  m.items_ingested = items_ingested_;
+  m.items_at_root = items_at_root_;
+  for (const auto& layer : stages_) {
+    std::uint64_t forwarded = 0;
+    for (const auto& stage : layer) forwarded += stage->metrics().items_out;
+    m.items_forwarded_per_layer.push_back(forwarded);
+  }
+  return m;
+}
+
+const ThetaStore& EdgeTree::theta() const { return theta_; }
+
+}  // namespace approxiot::core

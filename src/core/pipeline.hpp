@@ -1,0 +1,136 @@
+// EdgeTree: the in-memory logical-tree pipeline (Fig. 1).
+//
+// Builds the paper's layered topology — leaf edge nodes fed by sources,
+// optional intermediate layers, one root — and drives it interval by
+// interval without any transport: each layer's (W^out, sample) pairs
+// become the next layer's Ψ. This execution path is what the accuracy
+// experiments (Figs. 5, 10, 11a) use; the latency/throughput experiments
+// wrap the same nodes in netsim instead.
+//
+// Three engine kinds mirror the paper's three compared systems:
+//   kApproxIoT — weighted hierarchical sampling at every node;
+//   kSrs       — coin-flip simple random sampling at every node;
+//   kNative    — no sampling anywhere (exact results).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/batch.hpp"
+#include "core/error.hpp"
+#include "core/node.hpp"
+#include "core/srs_node.hpp"
+
+namespace approxiot::core {
+
+// kSnapshot is the related-work comparator (§VII: sensor-side "snapshot
+// sampling" [38, 39]): forward whole intervals every 1/fraction ticks.
+enum class EngineKind { kApproxIoT, kSrs, kNative, kSnapshot };
+
+[[nodiscard]] const char* engine_kind_name(EngineKind kind) noexcept;
+
+/// A uniform interface over the three node behaviours so the tree driver
+/// does not care which system it is running.
+class PipelineStage {
+ public:
+  virtual ~PipelineStage() = default;
+  [[nodiscard]] virtual std::vector<SampledBundle> process_interval(
+      const std::vector<ItemBundle>& psi) = 0;
+  [[nodiscard]] virtual const NodeMetrics& metrics() const = 0;
+  virtual void set_fraction(double fraction) = 0;
+};
+
+struct EdgeTreeConfig {
+  /// Edge-layer widths from leaves towards the root, e.g. {4, 2} gives
+  /// 4 leaf nodes -> 2 mid nodes -> 1 root (the paper's testbed shape).
+  std::vector<std::size_t> layer_widths{4, 2};
+  EngineKind engine{EngineKind::kApproxIoT};
+  /// End-to-end target sampling fraction in (0,1]. Each sampling layer
+  /// (edge layers + root) applies fraction^(1/num_sampling_layers) so the
+  /// product matches the target, mirroring how the paper configures both
+  /// systems to comparable fractions.
+  double sampling_fraction{1.0};
+  SimTime interval{SimTime::from_seconds(1.0)};
+  std::string allocation_policy{"equal"};
+  sampling::ReservoirAlgorithm reservoir_algorithm{
+      sampling::ReservoirAlgorithm::kAlgorithmR};
+  std::uint64_t rng_seed{42};
+};
+
+/// fraction^(1/layers): per-layer fraction giving an end-to-end target.
+[[nodiscard]] double per_layer_fraction(double end_to_end,
+                                        std::size_t layers) noexcept;
+
+/// Parameters for constructing a single stage outside an EdgeTree (the
+/// netsim wraps stages in simulated nodes instead of the in-memory tree).
+struct StageConfig {
+  EngineKind engine{EngineKind::kApproxIoT};
+  NodeId id{};
+  SimTime interval{SimTime::from_seconds(1.0)};
+  /// Per-layer sampling fraction (not end-to-end).
+  double fraction{1.0};
+  std::string allocation_policy{"equal"};
+  sampling::ReservoirAlgorithm reservoir_algorithm{
+      sampling::ReservoirAlgorithm::kAlgorithmR};
+  std::uint64_t rng_seed{42};
+};
+
+[[nodiscard]] std::unique_ptr<PipelineStage> make_pipeline_stage(
+    const StageConfig& config);
+
+class EdgeTree {
+ public:
+  explicit EdgeTree(EdgeTreeConfig config);
+
+  /// Number of leaf nodes; sources should shard sub-streams across them.
+  [[nodiscard]] std::size_t leaf_count() const noexcept;
+
+  /// Pushes one interval of source data through every layer and into the
+  /// root's Θ. `items_per_leaf` must have exactly leaf_count() entries.
+  void tick(const std::vector<std::vector<Item>>& items_per_leaf);
+
+  /// Runs the query over the window accumulated so far and clears Θ.
+  ApproxResult close_window(double confidence = stats::kConfidence95);
+
+  /// Query without clearing (inspection mid-window).
+  [[nodiscard]] ApproxResult run_query(
+      double confidence = stats::kConfidence95) const;
+
+  /// Re-tunes every stage's sampling fraction (adaptive feedback).
+  void set_sampling_fraction(double end_to_end);
+  [[nodiscard]] double sampling_fraction() const noexcept {
+    return config_.sampling_fraction;
+  }
+
+  /// Aggregate metrics: items entering the leaves, items reaching the
+  /// root, and per-layer forwarded counts (for the bandwidth bench).
+  struct TreeMetrics {
+    std::uint64_t items_ingested{0};
+    std::uint64_t items_at_root{0};
+    std::vector<std::uint64_t> items_forwarded_per_layer;
+  };
+  [[nodiscard]] TreeMetrics metrics() const;
+
+  [[nodiscard]] const ThetaStore& theta() const;
+  [[nodiscard]] EngineKind engine() const noexcept { return config_.engine; }
+
+ private:
+  std::unique_ptr<PipelineStage> make_stage(std::size_t layer,
+                                            std::size_t index,
+                                            double fraction);
+
+  EdgeTreeConfig config_;
+  double per_layer_fraction_{1.0};
+  // stages_[layer][index]; layer 0 = leaves.
+  std::vector<std::vector<std::unique_ptr<PipelineStage>>> stages_;
+  std::unique_ptr<PipelineStage> root_stage_;
+  ThetaStore theta_;
+  std::uint64_t items_ingested_{0};
+  std::uint64_t items_at_root_{0};
+};
+
+}  // namespace approxiot::core

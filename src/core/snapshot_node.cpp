@@ -1,0 +1,58 @@
+#include "core/snapshot_node.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace approxiot::core {
+
+SnapshotNode::SnapshotNode(SnapshotNodeConfig config) : config_(config) {
+  if (config.period == 0) {
+    throw std::invalid_argument("snapshot period must be >= 1");
+  }
+  if (config.phase >= config.period) {
+    throw std::invalid_argument("snapshot phase must be < period");
+  }
+}
+
+void SnapshotNode::set_fraction(double fraction) {
+  if (fraction <= 0.0) {
+    config_.period = 1000000;  // effectively drop everything
+  } else if (fraction >= 1.0) {
+    config_.period = 1;
+  } else {
+    config_.period =
+        static_cast<std::uint32_t>(std::lround(1.0 / fraction));
+    if (config_.period == 0) config_.period = 1;
+  }
+  if (config_.phase >= config_.period) config_.phase = 0;
+}
+
+std::vector<SampledBundle> SnapshotNode::process_interval(
+    const std::vector<ItemBundle>& psi) {
+  const bool keep =
+      (interval_index_ % config_.period) == config_.phase;
+  ++interval_index_;
+  ++metrics_.intervals;
+
+  std::vector<SampledBundle> outputs;
+  for (const ItemBundle& bundle : psi) {
+    if (bundle.items.empty()) continue;
+    metrics_.items_in += bundle.items.size();
+    if (!keep) continue;
+
+    SampledBundle out;
+    for (const Item& item : bundle.items) {
+      out.sample[item.source].push_back(item);
+    }
+    // Each kept snapshot stands for `period` intervals.
+    const double scale = static_cast<double>(config_.period);
+    for (const auto& [id, items] : out.sample) {
+      out.w_out.set(id, bundle.w_in.get(id) * scale);
+      metrics_.items_out += items.size();
+    }
+    outputs.push_back(std::move(out));
+  }
+  return outputs;
+}
+
+}  // namespace approxiot::core

@@ -1,0 +1,59 @@
+// Snapshot-sampling baseline.
+//
+// The paper's related work (§VII) contrasts ApproxIoT with sensor-side
+// "snapshot sampling" schemes [38, 39] that "take the input data stream
+// every certain time interval": the node forwards *all* items of every
+// k-th interval and drops the intervals in between. The kept snapshots
+// are weighted by k (each snapshot stands for k intervals), which makes
+// SUM estimates unbiased when the stream is stationary — but strongly
+// biased the moment arrival rates or values drift between snapshots,
+// which is exactly the weakness item-level sampling avoids. Implemented
+// as a third engine so the ablation bench can quantify that gap.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/batch.hpp"
+#include "core/node.hpp"
+
+namespace approxiot::core {
+
+struct SnapshotNodeConfig {
+  NodeId id{};
+  /// Keep one interval out of `period` (period == 1 keeps everything).
+  /// Matches a sampling fraction of 1/period.
+  std::uint32_t period{10};
+  /// Which interval within the period is kept (0 <= phase < period).
+  std::uint32_t phase{0};
+};
+
+class SnapshotNode {
+ public:
+  explicit SnapshotNode(SnapshotNodeConfig config);
+
+  /// Keeps the whole interval when (interval_index % period) == phase,
+  /// scaling weights by `period`; drops everything otherwise.
+  [[nodiscard]] std::vector<SampledBundle> process_interval(
+      const std::vector<ItemBundle>& psi);
+
+  /// Sets the period so the long-run kept fraction approximates
+  /// `fraction` (period = round(1/fraction), at least 1).
+  void set_fraction(double fraction);
+
+  [[nodiscard]] std::uint32_t period() const noexcept {
+    return config_.period;
+  }
+  [[nodiscard]] NodeId id() const noexcept { return config_.id; }
+  [[nodiscard]] const NodeMetrics& metrics() const noexcept {
+    return metrics_;
+  }
+
+ private:
+  SnapshotNodeConfig config_;
+  std::uint64_t interval_index_{0};
+  NodeMetrics metrics_;
+};
+
+}  // namespace approxiot::core

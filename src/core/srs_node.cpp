@@ -1,0 +1,62 @@
+#include "core/srs_node.hpp"
+
+namespace approxiot::core {
+
+SrsNode::SrsNode(SrsNodeConfig config)
+    : config_(config),
+      sampler_(config.probability, Rng(config.rng_seed)) {}
+
+void SrsNode::set_probability(double p) { sampler_.set_probability(p); }
+
+double SrsNode::probability() const noexcept {
+  return sampler_.probability();
+}
+
+std::vector<SampledBundle> SrsNode::process_interval(
+    const std::vector<ItemBundle>& psi) {
+  std::vector<SampledBundle> outputs;
+  outputs.reserve(psi.size());
+
+  for (const ItemBundle& bundle : psi) {
+    if (bundle.items.empty()) continue;
+    metrics_.items_in += bundle.items.size();
+
+    WeightMap effective = remembered_weights_;
+    effective.update_from(bundle.w_in);
+    remembered_weights_.update_from(bundle.w_in);
+
+    const double ht = sampler_.weight();  // 1/p
+    SampledBundle out;
+    for (const Item& item : bundle.items) {
+      if (!sampler_.keep()) continue;
+      out.sample[item.source].push_back(item);
+    }
+    for (const auto& [id, items] : out.sample) {
+      out.w_out.set(id, effective.get(id) * ht);
+      metrics_.items_out += items.size();
+    }
+    if (!out.sample.empty()) outputs.push_back(std::move(out));
+  }
+  ++metrics_.intervals;
+  return outputs;
+}
+
+SrsRootNode::SrsRootNode(SrsNodeConfig config) : node_(config) {}
+
+void SrsRootNode::ingest_interval(const std::vector<ItemBundle>& psi) {
+  for (SampledBundle& bundle : node_.process_interval(psi)) {
+    theta_.add(bundle);
+  }
+}
+
+ApproxResult SrsRootNode::run_query(double confidence) const {
+  return approximate_query(theta_, confidence);
+}
+
+ApproxResult SrsRootNode::close_window(double confidence) {
+  ApproxResult result = run_query(confidence);
+  theta_.clear();
+  return result;
+}
+
+}  // namespace approxiot::core

@@ -1,0 +1,73 @@
+// SRS baseline node (§IV-B module II): keeps each arriving item with an
+// independent coin flip at probability p (the node's sampling fraction),
+// ignoring sub-stream boundaries. The Horvitz–Thompson weight of a kept
+// item is 1/p; across layers, weights multiply exactly like ApproxIoT's,
+// so the same ThetaStore/estimator machinery evaluates both systems.
+//
+// Note the crucial difference the paper measures: SRS applies ONE
+// probability to the whole stream, so a rare-but-valuable sub-stream can
+// end up with no surviving items at all (Fig. 10c), while ApproxIoT's
+// stratification guarantees each sub-stream a reservoir share.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "core/batch.hpp"
+#include "core/node.hpp"
+#include "sampling/bernoulli.hpp"
+
+namespace approxiot::core {
+
+struct SrsNodeConfig {
+  NodeId id{};
+  double probability{1.0};
+  std::uint64_t rng_seed{0xc01fc01fULL};
+};
+
+class SrsNode {
+ public:
+  explicit SrsNode(SrsNodeConfig config);
+
+  /// Filters one interval's pairs. Item weights in the output are the
+  /// input weights scaled by 1/p (Horvitz–Thompson).
+  [[nodiscard]] std::vector<SampledBundle> process_interval(
+      const std::vector<ItemBundle>& psi);
+
+  void set_probability(double p);
+  [[nodiscard]] double probability() const noexcept;
+
+  [[nodiscard]] NodeId id() const noexcept { return config_.id; }
+  [[nodiscard]] const NodeMetrics& metrics() const noexcept { return metrics_; }
+  void reset_metrics() noexcept { metrics_ = NodeMetrics{}; }
+
+ private:
+  SrsNodeConfig config_;
+  sampling::BernoulliSampler sampler_;
+  WeightMap remembered_weights_;
+  NodeMetrics metrics_;
+};
+
+/// SRS root: filter + accumulate Θ + query, mirroring RootNode.
+class SrsRootNode {
+ public:
+  explicit SrsRootNode(SrsNodeConfig config);
+
+  void ingest_interval(const std::vector<ItemBundle>& psi);
+  [[nodiscard]] ApproxResult run_query(
+      double confidence = stats::kConfidence95) const;
+  ApproxResult close_window(double confidence = stats::kConfidence95);
+
+  [[nodiscard]] const ThetaStore& theta() const noexcept { return theta_; }
+  [[nodiscard]] const NodeMetrics& metrics() const noexcept {
+    return node_.metrics();
+  }
+
+ private:
+  SrsNode node_;
+  ThetaStore theta_;
+};
+
+}  // namespace approxiot::core

@@ -1,0 +1,54 @@
+#include "core/theta_store.hpp"
+
+namespace approxiot::core {
+
+const std::vector<WeightedSample> ThetaStore::kEmpty{};
+
+void ThetaStore::add(const SampledBundle& bundle) {
+  for (const auto& [id, items] : bundle.sample) {
+    if (items.empty()) continue;
+    WeightedSample pair;
+    pair.weight = bundle.w_out.get(id);
+    pair.items = items;
+    pairs_[id].push_back(std::move(pair));
+  }
+}
+
+void ThetaStore::add_pair(SubStreamId id, WeightedSample pair) {
+  if (pair.items.empty()) return;
+  pairs_[id].push_back(std::move(pair));
+}
+
+std::vector<SubStreamId> ThetaStore::sub_streams() const {
+  std::vector<SubStreamId> out;
+  out.reserve(pairs_.size());
+  for (const auto& [id, _] : pairs_) out.push_back(id);
+  return out;
+}
+
+const std::vector<WeightedSample>& ThetaStore::pairs(SubStreamId id) const {
+  auto it = pairs_.find(id);
+  return it == pairs_.end() ? kEmpty : it->second;
+}
+
+std::uint64_t ThetaStore::sampled_count(SubStreamId id) const {
+  std::uint64_t n = 0;
+  for (const auto& pair : pairs(id)) n += pair.items.size();
+  return n;
+}
+
+double ThetaStore::estimated_original_count(SubStreamId id) const {
+  double c = 0.0;
+  for (const auto& pair : pairs(id)) {
+    c += static_cast<double>(pair.items.size()) * pair.weight;
+  }
+  return c;
+}
+
+std::uint64_t ThetaStore::total_sampled() const {
+  std::uint64_t n = 0;
+  for (const auto& [id, _] : pairs_) n += sampled_count(id);
+  return n;
+}
+
+}  // namespace approxiot::core

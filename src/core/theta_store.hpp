@@ -1,0 +1,56 @@
+// ThetaStore: the root node's Θ (Algorithm 2 line 16) — the collection of
+// (W^out, sample) pairs accumulated within one computation window, grouped
+// by sub-stream so the estimators can evaluate Eq. 3 directly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/batch.hpp"
+
+namespace approxiot::core {
+
+/// One (weight, items) pair for a single sub-stream, as seen at the root.
+struct WeightedSample {
+  double weight{1.0};
+  std::vector<Item> items;
+};
+
+class ThetaStore {
+ public:
+  /// Splits a SampledBundle into per-sub-stream (weight, items) pairs and
+  /// appends them. Pairs with no items are dropped: they contribute
+  /// nothing to any estimator.
+  void add(const SampledBundle& bundle);
+
+  /// Appends a single pair directly (used by tests and the SRS path).
+  void add_pair(SubStreamId id, WeightedSample pair);
+
+  void clear() noexcept { pairs_.clear(); }
+
+  [[nodiscard]] bool empty() const noexcept { return pairs_.empty(); }
+
+  /// All sub-streams with at least one pair.
+  [[nodiscard]] std::vector<SubStreamId> sub_streams() const;
+
+  /// Pairs for one sub-stream (empty vector if unseen).
+  [[nodiscard]] const std::vector<WeightedSample>& pairs(SubStreamId id) const;
+
+  /// ζ_i: total number of sampled items of sub-stream i at the root.
+  [[nodiscard]] std::uint64_t sampled_count(SubStreamId id) const;
+
+  /// ĉ_{i,b}: the estimate of the sub-stream's original item count,
+  /// Σ |I| · W^out — exact by the Eq. 8 invariant.
+  [[nodiscard]] double estimated_original_count(SubStreamId id) const;
+
+  /// Total sampled items across all sub-streams.
+  [[nodiscard]] std::uint64_t total_sampled() const;
+
+ private:
+  std::map<SubStreamId, std::vector<WeightedSample>> pairs_;
+  static const std::vector<WeightedSample> kEmpty;
+};
+
+}  // namespace approxiot::core

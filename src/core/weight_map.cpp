@@ -1,0 +1,16 @@
+#include "core/weight_map.hpp"
+
+namespace approxiot::core {
+
+std::ostream& operator<<(std::ostream& os, const WeightMap& m) {
+  os << "{";
+  bool first = true;
+  for (const auto& [id, w] : m.weights_) {
+    if (!first) os << ", ";
+    os << "S" << id << ": " << w;
+    first = false;
+  }
+  return os << "}";
+}
+
+}  // namespace approxiot::core

@@ -1,0 +1,61 @@
+// WeightMap: the per-sub-stream weight metadata that travels with sampled
+// items between nodes (§III-A).
+//
+// A weight W_i answers "how many original items does one sampled item of
+// sub-stream S_i stand for". Sources implicitly start at weight 1; each
+// node that overflows its reservoir multiplies the weight by c_i / N_i
+// (Eq. 2). The map also implements the paper's interval-splitting rule
+// (Fig. 3): when items arrive in an interval with no accompanying weight,
+// the *last known* weight for that sub-stream applies, so the map
+// remembers weights across intervals.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <ostream>
+
+#include "common/types.hpp"
+
+namespace approxiot::core {
+
+class WeightMap {
+ public:
+  WeightMap() = default;
+
+  /// Weight for `id`; sub-streams never seen default to 1 (the weight of
+  /// raw source data, §III-C case i).
+  [[nodiscard]] double get(SubStreamId id) const noexcept {
+    auto it = weights_.find(id);
+    return it == weights_.end() ? 1.0 : it->second;
+  }
+
+  [[nodiscard]] bool contains(SubStreamId id) const noexcept {
+    return weights_.count(id) > 0;
+  }
+
+  void set(SubStreamId id, double weight) { weights_[id] = weight; }
+
+  /// Overwrites entries present in `other`, keeps the rest — the
+  /// "remember the up-to-date weight" rule of Fig. 3.
+  void update_from(const WeightMap& other) {
+    for (const auto& [id, w] : other.weights_) weights_[id] = w;
+  }
+
+  void clear() noexcept { weights_.clear(); }
+  [[nodiscard]] std::size_t size() const noexcept { return weights_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return weights_.empty(); }
+
+  [[nodiscard]] auto begin() const noexcept { return weights_.begin(); }
+  [[nodiscard]] auto end() const noexcept { return weights_.end(); }
+
+  friend bool operator==(const WeightMap& a, const WeightMap& b) noexcept {
+    return a.weights_ == b.weights_;
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, const WeightMap& m);
+
+ private:
+  std::map<SubStreamId, double> weights_;
+};
+
+}  // namespace approxiot::core

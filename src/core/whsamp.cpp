@@ -1,0 +1,65 @@
+#include "core/whsamp.hpp"
+
+#include <utility>
+
+namespace approxiot::core {
+
+std::map<SubStreamId, std::vector<Item>> stratify(
+    const std::vector<Item>& items) {
+  std::map<SubStreamId, std::vector<Item>> strata;
+  for (const Item& item : items) {
+    strata[item.source].push_back(item);
+  }
+  return strata;
+}
+
+WHSampler::WHSampler(Rng rng, WHSampConfig config)
+    : rng_(rng), config_(std::move(config)),
+      policy_(sampling::make_allocation_policy(config_.allocation_policy)) {}
+
+SampledBundle WHSampler::sample(const std::vector<Item>& items,
+                                std::size_t sample_size,
+                                const WeightMap& w_in) {
+  SampledBundle out;
+  if (items.empty()) return out;
+
+  // Line 5: stratify into sub-streams.
+  auto strata = stratify(items);
+
+  // Line 7: decide each sub-stream's reservoir size N_i.
+  std::vector<sampling::SubStreamInfo> infos;
+  infos.reserve(strata.size());
+  for (const auto& [id, stratum] : strata) {
+    infos.push_back(sampling::SubStreamInfo{id, stratum.size(), 0.0});
+  }
+  const sampling::SizeMap sizes = policy_->allocate(sample_size, infos);
+
+  // Lines 8-19: reservoir-sample each sub-stream and update its weight.
+  for (auto& [id, stratum] : strata) {
+    const std::uint64_t c_i = stratum.size();
+    auto size_it = sizes.find(id);
+    const std::size_t n_i = size_it == sizes.end() ? 0 : size_it->second;
+
+    sampling::ReservoirSampler<Item> reservoir(n_i, rng_.split(),
+                                               config_.reservoir_algorithm);
+    rng_.jump();  // keep per-stratum streams independent
+    for (Item& item : stratum) reservoir.offer(std::move(item));
+
+    const double w_in_i = w_in.get(id);
+    if (c_i > n_i) {
+      // Overflow: each kept item stands for c_i / N_i originals (Eq. 1-2).
+      // A zero reservoir keeps nothing, so its weight never reaches Θ; we
+      // still record it (weight unchanged) for observability.
+      const double w_i = n_i > 0 ? static_cast<double>(c_i) /
+                                       static_cast<double>(n_i)
+                                 : 1.0;
+      out.w_out.set(id, w_in_i * w_i);
+    } else {
+      out.w_out.set(id, w_in_i);
+    }
+    out.sample.emplace(id, reservoir.drain());
+  }
+  return out;
+}
+
+}  // namespace approxiot::core

@@ -1,0 +1,59 @@
+// Weighted hierarchical sampling — Algorithm 1 of the paper.
+//
+// WHSamp(items, sampleSize, W^in):
+//   1. stratify `items` into sub-streams by source;
+//   2. split `sampleSize` across the sub-streams (allocation policy —
+//      the paper's getSampleSize);
+//   3. reservoir-sample each sub-stream S_i to at most N_i items;
+//   4. update weights:  w_i = c_i / N_i         if c_i > N_i   (Eq. 1)
+//                       W^out_i = W^in_i * w_i   if c_i > N_i   (Eq. 2)
+//                       W^out_i = W^in_i         otherwise.
+//
+// The class is stateless between calls except for its RNG; the node layer
+// owns the cross-interval weight memory (Fig. 3 rule).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "core/batch.hpp"
+#include "sampling/allocation.hpp"
+#include "sampling/reservoir.hpp"
+
+namespace approxiot::core {
+
+struct WHSampConfig {
+  sampling::ReservoirAlgorithm reservoir_algorithm{
+      sampling::ReservoirAlgorithm::kAlgorithmR};
+  /// Allocation policy name (see sampling::make_allocation_policy).
+  std::string allocation_policy{"equal"};
+};
+
+class WHSampler {
+ public:
+  explicit WHSampler(Rng rng = Rng{}, WHSampConfig config = {});
+
+  /// One invocation of Algorithm 1 on a (W^in, items) pair. `sample_size`
+  /// is the node's per-call reservoir budget N. Returns (W^out, sample);
+  /// W^out carries entries only for sub-streams present in `items`.
+  [[nodiscard]] SampledBundle sample(const std::vector<Item>& items,
+                                     std::size_t sample_size,
+                                     const WeightMap& w_in);
+
+  [[nodiscard]] const WHSampConfig& config() const noexcept { return config_; }
+
+ private:
+  Rng rng_;
+  WHSampConfig config_;
+  std::unique_ptr<sampling::AllocationPolicy> policy_;
+};
+
+/// Stratifies a flat item vector by source id (Algorithm 1 line 5).
+[[nodiscard]] std::map<SubStreamId, std::vector<Item>> stratify(
+    const std::vector<Item>& items);
+
+}  // namespace approxiot::core

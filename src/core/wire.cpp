@@ -1,0 +1,86 @@
+#include "core/wire.hpp"
+
+#include "flowqueue/serde.hpp"
+
+namespace approxiot::core {
+
+namespace {
+constexpr std::uint8_t kMagic = 0xA7;
+constexpr std::uint8_t kVersion = 0x01;
+}  // namespace
+
+std::vector<std::uint8_t> encode_bundle(const ItemBundle& bundle) {
+  flowqueue::Encoder enc;
+  enc.put_varint(kMagic);
+  enc.put_varint(kVersion);
+
+  enc.put_varint(bundle.w_in.size());
+  for (const auto& [id, weight] : bundle.w_in) {
+    enc.put_varint(id.value());
+    enc.put_double(weight);
+  }
+
+  enc.put_varint(bundle.items.size());
+  for (const Item& item : bundle.items) {
+    enc.put_varint(item.source.value());
+    enc.put_double(item.value);
+    enc.put_fixed64(static_cast<std::uint64_t>(item.created_at_us));
+  }
+  return enc.take();
+}
+
+std::vector<std::uint8_t> encode_bundle(const SampledBundle& bundle) {
+  return encode_bundle(bundle.to_bundle());
+}
+
+Result<ItemBundle> decode_bundle(const std::vector<std::uint8_t>& payload) {
+  flowqueue::Decoder dec(payload);
+
+  auto magic = dec.get_varint();
+  if (!magic) return magic.status();
+  if (magic.value() != kMagic) {
+    return Status::invalid_argument("bad magic byte in bundle payload");
+  }
+  auto version = dec.get_varint();
+  if (!version) return version.status();
+  if (version.value() != kVersion) {
+    return Status::invalid_argument("unsupported bundle version " +
+                                    std::to_string(version.value()));
+  }
+
+  ItemBundle bundle;
+
+  auto n_weights = dec.get_varint();
+  if (!n_weights) return n_weights.status();
+  for (std::uint64_t i = 0; i < n_weights.value(); ++i) {
+    auto id = dec.get_varint();
+    if (!id) return id.status();
+    auto weight = dec.get_double();
+    if (!weight) return weight.status();
+    bundle.w_in.set(SubStreamId{id.value()}, weight.value());
+  }
+
+  auto n_items = dec.get_varint();
+  if (!n_items) return n_items.status();
+  bundle.items.reserve(static_cast<std::size_t>(n_items.value()));
+  for (std::uint64_t i = 0; i < n_items.value(); ++i) {
+    auto id = dec.get_varint();
+    if (!id) return id.status();
+    auto value = dec.get_double();
+    if (!value) return value.status();
+    auto ts = dec.get_fixed64();
+    if (!ts) return ts.status();
+    Item item;
+    item.source = SubStreamId{id.value()};
+    item.value = value.value();
+    item.created_at_us = static_cast<std::int64_t>(ts.value());
+    bundle.items.push_back(item);
+  }
+
+  if (!dec.exhausted()) {
+    return Status::invalid_argument("trailing bytes after bundle payload");
+  }
+  return bundle;
+}
+
+}  // namespace approxiot::core

@@ -1,0 +1,34 @@
+// Wire format: (weight map, items) bundles <-> flowqueue record payloads.
+//
+// Layout (all varint/fixed little-endian via flowqueue::serde):
+//   magic byte 0xA7, version byte 0x01
+//   varint  n_weights; n_weights × { varint sub_stream_id, double weight }
+//   varint  n_items;   n_items   × { varint sub_stream_id, double value,
+//                                    fixed64 created_at_us }
+//
+// The metadata really does travel with the data — the paper forwards
+// "sampled sub-streams associated with a small amount of metadata"
+// (§III-B) — so bandwidth accounting in the benches charges for it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.hpp"
+#include "core/batch.hpp"
+
+namespace approxiot::core {
+
+/// Serialises a bundle into a payload for flowqueue.
+[[nodiscard]] std::vector<std::uint8_t> encode_bundle(const ItemBundle& bundle);
+
+/// Convenience: serialize a sampled bundle (flattens to ItemBundle form).
+[[nodiscard]] std::vector<std::uint8_t> encode_bundle(
+    const SampledBundle& bundle);
+
+/// Parses a payload back into a bundle; rejects bad magic/version and
+/// truncated input.
+[[nodiscard]] Result<ItemBundle> decode_bundle(
+    const std::vector<std::uint8_t>& payload);
+
+}  // namespace approxiot::core

@@ -1,0 +1,150 @@
+#include "flowqueue/broker.hpp"
+
+#include <algorithm>
+
+namespace approxiot::flowqueue {
+
+Status Broker::create_topic(const std::string& name,
+                            std::uint32_t partitions) {
+  if (name.empty()) return Status::invalid_argument("empty topic name");
+  if (partitions == 0) {
+    return Status::invalid_argument("topic '" + name +
+                                    "' needs at least one partition");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (topics_.count(name) > 0) {
+    return Status::already_exists("topic '" + name + "'");
+  }
+  topics_.emplace(name, std::make_unique<Topic>(name, partitions));
+  return Status::ok();
+}
+
+Status Broker::ensure_topic(const std::string& name,
+                            std::uint32_t partitions) {
+  Status s = create_topic(name, partitions);
+  if (s.code() == StatusCode::kAlreadyExists) return Status::ok();
+  return s;
+}
+
+bool Broker::has_topic(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return topics_.count(name) > 0;
+}
+
+Result<Topic*> Broker::topic(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = topics_.find(name);
+  if (it == topics_.end()) return Status::not_found("topic '" + name + "'");
+  return it->second.get();
+}
+
+std::vector<std::string> Broker::topic_names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(topics_.size());
+  for (const auto& [name, _] : topics_) names.push_back(name);
+  return names;
+}
+
+void Broker::rebalance_locked(GroupState& group) {
+  group.assignments.clear();
+  ++group.generation;
+  if (group.members.empty()) return;
+
+  // Collect every partition of every subscribed topic, in deterministic
+  // order, then deal them round-robin to members (sorted by name).
+  std::vector<TopicPartition> all;
+  for (const auto& topic_name : group.topics) {
+    auto it = topics_.find(topic_name);
+    if (it == topics_.end()) continue;
+    for (std::uint32_t p = 0; p < it->second->partition_count(); ++p) {
+      all.push_back(TopicPartition{topic_name, p});
+    }
+  }
+  std::vector<std::string> members(group.members.begin(), group.members.end());
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    group.assignments[members[i % members.size()]].push_back(all[i]);
+  }
+  // Members with no partitions still get an (empty) entry so assignment()
+  // succeeds for them.
+  for (const auto& m : members) group.assignments.try_emplace(m);
+}
+
+Result<std::vector<TopicPartition>> Broker::join_group(
+    const std::string& group, const std::string& member,
+    const std::vector<std::string>& topics) {
+  if (group.empty() || member.empty()) {
+    return Status::invalid_argument("group and member names must be non-empty");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& t : topics) {
+    if (topics_.count(t) == 0) {
+      return Status::not_found("topic '" + t + "'");
+    }
+  }
+  GroupState& state = groups_[group];
+  state.members.insert(member);
+  // The group's subscription is the union of member subscriptions.
+  for (const auto& t : topics) {
+    if (std::find(state.topics.begin(), state.topics.end(), t) ==
+        state.topics.end()) {
+      state.topics.push_back(t);
+    }
+  }
+  rebalance_locked(state);
+  return state.assignments.at(member);
+}
+
+Status Broker::leave_group(const std::string& group,
+                           const std::string& member) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = groups_.find(group);
+  if (it == groups_.end()) return Status::not_found("group '" + group + "'");
+  if (it->second.members.erase(member) == 0) {
+    return Status::not_found("member '" + member + "' in group '" + group +
+                             "'");
+  }
+  rebalance_locked(it->second);
+  return Status::ok();
+}
+
+Result<std::vector<TopicPartition>> Broker::assignment(
+    const std::string& group, const std::string& member) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = groups_.find(group);
+  if (it == groups_.end()) return Status::not_found("group '" + group + "'");
+  auto mit = it->second.assignments.find(member);
+  if (mit == it->second.assignments.end()) {
+    return Status::not_found("member '" + member + "' in group '" + group +
+                             "'");
+  }
+  return mit->second;
+}
+
+std::uint64_t Broker::group_generation(const std::string& group) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = groups_.find(group);
+  return it == groups_.end() ? 0 : it->second.generation;
+}
+
+Status Broker::commit_offset(const std::string& group,
+                             const TopicPartition& tp, Offset offset) {
+  if (offset < 0) return Status::invalid_argument("negative offset");
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = groups_.find(group);
+  if (it == groups_.end()) return Status::not_found("group '" + group + "'");
+  Offset& stored = it->second.committed[tp];
+  stored = std::max(stored, offset);
+  return Status::ok();
+}
+
+Offset Broker::committed_offset(const std::string& group,
+                                const TopicPartition& tp) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = groups_.find(group);
+  if (it == groups_.end()) return 0;
+  auto oit = it->second.committed.find(tp);
+  return oit == it->second.committed.end() ? 0 : oit->second;
+}
+
+}  // namespace approxiot::flowqueue

@@ -1,0 +1,80 @@
+// The in-process "cluster": owns topics and coordinates consumer groups.
+//
+// Consumer-group semantics follow Kafka's model: each partition of a
+// subscribed topic is owned by exactly one group member at a time; joins
+// and leaves trigger a rebalance (round-robin reassignment); committed
+// offsets are stored per (group, topic, partition).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "flowqueue/record.hpp"
+#include "flowqueue/topic.hpp"
+
+namespace approxiot::flowqueue {
+
+class Broker {
+ public:
+  Broker() = default;
+
+  Broker(const Broker&) = delete;
+  Broker& operator=(const Broker&) = delete;
+
+  /// Creates a topic. Fails with kAlreadyExists if the name is taken.
+  Status create_topic(const std::string& name, std::uint32_t partitions);
+
+  /// Creates the topic if absent; returns OK either way.
+  Status ensure_topic(const std::string& name, std::uint32_t partitions);
+
+  [[nodiscard]] bool has_topic(const std::string& name) const;
+  [[nodiscard]] Result<Topic*> topic(const std::string& name);
+  [[nodiscard]] std::vector<std::string> topic_names() const;
+
+  // --- consumer-group coordination -------------------------------------
+
+  /// Registers `member` into `group` subscribed to `topics`; triggers a
+  /// rebalance and returns the member's new partition assignment.
+  Result<std::vector<TopicPartition>> join_group(
+      const std::string& group, const std::string& member,
+      const std::vector<std::string>& topics);
+
+  /// Removes a member and rebalances the remaining ones.
+  Status leave_group(const std::string& group, const std::string& member);
+
+  /// Current assignment for a member (after any rebalance).
+  [[nodiscard]] Result<std::vector<TopicPartition>> assignment(
+      const std::string& group, const std::string& member) const;
+
+  /// Generation counter: bumped on every rebalance so members can detect
+  /// that their cached assignment is stale.
+  [[nodiscard]] std::uint64_t group_generation(const std::string& group) const;
+
+  Status commit_offset(const std::string& group, const TopicPartition& tp,
+                       Offset offset);
+  [[nodiscard]] Offset committed_offset(const std::string& group,
+                                        const TopicPartition& tp) const;
+
+ private:
+  struct GroupState {
+    std::set<std::string> members;
+    std::vector<std::string> topics;
+    std::map<std::string, std::vector<TopicPartition>> assignments;
+    std::map<TopicPartition, Offset> committed;
+    std::uint64_t generation{0};
+  };
+
+  void rebalance_locked(GroupState& group);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Topic>> topics_;
+  std::map<std::string, GroupState> groups_;
+};
+
+}  // namespace approxiot::flowqueue

@@ -1,0 +1,146 @@
+#include "flowqueue/consumer.hpp"
+
+#include <algorithm>
+
+namespace approxiot::flowqueue {
+
+Consumer::Consumer(Broker& broker, std::string client_id)
+    : broker_(&broker), client_id_(std::move(client_id)) {}
+
+Consumer::~Consumer() {
+  if (in_group_) {
+    (void)broker_->leave_group(group_, client_id_);
+  }
+}
+
+Status Consumer::subscribe(const std::string& group,
+                           const std::vector<std::string>& topics) {
+  if (in_group_ && group != group_) {
+    return Status::failed_precondition("consumer '" + client_id_ +
+                                       "' already in group '" + group_ + "'");
+  }
+  for (const auto& t : topics) {
+    if (std::find(subscribed_topics_.begin(), subscribed_topics_.end(), t) ==
+        subscribed_topics_.end()) {
+      subscribed_topics_.push_back(t);
+    }
+  }
+  auto assigned = broker_->join_group(group, client_id_, subscribed_topics_);
+  if (!assigned) return assigned.status();
+  group_ = group;
+  in_group_ = true;
+  seen_generation_ = broker_->group_generation(group_);
+  assignment_ = assigned.value();
+  for (const auto& tp : assignment_) positions_.try_emplace(tp, 0);
+  next_partition_index_ = 0;
+  return Status::ok();
+}
+
+Status Consumer::assign(std::vector<TopicPartition> partitions) {
+  if (in_group_) {
+    return Status::failed_precondition(
+        "assign() is incompatible with group subscription");
+  }
+  for (const auto& tp : partitions) {
+    auto topic = broker_->topic(tp.topic);
+    if (!topic) return topic.status();
+    if (tp.partition >= topic.value()->partition_count()) {
+      return Status::out_of_range("partition " + std::to_string(tp.partition) +
+                                  " of topic '" + tp.topic + "'");
+    }
+  }
+  assignment_ = std::move(partitions);
+  positions_.clear();
+  for (const auto& tp : assignment_) positions_.try_emplace(tp, 0);
+  next_partition_index_ = 0;
+  return Status::ok();
+}
+
+void Consumer::refresh_assignment_if_stale() {
+  if (!in_group_) return;
+  const std::uint64_t gen = broker_->group_generation(group_);
+  if (gen == seen_generation_) return;
+  auto assigned = broker_->assignment(group_, client_id_);
+  if (!assigned) return;  // kicked out; keep the stale view until re-join
+  seen_generation_ = gen;
+  assignment_ = assigned.value();
+  for (const auto& tp : assignment_) positions_.try_emplace(tp, 0);
+  next_partition_index_ = 0;
+}
+
+Result<std::vector<Record>> Consumer::poll(std::size_t max_records) {
+  refresh_assignment_if_stale();
+  std::vector<Record> batch;
+  if (assignment_.empty() || max_records == 0) return batch;
+
+  // Round-robin across partitions, remembering where we stopped so a hot
+  // partition cannot starve the others across poll() calls.
+  const std::size_t parts = assignment_.size();
+  for (std::size_t visited = 0; visited < parts && batch.size() < max_records;
+       ++visited) {
+    const std::size_t idx = (next_partition_index_ + visited) % parts;
+    const TopicPartition& tp = assignment_[idx];
+    auto topic = broker_->topic(tp.topic);
+    if (!topic) continue;
+    Offset& pos = positions_[tp];
+    const std::size_t got = topic.value()->partition(tp.partition).read(
+        pos, max_records - batch.size(), batch);
+    pos += static_cast<Offset>(got);
+  }
+  next_partition_index_ = (next_partition_index_ + 1) % parts;
+  return batch;
+}
+
+Status Consumer::seek(const TopicPartition& tp, Offset offset) {
+  if (offset < 0) return Status::invalid_argument("negative offset");
+  auto it = positions_.find(tp);
+  if (it == positions_.end()) {
+    return Status::not_found("partition not assigned to consumer '" +
+                             client_id_ + "'");
+  }
+  it->second = offset;
+  return Status::ok();
+}
+
+Status Consumer::commit() {
+  if (!in_group_) {
+    return Status::failed_precondition("commit() requires group membership");
+  }
+  for (const auto& [tp, pos] : positions_) {
+    if (Status s = broker_->commit_offset(group_, tp, pos); !s.is_ok()) {
+      return s;
+    }
+  }
+  return Status::ok();
+}
+
+Status Consumer::restore_committed() {
+  if (!in_group_) {
+    return Status::failed_precondition(
+        "restore_committed() requires group membership");
+  }
+  for (auto& [tp, pos] : positions_) {
+    pos = broker_->committed_offset(group_, tp);
+  }
+  return Status::ok();
+}
+
+Offset Consumer::position(const TopicPartition& tp) const {
+  auto it = positions_.find(tp);
+  return it == positions_.end() ? 0 : it->second;
+}
+
+std::int64_t Consumer::total_lag() const {
+  std::int64_t lag = 0;
+  for (const auto& tp : assignment_) {
+    auto topic = broker_->topic(tp.topic);
+    if (!topic) continue;
+    const Offset end = topic.value()->partition(tp.partition).end_offset();
+    auto it = positions_.find(tp);
+    const Offset pos = it == positions_.end() ? 0 : it->second;
+    lag += end - pos;
+  }
+  return lag;
+}
+
+}  // namespace approxiot::flowqueue

@@ -1,0 +1,69 @@
+// Consumer: polls assigned partitions in round-robin order and tracks
+// per-partition positions. Supports both standalone assignment (assign())
+// and group membership via the Broker's coordinator (subscribe()).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "flowqueue/broker.hpp"
+
+namespace approxiot::flowqueue {
+
+class Consumer {
+ public:
+  /// Standalone consumer with an explicit partition assignment.
+  Consumer(Broker& broker, std::string client_id);
+
+  /// Not copyable: a consumer owns its group membership.
+  Consumer(const Consumer&) = delete;
+  Consumer& operator=(const Consumer&) = delete;
+  ~Consumer();
+
+  /// Joins `group` subscribed to `topics`; the broker assigns partitions.
+  /// Re-joining with more topics widens the subscription.
+  Status subscribe(const std::string& group,
+                   const std::vector<std::string>& topics);
+
+  /// Standalone mode: consume exactly these partitions, no group.
+  Status assign(std::vector<TopicPartition> partitions);
+
+  /// Pulls up to `max_records` records across assigned partitions, advancing
+  /// local positions. Returns the batch (possibly empty).
+  Result<std::vector<Record>> poll(std::size_t max_records);
+
+  /// Seeks one partition's position.
+  Status seek(const TopicPartition& tp, Offset offset);
+
+  /// Commits current positions to the broker (group mode only).
+  Status commit();
+
+  /// Resumes positions from the broker's committed offsets (group mode).
+  Status restore_committed();
+
+  [[nodiscard]] const std::vector<TopicPartition>& assignment() const noexcept {
+    return assignment_;
+  }
+  [[nodiscard]] Offset position(const TopicPartition& tp) const;
+
+  /// Records lag (end_offset - position) summed over the assignment.
+  [[nodiscard]] std::int64_t total_lag() const;
+
+ private:
+  void refresh_assignment_if_stale();
+
+  Broker* broker_;
+  std::string client_id_;
+  std::string group_;
+  bool in_group_{false};
+  std::uint64_t seen_generation_{0};
+  std::vector<std::string> subscribed_topics_;
+  std::vector<TopicPartition> assignment_;
+  std::map<TopicPartition, Offset> positions_;
+  std::size_t next_partition_index_{0};
+};
+
+}  // namespace approxiot::flowqueue

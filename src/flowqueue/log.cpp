@@ -1,0 +1,41 @@
+#include "flowqueue/log.hpp"
+
+#include <algorithm>
+
+namespace approxiot::flowqueue {
+
+Offset PartitionLog::append(Record record) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  record.offset = static_cast<Offset>(records_.size());
+  bytes_appended_ += record.byte_size();
+  records_.push_back(std::move(record));
+  return records_.back().offset;
+}
+
+std::size_t PartitionLog::read(Offset from, std::size_t max_records,
+                               std::vector<Record>& out) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (from < 0) from = 0;
+  if (static_cast<std::size_t>(from) >= records_.size() || max_records == 0) {
+    return 0;
+  }
+  const std::size_t available = records_.size() - static_cast<std::size_t>(from);
+  const std::size_t n = std::min(available, max_records);
+  out.reserve(out.size() + n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(records_[static_cast<std::size_t>(from) + i]);
+  }
+  return n;
+}
+
+Offset PartitionLog::end_offset() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<Offset>(records_.size());
+}
+
+std::uint64_t PartitionLog::bytes_appended() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return bytes_appended_;
+}
+
+}  // namespace approxiot::flowqueue

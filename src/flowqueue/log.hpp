@@ -1,0 +1,42 @@
+// Append-only partition log: the storage primitive under every topic
+// partition. Offsets are dense and start at 0; reads never mutate.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "common/status.hpp"
+#include "flowqueue/record.hpp"
+
+namespace approxiot::flowqueue {
+
+class PartitionLog {
+ public:
+  PartitionLog() = default;
+
+  PartitionLog(const PartitionLog&) = delete;
+  PartitionLog& operator=(const PartitionLog&) = delete;
+
+  /// Appends a record, assigns its offset, and returns that offset.
+  Offset append(Record record);
+
+  /// Copies up to `max_records` records starting at `from` into `out`.
+  /// Returns the number of records copied (0 when `from` is at or past the
+  /// end). `from` below 0 reads from the log start.
+  std::size_t read(Offset from, std::size_t max_records,
+                   std::vector<Record>& out) const;
+
+  /// Offset that the next append will receive (== current record count).
+  [[nodiscard]] Offset end_offset() const;
+
+  /// Total payload bytes appended so far (for bandwidth accounting).
+  [[nodiscard]] std::uint64_t bytes_appended() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<Record> records_;
+  std::uint64_t bytes_appended_{0};
+};
+
+}  // namespace approxiot::flowqueue

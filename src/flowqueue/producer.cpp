@@ -1,0 +1,36 @@
+#include "flowqueue/producer.hpp"
+
+namespace approxiot::flowqueue {
+
+Result<Producer::SendResult> Producer::send(const std::string& topic,
+                                            std::string key,
+                                            std::vector<std::uint8_t> value,
+                                            SimTime timestamp) {
+  auto t = broker_->topic(topic);
+  if (!t) return t.status();
+  const std::uint32_t partition = t.value()->partition_for_key(key);
+  return send_to_partition(topic, partition, std::move(key), std::move(value),
+                           timestamp);
+}
+
+Result<Producer::SendResult> Producer::send_to_partition(
+    const std::string& topic, std::uint32_t partition, std::string key,
+    std::vector<std::uint8_t> value, SimTime timestamp) {
+  auto t = broker_->topic(topic);
+  if (!t) return t.status();
+  if (partition >= t.value()->partition_count()) {
+    return Status::out_of_range("partition " + std::to_string(partition) +
+                                " of topic '" + topic + "'");
+  }
+  Record record;
+  record.key = std::move(key);
+  record.value = std::move(value);
+  record.timestamp = timestamp;
+  const std::size_t size = record.byte_size();
+  const Offset offset = t.value()->partition(partition).append(std::move(record));
+  ++records_sent_;
+  bytes_sent_ += size;
+  return SendResult{partition, offset};
+}
+
+}  // namespace approxiot::flowqueue

@@ -1,0 +1,48 @@
+// Producer: appends records to topics, partitioning by key. Mirrors the
+// subset of the Kafka producer API the ApproxIoT pipeline uses.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.hpp"
+#include "common/time.hpp"
+#include "flowqueue/broker.hpp"
+
+namespace approxiot::flowqueue {
+
+class Producer {
+ public:
+  explicit Producer(Broker& broker) : broker_(&broker) {}
+
+  /// Appends one record; partition chosen by key hash. Returns the
+  /// record's (partition, offset) location.
+  struct SendResult {
+    std::uint32_t partition{0};
+    Offset offset{0};
+  };
+  Result<SendResult> send(const std::string& topic, std::string key,
+                          std::vector<std::uint8_t> value,
+                          SimTime timestamp = SimTime::zero());
+
+  /// Appends to an explicit partition (used by layer-pinned pipelines).
+  Result<SendResult> send_to_partition(const std::string& topic,
+                                       std::uint32_t partition,
+                                       std::string key,
+                                       std::vector<std::uint8_t> value,
+                                       SimTime timestamp = SimTime::zero());
+
+  [[nodiscard]] std::uint64_t records_sent() const noexcept {
+    return records_sent_;
+  }
+  [[nodiscard]] std::uint64_t bytes_sent() const noexcept {
+    return bytes_sent_;
+  }
+
+ private:
+  Broker* broker_;
+  std::uint64_t records_sent_{0};
+  std::uint64_t bytes_sent_{0};
+};
+
+}  // namespace approxiot::flowqueue

@@ -1,0 +1,52 @@
+// flowqueue: an in-process, Kafka-style durable log abstraction.
+//
+// The original ApproxIoT prototype pipelines sampled sub-streams between
+// edge layers over Apache Kafka topics. flowqueue reproduces the part of
+// Kafka's contract the algorithm relies on: topics split into ordered
+// partitions, append-only logs addressed by offsets, producers that
+// partition by key, and consumer groups with at-least-once offset
+// tracking. Everything lives in one process; "durability" is the lifetime
+// of the Broker.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace approxiot::flowqueue {
+
+/// Offset of a record within one partition's log.
+using Offset = std::int64_t;
+
+/// A single log entry. Payloads are opaque bytes (like Kafka); the core
+/// library serialises WeightedBatch messages into `value` via wire.hpp.
+struct Record {
+  std::string key;
+  std::vector<std::uint8_t> value;
+  SimTime timestamp{};
+  Offset offset{-1};  // assigned by the partition log on append
+
+  [[nodiscard]] std::size_t byte_size() const noexcept {
+    return key.size() + value.size() + sizeof(timestamp) + sizeof(offset);
+  }
+};
+
+/// Identifies one partition of one topic.
+struct TopicPartition {
+  std::string topic;
+  std::uint32_t partition{0};
+
+  friend bool operator==(const TopicPartition& a,
+                         const TopicPartition& b) noexcept {
+    return a.partition == b.partition && a.topic == b.topic;
+  }
+  friend bool operator<(const TopicPartition& a,
+                        const TopicPartition& b) noexcept {
+    if (a.topic != b.topic) return a.topic < b.topic;
+    return a.partition < b.partition;
+  }
+};
+
+}  // namespace approxiot::flowqueue

@@ -1,0 +1,84 @@
+#include "flowqueue/serde.hpp"
+
+#include <cstring>
+
+namespace approxiot::flowqueue {
+
+void Encoder::put_varint(std::uint64_t v) {
+  while (v >= 0x80) {
+    buffer_.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  buffer_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void Encoder::put_fixed64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    buffer_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void Encoder::put_double(double v) {
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  put_fixed64(bits);
+}
+
+void Encoder::put_string(const std::string& s) {
+  put_varint(s.size());
+  buffer_.insert(buffer_.end(), s.begin(), s.end());
+}
+
+void Encoder::put_bytes(const std::vector<std::uint8_t>& bytes) {
+  put_varint(bytes.size());
+  buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+}
+
+Result<std::uint64_t> Decoder::get_varint() {
+  std::uint64_t value = 0;
+  int shift = 0;
+  while (cursor_ < size_) {
+    const std::uint8_t byte = data_[cursor_++];
+    if (shift >= 64) {
+      return Status::out_of_range("varint longer than 64 bits");
+    }
+    value |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) return value;
+    shift += 7;
+  }
+  return Status::out_of_range("truncated varint");
+}
+
+Result<std::uint64_t> Decoder::get_fixed64() {
+  if (remaining() < 8) return Status::out_of_range("truncated fixed64");
+  std::uint64_t value = 0;
+  for (int i = 0; i < 8; ++i) {
+    value |= static_cast<std::uint64_t>(data_[cursor_ + static_cast<std::size_t>(i)]) << (8 * i);
+  }
+  cursor_ += 8;
+  return value;
+}
+
+Result<double> Decoder::get_double() {
+  auto bits = get_fixed64();
+  if (!bits) return bits.status();
+  double value;
+  const std::uint64_t raw = bits.value();
+  std::memcpy(&value, &raw, sizeof(value));
+  return value;
+}
+
+Result<std::string> Decoder::get_string() {
+  auto len = get_varint();
+  if (!len) return len.status();
+  if (remaining() < len.value()) {
+    return Status::out_of_range("truncated string payload");
+  }
+  std::string out(reinterpret_cast<const char*>(data_ + cursor_),
+                  static_cast<std::size_t>(len.value()));
+  cursor_ += static_cast<std::size_t>(len.value());
+  return out;
+}
+
+}  // namespace approxiot::flowqueue

@@ -1,0 +1,62 @@
+// Byte-level serialization helpers (varint, fixed64, doubles, strings)
+// used to encode ApproxIoT wire messages into flowqueue record payloads.
+// Decoding is bounds-checked and reports precise errors rather than
+// reading past the buffer.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace approxiot::flowqueue {
+
+/// Append-only encoder over a byte vector.
+class Encoder {
+ public:
+  Encoder() = default;
+
+  void put_varint(std::uint64_t v);
+  void put_fixed64(std::uint64_t v);
+  void put_double(double v);
+  void put_string(const std::string& s);
+  void put_bytes(const std::vector<std::uint8_t>& bytes);
+
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const noexcept {
+    return buffer_;
+  }
+  [[nodiscard]] std::vector<std::uint8_t> take() noexcept {
+    return std::move(buffer_);
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return buffer_.size(); }
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+};
+
+/// Cursor-based decoder over a byte span.
+class Decoder {
+ public:
+  Decoder(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+  explicit Decoder(const std::vector<std::uint8_t>& bytes)
+      : Decoder(bytes.data(), bytes.size()) {}
+
+  [[nodiscard]] Result<std::uint64_t> get_varint();
+  [[nodiscard]] Result<std::uint64_t> get_fixed64();
+  [[nodiscard]] Result<double> get_double();
+  [[nodiscard]] Result<std::string> get_string();
+
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return size_ - cursor_;
+  }
+  [[nodiscard]] bool exhausted() const noexcept { return cursor_ >= size_; }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t cursor_{0};
+};
+
+}  // namespace approxiot::flowqueue

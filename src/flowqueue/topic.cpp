@@ -1,0 +1,52 @@
+#include "flowqueue/topic.hpp"
+
+#include <stdexcept>
+
+namespace approxiot::flowqueue {
+
+Topic::Topic(std::string name, std::uint32_t partitions)
+    : name_(std::move(name)) {
+  if (partitions == 0) {
+    throw std::invalid_argument("Topic '" + name_ +
+                                "' needs at least one partition");
+  }
+  partitions_.reserve(partitions);
+  for (std::uint32_t i = 0; i < partitions; ++i) {
+    partitions_.push_back(std::make_unique<PartitionLog>());
+  }
+}
+
+std::uint32_t Topic::partition_for_key(const std::string& key) const {
+  if (key.empty()) return 0;
+  // FNV-1a 64-bit.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : key) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return static_cast<std::uint32_t>(h % partitions_.size());
+}
+
+PartitionLog& Topic::partition(std::uint32_t index) {
+  return *partitions_.at(index);
+}
+
+const PartitionLog& Topic::partition(std::uint32_t index) const {
+  return *partitions_.at(index);
+}
+
+std::uint64_t Topic::bytes_appended() const {
+  std::uint64_t total = 0;
+  for (const auto& p : partitions_) total += p->bytes_appended();
+  return total;
+}
+
+std::uint64_t Topic::record_count() const {
+  std::uint64_t total = 0;
+  for (const auto& p : partitions_) {
+    total += static_cast<std::uint64_t>(p->end_offset());
+  }
+  return total;
+}
+
+}  // namespace approxiot::flowqueue

@@ -1,0 +1,41 @@
+// A topic: a named set of partitions, each backed by a PartitionLog.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "flowqueue/log.hpp"
+
+namespace approxiot::flowqueue {
+
+class Topic {
+ public:
+  Topic(std::string name, std::uint32_t partitions);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] std::uint32_t partition_count() const noexcept {
+    return static_cast<std::uint32_t>(partitions_.size());
+  }
+
+  /// Partition index for a record key (FNV-1a hash, like Kafka's default
+  /// sticky-free keyed partitioner). Empty keys go to partition 0.
+  [[nodiscard]] std::uint32_t partition_for_key(const std::string& key) const;
+
+  [[nodiscard]] PartitionLog& partition(std::uint32_t index);
+  [[nodiscard]] const PartitionLog& partition(std::uint32_t index) const;
+
+  /// Sum of payload bytes across all partitions.
+  [[nodiscard]] std::uint64_t bytes_appended() const;
+
+  /// Sum of record counts across all partitions.
+  [[nodiscard]] std::uint64_t record_count() const;
+
+ private:
+  std::string name_;
+  std::vector<std::unique_ptr<PartitionLog>> partitions_;
+};
+
+}  // namespace approxiot::flowqueue

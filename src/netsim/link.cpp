@@ -1,0 +1,41 @@
+#include "netsim/link.hpp"
+
+#include <algorithm>
+
+namespace approxiot::netsim {
+
+Link::Link(Simulator& sim, LinkConfig config)
+    : sim_(&sim), config_(std::move(config)), created_at_(sim.now()) {}
+
+void Link::transfer(std::uint64_t bytes, std::function<void()> on_arrival) {
+  const double seconds =
+      config_.bandwidth_bps > 0.0
+          ? static_cast<double>(bytes) * 8.0 / config_.bandwidth_bps
+          : 0.0;
+  const SimTime serialization = SimTime::from_seconds(seconds);
+
+  const SimTime start = std::max(busy_until_, sim_->now());
+  busy_until_ = start + serialization;
+  busy_accum_ = busy_accum_ + serialization;
+
+  bytes_sent_ += bytes;
+  ++transfers_;
+
+  const SimTime arrival = busy_until_ + config_.one_way_latency;
+  sim_->schedule_at(arrival, std::move(on_arrival));
+}
+
+double Link::utilization() const noexcept {
+  const SimTime elapsed = sim_->now() - created_at_;
+  if (elapsed.us <= 0) return 0.0;
+  return std::min(1.0, busy_accum_.seconds() / elapsed.seconds());
+}
+
+void Link::reset_counters() noexcept {
+  bytes_sent_ = 0;
+  transfers_ = 0;
+  busy_accum_ = SimTime::zero();
+  created_at_ = sim_->now();
+}
+
+}  // namespace approxiot::netsim

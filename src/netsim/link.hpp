@@ -1,0 +1,55 @@
+// Simulated WAN link with propagation latency and finite bandwidth.
+//
+// Models the tc configuration of the paper's testbed: one-way propagation
+// delay (half the configured RTT) plus store-and-forward serialization at
+// `bandwidth_bps`. Transfers queue FIFO on the link: a transfer starts
+// when the link is free, occupies it for bytes*8/bandwidth seconds, and
+// arrives one propagation delay later. Byte counters feed the Fig. 7
+// bandwidth-saving experiment.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/time.hpp"
+#include "netsim/sim.hpp"
+
+namespace approxiot::netsim {
+
+struct LinkConfig {
+  SimTime one_way_latency{SimTime::from_millis(10)};
+  double bandwidth_bps{1e9};  // 1 Gbps, the paper's link capacity
+  std::string label;
+};
+
+class Link {
+ public:
+  Link(Simulator& sim, LinkConfig config);
+
+  /// Schedules delivery of a payload of `bytes`; `on_arrival` fires at the
+  /// receiver when the last bit lands.
+  void transfer(std::uint64_t bytes, std::function<void()> on_arrival);
+
+  [[nodiscard]] std::uint64_t bytes_sent() const noexcept {
+    return bytes_sent_;
+  }
+  [[nodiscard]] std::uint64_t transfers() const noexcept { return transfers_; }
+  [[nodiscard]] const LinkConfig& config() const noexcept { return config_; }
+
+  /// Utilisation: busy time / elapsed time since construction.
+  [[nodiscard]] double utilization() const noexcept;
+
+  void reset_counters() noexcept;
+
+ private:
+  Simulator* sim_;
+  LinkConfig config_;
+  SimTime busy_until_{SimTime::zero()};
+  SimTime busy_accum_{SimTime::zero()};
+  SimTime created_at_{SimTime::zero()};
+  std::uint64_t bytes_sent_{0};
+  std::uint64_t transfers_{0};
+};
+
+}  // namespace approxiot::netsim

@@ -1,0 +1,53 @@
+#include "netsim/sim.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace approxiot::netsim {
+
+void Simulator::schedule_at(SimTime at, std::function<void()> fn) {
+  Event e;
+  e.at = std::max(at, now_);
+  e.seq = next_seq_++;
+  e.fn = std::move(fn);
+  queue_.push(std::move(e));
+}
+
+void Simulator::schedule_after(SimTime delay, std::function<void()> fn) {
+  schedule_at(now_ + delay, std::move(fn));
+}
+
+std::uint64_t Simulator::run_until(SimTime until) {
+  std::uint64_t count = 0;
+  while (!queue_.empty() && queue_.top().at <= until) {
+    // priority_queue::top() is const; move out via const_cast is UB, so
+    // copy the function handle (cheap relative to event work).
+    Event e = queue_.top();
+    queue_.pop();
+    now_ = e.at;
+    e.fn();
+    ++count;
+    ++executed_;
+  }
+  now_ = std::max(now_, until);
+  return count;
+}
+
+std::uint64_t Simulator::run() {
+  std::uint64_t count = 0;
+  while (!queue_.empty()) {
+    Event e = queue_.top();
+    queue_.pop();
+    now_ = e.at;
+    e.fn();
+    ++count;
+    ++executed_;
+  }
+  return count;
+}
+
+void Simulator::clear() {
+  while (!queue_.empty()) queue_.pop();
+}
+
+}  // namespace approxiot::netsim

@@ -1,0 +1,111 @@
+// A compute node in the simulated edge tree.
+//
+// SimNode hosts a core::PipelineStage (ApproxIoT / SRS / native behaviour)
+// behind a single-server queueing model: arriving bundles are serviced
+// FIFO at `service_rate_items_per_s`; a bundle of n items occupies the
+// server for n/rate seconds. Serviced bundles accumulate in the node's
+// interval buffer (the paper's Ψ); an interval tick runs the sampling
+// stage over the buffer and hands the outputs to the uplink (or, at the
+// root, into Θ plus the latency recorder).
+//
+// Saturation falls out of the model naturally: offered load above the
+// service rate grows the server backlog without bound, which is exactly
+// the signal the throughput experiment binary-searches on.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "common/time.hpp"
+#include "core/batch.hpp"
+#include "core/pipeline.hpp"
+#include "netsim/link.hpp"
+#include "netsim/sim.hpp"
+
+namespace approxiot::netsim {
+
+struct SimNodeConfig {
+  SimTime interval{SimTime::from_seconds(1.0)};
+  double service_rate_items_per_s{100000.0};
+  /// Where the service cost applies. false (default): on arrival — the
+  /// node's expensive work is ingest (edge nodes). true: after sampling —
+  /// the expensive work is the downstream computation over *surviving*
+  /// items (the datacenter root, whose bottleneck is the query engine);
+  /// ingest is then charged at `ingest_rate_items_per_s`.
+  bool charge_on_output{false};
+  double ingest_rate_items_per_s{2000000.0};
+  std::string label;
+  /// Per-item wire size estimate used when a bundle is forwarded.
+  std::size_t bytes_per_item{17};
+  std::size_t bytes_per_weight_entry{10};
+  std::size_t bytes_header{4};
+};
+
+class SimNode {
+ public:
+  SimNode(Simulator& sim, std::unique_ptr<core::PipelineStage> stage,
+          SimNodeConfig config);
+
+  /// Routes sampled output over `uplink` to `parent` (non-root nodes).
+  void connect_uplink(Link* uplink, SimNode* parent);
+
+  /// Root nodes deliver sampled bundles here instead of an uplink. The
+  /// callback receives the bundle and the simulation time of processing.
+  using RootSink = std::function<void(const core::SampledBundle&, SimTime)>;
+  void connect_root_sink(RootSink sink);
+
+  /// Begins the periodic interval ticks (call once, before running).
+  void start();
+
+  /// Ticks self-reschedule only while sim time is below this deadline;
+  /// without a deadline a drained simulation would never terminate.
+  /// TreeNetwork sets it to its stop time plus a drain margin.
+  void set_tick_deadline(SimTime deadline) noexcept {
+    tick_deadline_ = deadline;
+  }
+
+  /// Ingress: a bundle arrives from a child link (or a source).
+  void deliver(core::ItemBundle bundle);
+
+  /// Server backlog: how far the service queue extends past now.
+  [[nodiscard]] SimTime backlog() const noexcept;
+
+  [[nodiscard]] std::uint64_t items_arrived() const noexcept {
+    return items_arrived_;
+  }
+  [[nodiscard]] std::uint64_t items_forwarded() const noexcept {
+    return items_forwarded_;
+  }
+  [[nodiscard]] const SimNodeConfig& config() const noexcept {
+    return config_;
+  }
+
+  /// Estimated wire size of a bundle under this node's size model.
+  [[nodiscard]] std::uint64_t wire_size(
+      const core::SampledBundle& bundle) const noexcept;
+
+ private:
+  void on_tick();
+
+  Simulator* sim_;
+  std::unique_ptr<core::PipelineStage> stage_;
+  SimNodeConfig config_;
+
+  Link* uplink_{nullptr};
+  SimNode* parent_{nullptr};
+  RootSink root_sink_;
+
+  std::vector<core::ItemBundle> psi_;  // serviced, awaiting the tick
+  SimTime tick_deadline_{SimTime::from_micros(
+      std::numeric_limits<std::int64_t>::max() / 2)};
+  SimTime service_free_at_{SimTime::zero()};
+  SimTime output_free_at_{SimTime::zero()};
+  std::uint64_t items_arrived_{0};
+  std::uint64_t items_forwarded_{0};
+  bool started_{false};
+};
+
+}  // namespace approxiot::netsim

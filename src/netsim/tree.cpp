@@ -1,0 +1,199 @@
+#include "netsim/tree.hpp"
+
+#include <stdexcept>
+
+namespace approxiot::netsim {
+
+TreeNetwork::TreeNetwork(Simulator& sim, TreeNetConfig config,
+                         SourceFn source_fn)
+    : sim_(&sim), config_(std::move(config)), source_fn_(std::move(source_fn)) {
+  if (config_.layer_widths.empty()) {
+    throw std::invalid_argument("TreeNetwork needs at least one edge layer");
+  }
+  if (config_.hop_rtts.size() != config_.layer_widths.size() + 1) {
+    throw std::invalid_argument(
+        "hop_rtts must have one entry per hop (layers + root)");
+  }
+
+  const std::size_t sampling_layers = config_.layer_widths.size() + 1;
+  const double layer_fraction = core::per_layer_fraction(
+      config_.sampling_fraction, sampling_layers);
+
+  // Build sampling layers.
+  layers_.resize(config_.layer_widths.size());
+  for (std::size_t layer = 0; layer < config_.layer_widths.size(); ++layer) {
+    for (std::size_t i = 0; i < config_.layer_widths[layer]; ++i) {
+      core::StageConfig sc;
+      sc.engine = config_.engine;
+      sc.id = NodeId{(static_cast<std::uint64_t>(layer + 1) << 32) | i};
+      sc.interval = config_.interval;
+      sc.fraction = layer_fraction;
+      sc.rng_seed =
+          config_.rng_seed * 0x9e3779b97f4a7c15ULL + sc.id.value() + 1;
+
+      SimNodeConfig nc;
+      nc.interval = config_.interval;
+      nc.service_rate_items_per_s = config_.edge_service_rate;
+      nc.label = "edge-L" + std::to_string(layer + 1) + "-" +
+                 std::to_string(i);
+      layers_[layer].push_back(std::make_unique<SimNode>(
+          *sim_, core::make_pipeline_stage(sc), nc));
+    }
+  }
+
+  // Root node.
+  {
+    core::StageConfig sc;
+    sc.engine = config_.engine;
+    sc.id = NodeId{(static_cast<std::uint64_t>(layers_.size() + 1) << 32)};
+    sc.interval = config_.interval;
+    sc.fraction = layer_fraction;
+    sc.rng_seed = config_.rng_seed * 0x9e3779b97f4a7c15ULL + sc.id.value() + 1;
+
+    SimNodeConfig nc;
+    nc.interval = config_.interval;
+    nc.service_rate_items_per_s = config_.root_service_rate;
+    // The datacenter's bottleneck is the computation engine running the
+    // query over *sampled* data (Fig. 4); ingest itself is cheap.
+    nc.charge_on_output = true;
+    nc.label = "root";
+    root_ = std::make_unique<SimNode>(*sim_, core::make_pipeline_stage(sc), nc);
+    root_->connect_root_sink(
+        [this](const core::SampledBundle& bundle, SimTime /*now*/) {
+          items_processed_at_root_ += bundle.item_count();
+          theta_.add(bundle);
+        });
+  }
+
+  // Links. Hop 0: one link per source into its layer-1 node. Hop k>0: one
+  // link per layer-k node into its parent.
+  links_.resize(config_.hop_rtts.size());
+  for (std::size_t s = 0; s < config_.sources; ++s) {
+    LinkConfig lc;
+    lc.one_way_latency = SimTime{config_.hop_rtts[0].us / 2};
+    lc.bandwidth_bps = config_.bandwidth_bps;
+    lc.label = "src" + std::to_string(s);
+    links_[0].push_back(std::make_unique<Link>(*sim_, lc));
+  }
+  for (std::size_t layer = 0; layer < layers_.size(); ++layer) {
+    const std::size_t hop = layer + 1;
+    for (std::size_t i = 0; i < layers_[layer].size(); ++i) {
+      LinkConfig lc;
+      lc.one_way_latency = SimTime{config_.hop_rtts[hop].us / 2};
+      lc.bandwidth_bps = config_.bandwidth_bps;
+      lc.label = "L" + std::to_string(layer + 1) + "-" + std::to_string(i);
+      links_[hop].push_back(std::make_unique<Link>(*sim_, lc));
+
+      SimNode* parent = nullptr;
+      if (layer + 1 < layers_.size()) {
+        const std::size_t parents = layers_[layer + 1].size();
+        parent = layers_[layer + 1][i * parents / layers_[layer].size()].get();
+      } else {
+        parent = root_.get();
+      }
+      layers_[layer][i]->connect_uplink(links_[hop].back().get(), parent);
+    }
+  }
+
+  for (auto& layer : layers_) {
+    for (auto& node : layer) node->start();
+  }
+  root_->start();
+}
+
+void TreeNetwork::source_tick(std::size_t source) {
+  if (sim_->now() >= stop_at_) return;
+
+  std::vector<Item> items = source_fn_(source, sim_->now());
+  items_generated_ += items.size();
+  if (!items.empty()) {
+    // The source's leaf node is chosen by contiguous blocks, matching the
+    // paper's 8 sources feeding 4 layer-1 nodes two-to-one.
+    const std::size_t leaves = layers_[0].size();
+    const std::size_t leaf = source * leaves / config_.sources;
+
+    core::ItemBundle bundle;
+    bundle.items = std::move(items);
+    // Wire size at the source hop: raw items, no weight metadata yet.
+    const std::uint64_t bytes =
+        4 + bundle.items.size() * layers_[0][leaf]->config().bytes_per_item;
+    auto shared = std::make_shared<core::ItemBundle>(std::move(bundle));
+    SimNode* target = layers_[0][leaf].get();
+    links_[0][source]->transfer(bytes, [target, shared]() {
+      target->deliver(std::move(*shared));
+    });
+  }
+
+  sim_->schedule_after(config_.source_tick,
+                       [this, source]() { source_tick(source); });
+}
+
+void TreeNetwork::close_window() {
+  if (!theta_.empty()) {
+    // Record end-to-end latency of every item surviving to the query.
+    for (SubStreamId id : theta_.sub_streams()) {
+      for (const core::WeightedSample& pair : theta_.pairs(id)) {
+        for (const Item& item : pair.items) {
+          const double seconds =
+              (sim_->now() - SimTime{item.created_at_us}).seconds();
+          latency_.add(seconds);
+          latency_sketch_.add(seconds);
+        }
+      }
+    }
+    WindowResult wr;
+    wr.closed_at = sim_->now();
+    wr.result = core::approximate_query(theta_);
+    windows_.push_back(std::move(wr));
+    theta_.clear();
+  }
+  if (sim_->now() < drain_until_) {
+    sim_->schedule_after(config_.interval, [this]() { close_window(); });
+  }
+}
+
+void TreeNetwork::run_for(SimTime duration) {
+  stop_at_ = sim_->now() + duration;
+  // Nodes keep ticking past the stop so in-flight items can settle during
+  // drain(): propagation across all hops plus a few intervals of
+  // buffering bounds the settle time.
+  SimTime margin = SimTime::from_seconds(1.0);
+  for (SimTime rtt : config_.hop_rtts) margin = margin + rtt;
+  margin = margin + SimTime{4 * config_.interval.us};
+  drain_until_ = stop_at_ + margin;
+  for (auto& layer : layers_) {
+    for (auto& node : layer) node->set_tick_deadline(drain_until_);
+  }
+  root_->set_tick_deadline(drain_until_);
+
+  for (std::size_t s = 0; s < config_.sources; ++s) {
+    source_tick(s);
+  }
+  // Close windows just after the root's interval tick (epsilon offset so
+  // the tick's output is already in Θ).
+  sim_->schedule_after(config_.interval + SimTime::from_micros(1),
+                       [this]() { close_window(); });
+  sim_->run_until(stop_at_);
+}
+
+void TreeNetwork::drain() {
+  sim_->run_until(drain_until_);
+  // One last flush for anything that reached Θ after the final scheduled
+  // window close.
+  close_window();
+}
+
+SimTime TreeNetwork::root_backlog() const { return root_->backlog(); }
+
+std::vector<std::uint64_t> TreeNetwork::bytes_per_hop() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(links_.size());
+  for (const auto& hop : links_) {
+    std::uint64_t bytes = 0;
+    for (const auto& link : hop) bytes += link->bytes_sent();
+    out.push_back(bytes);
+  }
+  return out;
+}
+
+}  // namespace approxiot::netsim

@@ -1,0 +1,132 @@
+// TreeNetwork: the paper's emulated IoT testbed (§V-A) as a discrete-event
+// simulation.
+//
+// Topology: `sources` source nodes -> layer-1 edge nodes -> layer-2 edge
+// nodes -> datacenter root, with per-hop WAN links configured by RTT
+// (paper: 20 ms, 40 ms, 80 ms) and capacity (1 Gbps). Sources emit items
+// every `source_tick`; every sampling node runs its engine (ApproxIoT /
+// SRS / native) per interval; the root accumulates Θ and closes a query
+// window every `interval`, recording end-to-end item latencies.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/error.hpp"
+#include "core/pipeline.hpp"
+#include "core/theta_store.hpp"
+#include "netsim/link.hpp"
+#include "netsim/sim.hpp"
+#include "netsim/sim_node.hpp"
+#include "stats/moments.hpp"
+#include "stats/summary.hpp"
+
+namespace approxiot::netsim {
+
+struct TreeNetConfig {
+  core::EngineKind engine{core::EngineKind::kApproxIoT};
+  /// End-to-end sampling fraction; split across sampling layers like
+  /// EdgeTree does.
+  double sampling_fraction{1.0};
+  SimTime interval{SimTime::from_seconds(1.0)};
+
+  std::size_t sources{8};
+  std::vector<std::size_t> layer_widths{4, 2};
+  /// RTT per hop, sources->L1 first. Must have layer_widths.size()+1
+  /// entries (last hop reaches the root).
+  std::vector<SimTime> hop_rtts{SimTime::from_millis(20),
+                                SimTime::from_millis(40),
+                                SimTime::from_millis(80)};
+  double bandwidth_bps{1e9};
+
+  /// Service rates (items/s). Edge nodes in the paper's testbed are
+  /// smaller machines than the aggregate pipeline needs; the datacenter
+  /// node is the bottleneck the sources saturate.
+  double edge_service_rate{400000.0};
+  double root_service_rate{100000.0};
+
+  /// How often sources emit batches.
+  SimTime source_tick{SimTime::from_millis(100)};
+
+  std::uint64_t rng_seed{7};
+};
+
+/// Generates the items one source emits at one tick. Receives the source
+/// index and the current simulation time (for created_at stamps).
+using SourceFn =
+    std::function<std::vector<Item>(std::size_t source, SimTime now)>;
+
+struct WindowResult {
+  SimTime closed_at{};
+  core::ApproxResult result;
+};
+
+class TreeNetwork {
+ public:
+  TreeNetwork(Simulator& sim, TreeNetConfig config, SourceFn source_fn);
+
+  /// Runs sources + pipeline for `duration` of simulated time.
+  void run_for(SimTime duration);
+
+  /// After run_for: lets in-flight items settle (nodes keep ticking for a
+  /// bounded drain margin past the stop time), then closes the final
+  /// query window. The simulation terminates — node ticks stop at the
+  /// drain deadline.
+  void drain();
+
+  // --- metrics ----------------------------------------------------------
+
+  [[nodiscard]] std::uint64_t items_generated() const noexcept {
+    return items_generated_;
+  }
+  /// Items that reached the root and survived its sampling step.
+  [[nodiscard]] std::uint64_t items_processed_at_root() const noexcept {
+    return items_processed_at_root_;
+  }
+  /// Root service backlog (the saturation signal).
+  [[nodiscard]] SimTime root_backlog() const;
+
+  /// End-to-end latency stats over items processed at the root, measured
+  /// at window close (source creation -> query execution).
+  [[nodiscard]] const stats::RunningMoments& latency_moments() const noexcept {
+    return latency_;
+  }
+  [[nodiscard]] const stats::QuantileSketch& latency_sketch() const noexcept {
+    return latency_sketch_;
+  }
+
+  /// Bytes carried per hop level (0 = source links, ...). Fig. 7 input.
+  [[nodiscard]] std::vector<std::uint64_t> bytes_per_hop() const;
+
+  /// Closed query windows in order.
+  [[nodiscard]] const std::vector<WindowResult>& windows() const noexcept {
+    return windows_;
+  }
+
+ private:
+  void source_tick(std::size_t source);
+  void close_window();
+
+  Simulator* sim_;
+  TreeNetConfig config_;
+  SourceFn source_fn_;
+
+  // links_per_hop_[hop][i]; hop 0 connects sources to layer 1.
+  std::vector<std::vector<std::unique_ptr<Link>>> links_;
+  std::vector<std::vector<std::unique_ptr<SimNode>>> layers_;
+  std::unique_ptr<SimNode> root_;
+
+  core::ThetaStore theta_;
+  std::vector<WindowResult> windows_;
+
+  std::uint64_t items_generated_{0};
+  std::uint64_t items_processed_at_root_{0};
+  stats::RunningMoments latency_;
+  stats::QuantileSketch latency_sketch_;
+  SimTime stop_at_{SimTime::zero()};
+  SimTime drain_until_{SimTime::zero()};
+};
+
+}  // namespace approxiot::netsim

@@ -1,0 +1,18 @@
+#include "sampling/bernoulli.hpp"
+
+#include <algorithm>
+
+namespace approxiot::sampling {
+
+BernoulliSampler::BernoulliSampler(double p, Rng rng)
+    : p_(std::clamp(p, 0.0, 1.0)), rng_(rng) {}
+
+void BernoulliSampler::set_probability(double p) noexcept {
+  p_ = std::clamp(p, 0.0, 1.0);
+}
+
+double BernoulliSampler::weight() const noexcept {
+  return p_ > 0.0 ? 1.0 / p_ : 0.0;
+}
+
+}  // namespace approxiot::sampling

@@ -1,0 +1,59 @@
+// Simple random sampling by independent coin flips (Bernoulli sampling).
+// This is the paper's SRS baseline (§IV-B II): every arriving item is kept
+// with probability p, independent of its sub-stream. The inverse of p is
+// the natural Horvitz–Thompson weight of each kept item.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace approxiot::sampling {
+
+class BernoulliSampler {
+ public:
+  /// `p` is clamped into [0, 1].
+  explicit BernoulliSampler(double p, Rng rng = Rng{});
+
+  /// True iff this item should be kept.
+  bool keep() noexcept {
+    ++seen_;
+    const bool k = rng_.next_bool(p_);
+    if (k) ++kept_;
+    return k;
+  }
+
+  /// Filters a batch, returning the kept subset.
+  template <typename T>
+  [[nodiscard]] std::vector<T> filter(const std::vector<T>& items) {
+    std::vector<T> out;
+    out.reserve(static_cast<std::size_t>(static_cast<double>(items.size()) * p_) + 1);
+    for (const T& item : items) {
+      if (keep()) out.push_back(item);
+    }
+    return out;
+  }
+
+  [[nodiscard]] double probability() const noexcept { return p_; }
+  void set_probability(double p) noexcept;
+
+  /// Horvitz–Thompson weight 1/p of each kept item (infinite p==0 guarded
+  /// to 0 since nothing is ever kept then).
+  [[nodiscard]] double weight() const noexcept;
+
+  [[nodiscard]] std::uint64_t seen() const noexcept { return seen_; }
+  [[nodiscard]] std::uint64_t kept() const noexcept { return kept_; }
+  void reset_counters() noexcept {
+    seen_ = 0;
+    kept_ = 0;
+  }
+
+ private:
+  double p_;
+  Rng rng_;
+  std::uint64_t seen_{0};
+  std::uint64_t kept_{0};
+};
+
+}  // namespace approxiot::sampling

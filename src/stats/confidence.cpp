@@ -1,0 +1,29 @@
+#include "stats/confidence.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "stats/normal.hpp"
+
+namespace approxiot::stats {
+
+double ConfidenceInterval::relative_margin() const noexcept {
+  if (point == 0.0) {
+    return margin == 0.0 ? 0.0 : std::numeric_limits<double>::infinity();
+  }
+  return std::fabs(margin / point);
+}
+
+std::ostream& operator<<(std::ostream& os, const ConfidenceInterval& ci) {
+  return os << ci.point << " ± " << ci.margin << " @" << ci.confidence * 100.0
+            << "%";
+}
+
+ConfidenceInterval make_interval(double point, double variance,
+                                 double confidence) noexcept {
+  const double var = variance > 0.0 ? variance : 0.0;
+  const double z = z_for_confidence(confidence);
+  return ConfidenceInterval{point, z * std::sqrt(var), confidence};
+}
+
+}  // namespace approxiot::stats

@@ -1,0 +1,39 @@
+// Confidence-interval value type used by the error estimator (§III-D).
+// An estimate is reported as `point ± margin` at a given confidence level,
+// following the paper's output± error convention.
+#pragma once
+
+#include <ostream>
+
+#include "stats/normal.hpp"
+
+namespace approxiot::stats {
+
+struct ConfidenceInterval {
+  double point{0.0};
+  double margin{0.0};      // half-width: z * stddev(estimator)
+  double confidence{0.0};  // e.g. 0.95
+
+  [[nodiscard]] double lower() const noexcept { return point - margin; }
+  [[nodiscard]] double upper() const noexcept { return point + margin; }
+
+  /// True iff `truth` falls inside [lower, upper]. Used by the coverage
+  /// property tests: across repeated trials the hit-rate should approach
+  /// the configured confidence.
+  [[nodiscard]] bool covers(double truth) const noexcept {
+    return truth >= lower() && truth <= upper();
+  }
+
+  /// Relative half-width |margin / point|; infinity when point == 0.
+  [[nodiscard]] double relative_margin() const noexcept;
+
+  friend std::ostream& operator<<(std::ostream& os,
+                                  const ConfidenceInterval& ci);
+};
+
+/// Builds an interval from an estimator value and its variance at the
+/// requested confidence (uses the normal quantile; valid by CLT).
+[[nodiscard]] ConfidenceInterval make_interval(double point, double variance,
+                                               double confidence) noexcept;
+
+}  // namespace approxiot::stats

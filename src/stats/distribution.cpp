@@ -1,0 +1,113 @@
+#include "stats/distribution.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace approxiot::stats {
+
+GaussianDistribution::GaussianDistribution(double mu, double sigma)
+    : mu_(mu), sigma_(sigma) {
+  if (sigma < 0.0) throw std::invalid_argument("Gaussian sigma must be >= 0");
+}
+
+double GaussianDistribution::sample(Rng& rng) const {
+  return mu_ + sigma_ * rng.next_gaussian();
+}
+
+std::string GaussianDistribution::describe() const {
+  std::ostringstream os;
+  os << "Gaussian(mu=" << mu_ << ", sigma=" << sigma_ << ")";
+  return os.str();
+}
+
+std::unique_ptr<ValueDistribution> GaussianDistribution::clone() const {
+  return std::make_unique<GaussianDistribution>(*this);
+}
+
+PoissonDistribution::PoissonDistribution(double lambda) : lambda_(lambda) {
+  if (lambda < 0.0) throw std::invalid_argument("Poisson lambda must be >= 0");
+}
+
+double PoissonDistribution::sample(Rng& rng) const {
+  return static_cast<double>(rng.next_poisson(lambda_));
+}
+
+std::string PoissonDistribution::describe() const {
+  std::ostringstream os;
+  os << "Poisson(lambda=" << lambda_ << ")";
+  return os.str();
+}
+
+std::unique_ptr<ValueDistribution> PoissonDistribution::clone() const {
+  return std::make_unique<PoissonDistribution>(*this);
+}
+
+UniformDistribution::UniformDistribution(double lo, double hi)
+    : lo_(lo), hi_(hi) {
+  if (!(hi >= lo)) throw std::invalid_argument("Uniform requires hi >= lo");
+}
+
+double UniformDistribution::sample(Rng& rng) const {
+  return lo_ + (hi_ - lo_) * rng.next_double();
+}
+
+std::string UniformDistribution::describe() const {
+  std::ostringstream os;
+  os << "Uniform(" << lo_ << ", " << hi_ << ")";
+  return os.str();
+}
+
+std::unique_ptr<ValueDistribution> UniformDistribution::clone() const {
+  return std::make_unique<UniformDistribution>(*this);
+}
+
+ExponentialDistribution::ExponentialDistribution(double rate) : rate_(rate) {
+  if (rate <= 0.0) throw std::invalid_argument("Exponential rate must be > 0");
+}
+
+double ExponentialDistribution::sample(Rng& rng) const {
+  return rng.next_exponential(rate_);
+}
+
+std::string ExponentialDistribution::describe() const {
+  std::ostringstream os;
+  os << "Exponential(rate=" << rate_ << ")";
+  return os.str();
+}
+
+std::unique_ptr<ValueDistribution> ExponentialDistribution::clone() const {
+  return std::make_unique<ExponentialDistribution>(*this);
+}
+
+LogNormalDistribution::LogNormalDistribution(double log_mu, double log_sigma)
+    : log_mu_(log_mu), log_sigma_(log_sigma) {
+  if (log_sigma < 0.0) {
+    throw std::invalid_argument("LogNormal sigma must be >= 0");
+  }
+}
+
+double LogNormalDistribution::sample(Rng& rng) const {
+  return std::exp(log_mu_ + log_sigma_ * rng.next_gaussian());
+}
+
+double LogNormalDistribution::mean() const {
+  return std::exp(log_mu_ + 0.5 * log_sigma_ * log_sigma_);
+}
+
+double LogNormalDistribution::variance() const {
+  const double s2 = log_sigma_ * log_sigma_;
+  return (std::exp(s2) - 1.0) * std::exp(2.0 * log_mu_ + s2);
+}
+
+std::string LogNormalDistribution::describe() const {
+  std::ostringstream os;
+  os << "LogNormal(log_mu=" << log_mu_ << ", log_sigma=" << log_sigma_ << ")";
+  return os.str();
+}
+
+std::unique_ptr<ValueDistribution> LogNormalDistribution::clone() const {
+  return std::make_unique<LogNormalDistribution>(*this);
+}
+
+}  // namespace approxiot::stats

@@ -1,0 +1,109 @@
+// Value distributions for workload generation. The paper's
+// microbenchmarks use four Gaussian and four Poisson sub-streams (§V-A);
+// the skew experiment adds λ = 10^7 (Fig. 10c). A small polymorphic
+// hierarchy lets workload::SubStreamSpec mix distribution families.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/rng.hpp"
+
+namespace approxiot::stats {
+
+/// Interface: draws item values. Implementations are cheap value objects;
+/// clone() supports copying workload specs between experiment runs.
+class ValueDistribution {
+ public:
+  virtual ~ValueDistribution() = default;
+
+  [[nodiscard]] virtual double sample(Rng& rng) const = 0;
+  /// Exact expectation of the distribution (for analytic ground truth).
+  [[nodiscard]] virtual double mean() const = 0;
+  /// Exact variance of the distribution.
+  [[nodiscard]] virtual double variance() const = 0;
+  [[nodiscard]] virtual std::string describe() const = 0;
+  [[nodiscard]] virtual std::unique_ptr<ValueDistribution> clone() const = 0;
+};
+
+class GaussianDistribution final : public ValueDistribution {
+ public:
+  GaussianDistribution(double mu, double sigma);
+
+  [[nodiscard]] double sample(Rng& rng) const override;
+  [[nodiscard]] double mean() const override { return mu_; }
+  [[nodiscard]] double variance() const override { return sigma_ * sigma_; }
+  [[nodiscard]] std::string describe() const override;
+  [[nodiscard]] std::unique_ptr<ValueDistribution> clone() const override;
+
+ private:
+  double mu_;
+  double sigma_;
+};
+
+class PoissonDistribution final : public ValueDistribution {
+ public:
+  explicit PoissonDistribution(double lambda);
+
+  [[nodiscard]] double sample(Rng& rng) const override;
+  [[nodiscard]] double mean() const override { return lambda_; }
+  [[nodiscard]] double variance() const override { return lambda_; }
+  [[nodiscard]] std::string describe() const override;
+  [[nodiscard]] std::unique_ptr<ValueDistribution> clone() const override;
+
+ private:
+  double lambda_;
+};
+
+class UniformDistribution final : public ValueDistribution {
+ public:
+  UniformDistribution(double lo, double hi);
+
+  [[nodiscard]] double sample(Rng& rng) const override;
+  [[nodiscard]] double mean() const override { return 0.5 * (lo_ + hi_); }
+  [[nodiscard]] double variance() const override {
+    const double w = hi_ - lo_;
+    return w * w / 12.0;
+  }
+  [[nodiscard]] std::string describe() const override;
+  [[nodiscard]] std::unique_ptr<ValueDistribution> clone() const override;
+
+ private:
+  double lo_;
+  double hi_;
+};
+
+class ExponentialDistribution final : public ValueDistribution {
+ public:
+  explicit ExponentialDistribution(double rate);
+
+  [[nodiscard]] double sample(Rng& rng) const override;
+  [[nodiscard]] double mean() const override { return 1.0 / rate_; }
+  [[nodiscard]] double variance() const override {
+    return 1.0 / (rate_ * rate_);
+  }
+  [[nodiscard]] std::string describe() const override;
+  [[nodiscard]] std::unique_ptr<ValueDistribution> clone() const override;
+
+ private:
+  double rate_;
+};
+
+/// Log-normal: heavy-tailed values used by the synthetic taxi-fare
+/// generator (fares are right-skewed with a long tail).
+class LogNormalDistribution final : public ValueDistribution {
+ public:
+  LogNormalDistribution(double log_mu, double log_sigma);
+
+  [[nodiscard]] double sample(Rng& rng) const override;
+  [[nodiscard]] double mean() const override;
+  [[nodiscard]] double variance() const override;
+  [[nodiscard]] std::string describe() const override;
+  [[nodiscard]] std::unique_ptr<ValueDistribution> clone() const override;
+
+ private:
+  double log_mu_;
+  double log_sigma_;
+};
+
+}  // namespace approxiot::stats

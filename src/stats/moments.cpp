@@ -1,0 +1,11 @@
+#include "stats/moments.hpp"
+
+#include <cmath>
+
+namespace approxiot::stats {
+
+double RunningMoments::sample_stddev() const noexcept {
+  return std::sqrt(sample_variance());
+}
+
+}  // namespace approxiot::stats

@@ -1,0 +1,104 @@
+// Numerically stable streaming moment accumulators.
+//
+// RunningMoments implements Welford's online algorithm; the error
+// estimator (§III-D) uses it to obtain the sample standard deviation
+// s_{i,r} of each sub-stream's items at the root (Eq. 12). A weighted
+// variant supports ablations where items carry unequal weights.
+#pragma once
+
+#include <cstdint>
+
+namespace approxiot::stats {
+
+/// Streaming count/mean/variance over unweighted observations.
+class RunningMoments {
+ public:
+  void add(double x) noexcept {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    if (count_ == 1) {
+      min_ = max_ = x;
+    } else {
+      if (x < min_) min_ = x;
+      if (x > max_) max_ = x;
+    }
+  }
+
+  /// Merges another accumulator (Chan et al. parallel combination).
+  void merge(const RunningMoments& other) noexcept {
+    if (other.count_ == 0) return;
+    if (count_ == 0) {
+      *this = other;
+      return;
+    }
+    const double n1 = static_cast<double>(count_);
+    const double n2 = static_cast<double>(other.count_);
+    const double delta = other.mean_ - mean_;
+    const double total = n1 + n2;
+    mean_ += delta * n2 / total;
+    m2_ += other.m2_ + delta * delta * n1 * n2 / total;
+    count_ += other.count_;
+    if (other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+  }
+
+  void reset() noexcept { *this = RunningMoments{}; }
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  [[nodiscard]] double sum() const noexcept {
+    return mean_ * static_cast<double>(count_);
+  }
+  /// Sample variance (n-1 denominator, Eq. 12); 0 for fewer than 2 items.
+  [[nodiscard]] double sample_variance() const noexcept {
+    return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+  }
+  /// Population variance (n denominator); 0 for empty input.
+  [[nodiscard]] double population_variance() const noexcept {
+    return count_ > 0 ? m2_ / static_cast<double>(count_) : 0.0;
+  }
+  [[nodiscard]] double sample_stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+ private:
+  std::uint64_t count_{0};
+  double mean_{0.0};
+  double m2_{0.0};
+  double min_{0.0};
+  double max_{0.0};
+};
+
+/// Streaming moments where each observation carries a non-negative weight
+/// (frequency-weight semantics: weight w behaves like w copies).
+class WeightedMoments {
+ public:
+  void add(double x, double weight) noexcept {
+    if (weight <= 0.0) return;
+    weight_sum_ += weight;
+    const double delta = x - mean_;
+    mean_ += delta * weight / weight_sum_;
+    m2_ += weight * delta * (x - mean_);
+  }
+
+  void reset() noexcept { *this = WeightedMoments{}; }
+
+  [[nodiscard]] double weight_sum() const noexcept { return weight_sum_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  [[nodiscard]] double weighted_sum() const noexcept {
+    return mean_ * weight_sum_;
+  }
+  /// Frequency-weighted population variance.
+  [[nodiscard]] double population_variance() const noexcept {
+    return weight_sum_ > 0.0 ? m2_ / weight_sum_ : 0.0;
+  }
+
+ private:
+  double weight_sum_{0.0};
+  double mean_{0.0};
+  double m2_{0.0};
+};
+
+}  // namespace approxiot::stats

@@ -1,0 +1,23 @@
+// Standard normal distribution utilities: CDF, inverse CDF (quantile),
+// and the z-values behind the paper's "68-95-99.7" error-bound rule.
+// Replaces the Apache Commons Math dependency of the original prototype.
+#pragma once
+
+namespace approxiot::stats {
+
+/// Φ(x): standard normal cumulative distribution function.
+[[nodiscard]] double normal_cdf(double x) noexcept;
+
+/// Φ⁻¹(p) for p in (0,1): Acklam's rational approximation refined with one
+/// Halley step; absolute error below 1e-9 across the domain.
+[[nodiscard]] double normal_quantile(double p) noexcept;
+
+/// z such that P(|Z| <= z) = confidence, e.g. 0.95 -> 1.959964.
+[[nodiscard]] double z_for_confidence(double confidence) noexcept;
+
+/// The paper's three canonical confidence levels (§III-D).
+inline constexpr double kConfidence68 = 0.6826894921370859;
+inline constexpr double kConfidence95 = 0.9544997361036416;
+inline constexpr double kConfidence997 = 0.9973002039367398;
+
+}  // namespace approxiot::stats

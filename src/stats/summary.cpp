@@ -1,0 +1,94 @@
+#include "stats/summary.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace approxiot::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0) {
+  if (!(hi > lo) || bins == 0) {
+    throw std::invalid_argument("Histogram requires hi > lo and bins > 0");
+  }
+}
+
+void Histogram::add(double x) noexcept {
+  std::size_t idx;
+  if (x < lo_) {
+    idx = 0;
+  } else if (x >= hi_) {
+    idx = counts_.size() - 1;
+  } else {
+    idx = static_cast<std::size_t>((x - lo_) / width_);
+    if (idx >= counts_.size()) idx = counts_.size() - 1;
+  }
+  ++counts_[idx];
+  ++total_;
+}
+
+void Histogram::reset() noexcept {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  total_ = 0;
+}
+
+double Histogram::bin_lower(std::size_t i) const noexcept {
+  return lo_ + width_ * static_cast<double>(i);
+}
+
+double Histogram::bin_upper(std::size_t i) const noexcept {
+  return lo_ + width_ * static_cast<double>(i + 1);
+}
+
+double Histogram::quantile(double q) const noexcept {
+  if (total_ == 0) return lo_;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total_);
+  double cum = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double next = cum + static_cast<double>(counts_[i]);
+    if (next >= target) {
+      const double frac =
+          counts_[i] > 0 ? (target - cum) / static_cast<double>(counts_[i])
+                         : 0.0;
+      return bin_lower(i) + frac * width_;
+    }
+    cum = next;
+  }
+  return hi_;
+}
+
+QuantileSketch::QuantileSketch(std::size_t capacity, std::uint64_t seed)
+    : capacity_(capacity == 0 ? 1 : capacity), rng_(seed) {
+  sample_.reserve(capacity_);
+}
+
+void QuantileSketch::add(double x) {
+  ++seen_;
+  if (sample_.size() < capacity_) {
+    sample_.push_back(x);
+    return;
+  }
+  const std::uint64_t j = rng_.next_below(seen_);
+  if (j < capacity_) sample_[static_cast<std::size_t>(j)] = x;
+}
+
+void QuantileSketch::reset() {
+  sample_.clear();
+  seen_ = 0;
+}
+
+double QuantileSketch::quantile(double q) const {
+  if (sample_.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  std::vector<double> sorted = sample_;
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace approxiot::stats

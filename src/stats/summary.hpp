@@ -1,0 +1,63 @@
+// Bounded-memory summaries for metric reporting: a fixed-bin histogram and
+// a reservoir-backed quantile sketch. Used by netsim to report latency
+// percentiles and by benches to print distribution rows.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace approxiot::stats {
+
+/// Fixed-width-bin histogram over [lo, hi); out-of-range values clamp to
+/// the edge bins so totals stay consistent.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+  void reset() noexcept;
+
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] std::size_t bin_count() const noexcept {
+    return counts_.size();
+  }
+  [[nodiscard]] std::uint64_t bin(std::size_t i) const { return counts_.at(i); }
+  [[nodiscard]] double bin_lower(std::size_t i) const noexcept;
+  [[nodiscard]] double bin_upper(std::size_t i) const noexcept;
+
+  /// Quantile estimate by linear interpolation within the containing bin.
+  [[nodiscard]] double quantile(double q) const noexcept;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_{0};
+};
+
+/// Quantile estimator that keeps a uniform random sample of the
+/// observations (classic reservoir, used only for reporting — the
+/// paper-facing reservoir sampler lives in src/sampling).
+class QuantileSketch {
+ public:
+  explicit QuantileSketch(std::size_t capacity = 4096,
+                          std::uint64_t seed = 0x51c7e1e5u);
+
+  void add(double x);
+  void reset();
+
+  [[nodiscard]] std::uint64_t total() const noexcept { return seen_; }
+  [[nodiscard]] double quantile(double q) const;
+  [[nodiscard]] double median() const { return quantile(0.5); }
+
+ private:
+  std::size_t capacity_;
+  std::uint64_t seen_{0};
+  std::vector<double> sample_;
+  Rng rng_;
+};
+
+}  // namespace approxiot::stats

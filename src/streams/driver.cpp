@@ -1,0 +1,190 @@
+#include "streams/driver.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+#include "common/logging.hpp"
+
+namespace approxiot::streams {
+
+/// Per-node ProcessorContext: forwards to the node's children, writing to
+/// the sink topic when a child is a sink.
+class TopologyDriver::ContextImpl final : public ProcessorContext {
+ public:
+  ContextImpl(TopologyDriver& driver, std::string node_name)
+      : driver_(&driver), node_name_(std::move(node_name)) {}
+
+  void forward(flowqueue::Record record) override {
+    const TopologyNode& node = driver_->topology_.nodes().at(node_name_);
+    for (const std::string& child : node.children) {
+      driver_->route(child, record);
+    }
+  }
+
+  void schedule(SimTime interval) override {
+    if (interval.us <= 0) return;
+    Punctuation p;
+    p.interval = interval;
+    p.next_fire = SimTime{((driver_->stream_time_.us / interval.us) + 1) *
+                          interval.us};
+    driver_->punctuations_[node_name_] = p;
+  }
+
+  [[nodiscard]] SimTime stream_time() const override {
+    return driver_->stream_time_;
+  }
+
+  [[nodiscard]] const std::string& node_name() const override {
+    return node_name_;
+  }
+
+ private:
+  TopologyDriver* driver_;
+  std::string node_name_;
+};
+
+TopologyDriver::TopologyDriver(flowqueue::Broker& broker, Topology topology,
+                               std::string application_id)
+    : broker_(&broker),
+      topology_(std::move(topology)),
+      application_id_(std::move(application_id)) {}
+
+TopologyDriver::~TopologyDriver() {
+  if (started_) (void)stop();
+}
+
+Status TopologyDriver::start() {
+  if (started_) return Status::failed_precondition("driver already started");
+
+  producer_ = std::make_unique<flowqueue::Producer>(*broker_);
+
+  for (const auto& [name, node] : topology_.nodes()) {
+    switch (node.kind) {
+      case TopologyNode::Kind::kSource: {
+        // Member names must be unique per consumer instance: two drivers
+        // sharing an application id (one group) would otherwise collide
+        // on the same member and double-consume every partition.
+        static std::atomic<std::uint64_t> instance_counter{0};
+        const std::uint64_t instance =
+            instance_counter.fetch_add(1, std::memory_order_relaxed);
+        auto consumer = std::make_unique<flowqueue::Consumer>(
+            *broker_, application_id_ + "/" + name + "#" +
+                          std::to_string(instance));
+        Status s = consumer->subscribe(application_id_, {node.topic});
+        if (!s.is_ok()) return s;
+        consumers_.emplace(name, std::move(consumer));
+        break;
+      }
+      case TopologyNode::Kind::kProcessor: {
+        auto processor = node.factory();
+        auto context = std::make_unique<ContextImpl>(*this, name);
+        processor->init(*context);
+        contexts_.emplace(name, std::move(context));
+        processors_.emplace(name, std::move(processor));
+        break;
+      }
+      case TopologyNode::Kind::kSink:
+        break;
+    }
+  }
+  started_ = true;
+  return Status::ok();
+}
+
+void TopologyDriver::route(const std::string& node_name,
+                           const flowqueue::Record& record) {
+  const TopologyNode& node = topology_.nodes().at(node_name);
+  switch (node.kind) {
+    case TopologyNode::Kind::kProcessor:
+      processors_.at(node_name)->process(record);
+      break;
+    case TopologyNode::Kind::kSink: {
+      auto sent = producer_->send(node.topic, record.key, record.value,
+                                  record.timestamp);
+      if (!sent) {
+        AIOT_LOG(kError, "streams.driver")
+            << "sink '" << node_name << "' failed: " << sent.status().to_string();
+      }
+      break;
+    }
+    case TopologyNode::Kind::kSource:
+      // Sources never appear as children (no parents allowed on them).
+      break;
+  }
+}
+
+void TopologyDriver::maybe_punctuate() {
+  // Fire punctuations in time order until none are due. A punctuate() may
+  // forward records but not move stream time, so this terminates.
+  bool fired = true;
+  while (fired) {
+    fired = false;
+    std::string due_node;
+    SimTime due_time{};
+    for (const auto& [name, p] : punctuations_) {
+      if (p.next_fire <= stream_time_ &&
+          (due_node.empty() || p.next_fire < due_time)) {
+        due_node = name;
+        due_time = p.next_fire;
+      }
+    }
+    if (!due_node.empty()) {
+      Punctuation& p = punctuations_.at(due_node);
+      p.next_fire = p.next_fire + p.interval;
+      processors_.at(due_node)->punctuate(due_time);
+      fired = true;
+    }
+  }
+}
+
+Result<std::size_t> TopologyDriver::run_once(std::size_t max_records) {
+  if (!started_) return Status::failed_precondition("driver not started");
+
+  std::size_t consumed = 0;
+  for (const auto& source_name : topology_.sources()) {
+    auto batch = consumers_.at(source_name)->poll(max_records);
+    if (!batch) return batch.status();
+    for (const flowqueue::Record& record : batch.value()) {
+      stream_time_ = std::max(stream_time_, record.timestamp);
+      // Deliver to the source's children directly (a source itself has no
+      // processing logic).
+      for (const std::string& child :
+           topology_.nodes().at(source_name).children) {
+        route(child, record);
+      }
+      ++consumed;
+      maybe_punctuate();
+    }
+  }
+  return consumed;
+}
+
+Status TopologyDriver::run_until_idle(std::size_t max_cycles) {
+  for (std::size_t i = 0; i < max_cycles; ++i) {
+    auto consumed = run_once();
+    if (!consumed) return consumed.status();
+    if (consumed.value() == 0) return Status::ok();
+  }
+  return Status::resource_exhausted("run_until_idle exceeded max_cycles");
+}
+
+void TopologyDriver::advance_stream_time(SimTime to) {
+  stream_time_ = std::max(stream_time_, to);
+  maybe_punctuate();
+}
+
+Status TopologyDriver::stop() {
+  if (!started_) return Status::ok();
+  // Push stream time past every pending punctuation so buffered intervals
+  // flush, then close processors.
+  SimTime max_fire = stream_time_;
+  for (const auto& [_, p] : punctuations_) {
+    max_fire = std::max(max_fire, p.next_fire);
+  }
+  advance_stream_time(max_fire);
+  for (auto& [_, processor] : processors_) processor->close();
+  started_ = false;
+  return Status::ok();
+}
+
+}  // namespace approxiot::streams

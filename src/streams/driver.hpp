@@ -1,0 +1,79 @@
+// TopologyDriver: instantiates a Topology against a flowqueue Broker and
+// pumps records through it.
+//
+// The driver owns one consumer per source and a producer for sinks. Each
+// call to run_once() polls the sources, routes records down the DAG, and
+// fires any stream-time punctuations that the new records crossed. This
+// single-threaded, pull-based design keeps execution deterministic —
+// essential for reproducible experiments — while preserving the Kafka
+// Streams programming model.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "flowqueue/broker.hpp"
+#include "flowqueue/consumer.hpp"
+#include "flowqueue/producer.hpp"
+#include "streams/topology.hpp"
+
+namespace approxiot::streams {
+
+class TopologyDriver {
+ public:
+  /// `application_id` namespaces the driver's consumer group.
+  TopologyDriver(flowqueue::Broker& broker, Topology topology,
+                 std::string application_id);
+
+  TopologyDriver(const TopologyDriver&) = delete;
+  TopologyDriver& operator=(const TopologyDriver&) = delete;
+  ~TopologyDriver();
+
+  /// Connects consumers/producers and init()s processors.
+  Status start();
+
+  /// One poll-and-process cycle. Returns the number of records consumed
+  /// from source topics (0 == nothing pending).
+  Result<std::size_t> run_once(std::size_t max_records = 1024);
+
+  /// Runs until all source topics are drained (no records consumed).
+  Status run_until_idle(std::size_t max_cycles = 1'000'000);
+
+  /// Fires any pending punctuations up to `now` even without new records
+  /// (used to flush the last interval), then close()s processors.
+  Status stop();
+
+  /// Advances stream time manually (e.g. to flush a trailing window).
+  void advance_stream_time(SimTime to);
+
+  [[nodiscard]] SimTime stream_time() const noexcept { return stream_time_; }
+
+ private:
+  class ContextImpl;
+
+  void route(const std::string& node_name, const flowqueue::Record& record);
+  void maybe_punctuate();
+
+  flowqueue::Broker* broker_;
+  Topology topology_;
+  std::string application_id_;
+  bool started_{false};
+
+  std::unique_ptr<flowqueue::Producer> producer_;
+  std::map<std::string, std::unique_ptr<flowqueue::Consumer>> consumers_;
+  std::map<std::string, std::unique_ptr<Processor>> processors_;
+  std::map<std::string, std::unique_ptr<ContextImpl>> contexts_;
+
+  struct Punctuation {
+    SimTime interval{};
+    SimTime next_fire{};
+  };
+  std::map<std::string, Punctuation> punctuations_;
+
+  SimTime stream_time_{SimTime::zero()};
+};
+
+}  // namespace approxiot::streams

@@ -1,0 +1,58 @@
+// Low-level Processor API, modelled on Kafka Streams' Processor API —
+// the interface the original ApproxIoT prototype implements its sampling
+// module against (§IV-B: "we implemented the algorithm in a user-defined
+// processor using the Low-Level API").
+//
+// A Processor receives records one at a time via process(); it may hold
+// state and emit records downstream through its ProcessorContext, either
+// inline or later from a punctuation callback. Punctuations fire on
+// *stream time* (the max record timestamp seen), which is how the
+// interval/window machinery advances deterministically in simulation.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/time.hpp"
+#include "flowqueue/record.hpp"
+
+namespace approxiot::streams {
+
+class ProcessorContext {
+ public:
+  virtual ~ProcessorContext() = default;
+
+  /// Sends a record to every downstream child of this node.
+  virtual void forward(flowqueue::Record record) = 0;
+
+  /// Requests a punctuate() callback every `interval` of stream time.
+  virtual void schedule(SimTime interval) = 0;
+
+  /// Current stream time (max record timestamp observed by the driver).
+  [[nodiscard]] virtual SimTime stream_time() const = 0;
+
+  /// Name of the topology node this processor is mounted at.
+  [[nodiscard]] virtual const std::string& node_name() const = 0;
+};
+
+class Processor {
+ public:
+  virtual ~Processor() = default;
+
+  /// Called once before any records; keep a pointer to the context.
+  virtual void init(ProcessorContext& context) = 0;
+
+  /// Called per record, in partition order per source.
+  virtual void process(const flowqueue::Record& record) = 0;
+
+  /// Called when scheduled stream-time punctuation fires. `now` is the
+  /// punctuation boundary (multiple of the scheduled interval).
+  virtual void punctuate(SimTime now) { (void)now; }
+
+  /// Called once at shutdown; flush any buffered output here.
+  virtual void close() {}
+};
+
+using ProcessorFactory = std::unique_ptr<Processor> (*)();
+
+}  // namespace approxiot::streams

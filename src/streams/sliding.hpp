@@ -1,0 +1,103 @@
+// Sliding-window aggregation: windows of length `size` that advance by
+// `slide` (< size ⇒ overlapping). The paper's processing model is "the
+// computation window slides" (§III-B, citing Slider [10, 11]); tumbling
+// windows are the slide == size special case.
+//
+// Each record timestamp belongs to ceil(size / slide) windows; state is
+// kept per window and retired once stream time passes the window end
+// (plus grace), oldest first — same contract as TumblingWindows so
+// processors can swap one for the other.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <vector>
+
+#include "common/time.hpp"
+#include "streams/window.hpp"
+
+namespace approxiot::streams {
+
+template <typename State>
+class SlidingWindows {
+ public:
+  SlidingWindows(SimTime size, SimTime slide,
+                 SimTime grace = SimTime::zero())
+      : size_(size), slide_(slide), grace_(grace) {
+    if (size_.us <= 0 || slide_.us <= 0) {
+      throw std::invalid_argument("window size and slide must be positive");
+    }
+    if (slide_.us > size_.us) {
+      throw std::invalid_argument("slide must not exceed window size");
+    }
+  }
+
+  [[nodiscard]] SimTime window_size() const noexcept { return size_; }
+  [[nodiscard]] SimTime slide() const noexcept { return slide_; }
+
+  /// Window k covers [k*slide, k*slide + size).
+  [[nodiscard]] SimTime window_start(WindowKey k) const noexcept {
+    return SimTime{k.index * slide_.us};
+  }
+  [[nodiscard]] SimTime window_end(WindowKey k) const noexcept {
+    return SimTime{k.index * slide_.us + size_.us};
+  }
+
+  /// All windows containing time `t`, in increasing key order.
+  [[nodiscard]] std::vector<WindowKey> windows_of(SimTime t) const {
+    std::vector<WindowKey> keys;
+    // Largest k with k*slide <= t, then walk back while t < k*slide+size.
+    std::int64_t k = t.us / slide_.us;
+    while (k >= 0 && t.us < k * slide_.us + size_.us) {
+      keys.push_back(WindowKey{k});
+      --k;
+    }
+    std::reverse(keys.begin(), keys.end());
+    return keys;
+  }
+
+  /// Applies `update` to the state of every window containing `t`.
+  template <typename Fn>
+  void update_at(SimTime t, Fn&& update) {
+    for (WindowKey key : windows_of(t)) {
+      update(windows_[key]);
+    }
+  }
+
+  /// Extracts and removes every window whose end (+grace) is at or before
+  /// `stream_time`, oldest first.
+  [[nodiscard]] std::vector<std::pair<WindowKey, State>> close_expired(
+      SimTime stream_time) {
+    std::vector<std::pair<WindowKey, State>> out;
+    auto it = windows_.begin();
+    while (it != windows_.end() &&
+           window_end(it->first) + grace_ <= stream_time) {
+      out.emplace_back(it->first, std::move(it->second));
+      it = windows_.erase(it);
+    }
+    return out;
+  }
+
+  [[nodiscard]] std::vector<std::pair<WindowKey, State>> close_all() {
+    std::vector<std::pair<WindowKey, State>> out;
+    for (auto& [key, state] : windows_) {
+      out.emplace_back(key, std::move(state));
+    }
+    windows_.clear();
+    return out;
+  }
+
+  [[nodiscard]] std::size_t open_windows() const noexcept {
+    return windows_.size();
+  }
+
+ private:
+  SimTime size_;
+  SimTime slide_;
+  SimTime grace_;
+  std::map<WindowKey, State> windows_;
+};
+
+}  // namespace approxiot::streams

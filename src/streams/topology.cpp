@@ -1,0 +1,134 @@
+#include "streams/topology.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace approxiot::streams {
+
+std::vector<std::string> Topology::sources() const {
+  std::vector<std::string> out;
+  for (const auto& [name, node] : nodes_) {
+    if (node.kind == TopologyNode::Kind::kSource) out.push_back(name);
+  }
+  return out;
+}
+
+std::vector<std::string> Topology::sinks() const {
+  std::vector<std::string> out;
+  for (const auto& [name, node] : nodes_) {
+    if (node.kind == TopologyNode::Kind::kSink) out.push_back(name);
+  }
+  return out;
+}
+
+TopologyBuilder& TopologyBuilder::add_source(const std::string& name,
+                                             const std::string& topic) {
+  TopologyNode node;
+  node.name = name;
+  node.kind = TopologyNode::Kind::kSource;
+  node.topic = topic;
+  pending_.push_back(std::move(node));
+  return *this;
+}
+
+TopologyBuilder& TopologyBuilder::add_processor(
+    const std::string& name,
+    std::function<std::unique_ptr<Processor>()> factory,
+    const std::vector<std::string>& parents) {
+  TopologyNode node;
+  node.name = name;
+  node.kind = TopologyNode::Kind::kProcessor;
+  node.factory = std::move(factory);
+  node.parents = parents;
+  pending_.push_back(std::move(node));
+  return *this;
+}
+
+TopologyBuilder& TopologyBuilder::add_sink(
+    const std::string& name, const std::string& topic,
+    const std::vector<std::string>& parents) {
+  TopologyNode node;
+  node.name = name;
+  node.kind = TopologyNode::Kind::kSink;
+  node.topic = topic;
+  node.parents = parents;
+  pending_.push_back(std::move(node));
+  return *this;
+}
+
+Result<Topology> TopologyBuilder::build() const {
+  Topology topo;
+
+  for (const TopologyNode& node : pending_) {
+    if (node.name.empty()) {
+      return Status::invalid_argument("topology node with empty name");
+    }
+    if (topo.nodes_.count(node.name) > 0) {
+      return Status::already_exists("topology node '" + node.name + "'");
+    }
+    if (node.kind == TopologyNode::Kind::kSource && node.topic.empty()) {
+      return Status::invalid_argument("source '" + node.name +
+                                      "' has no topic");
+    }
+    if (node.kind == TopologyNode::Kind::kSink && node.topic.empty()) {
+      return Status::invalid_argument("sink '" + node.name + "' has no topic");
+    }
+    if (node.kind == TopologyNode::Kind::kProcessor && !node.factory) {
+      return Status::invalid_argument("processor '" + node.name +
+                                      "' has no factory");
+    }
+    if (node.kind != TopologyNode::Kind::kSource && node.parents.empty()) {
+      return Status::invalid_argument("node '" + node.name +
+                                      "' has no parents");
+    }
+    if (node.kind == TopologyNode::Kind::kSource && !node.parents.empty()) {
+      return Status::invalid_argument("source '" + node.name +
+                                      "' cannot have parents");
+    }
+    topo.nodes_.emplace(node.name, node);
+  }
+
+  // Resolve parents and populate children.
+  for (auto& [name, node] : topo.nodes_) {
+    for (const std::string& parent : node.parents) {
+      auto it = topo.nodes_.find(parent);
+      if (it == topo.nodes_.end()) {
+        return Status::not_found("parent '" + parent + "' of node '" + name +
+                                 "'");
+      }
+      if (it->second.kind == TopologyNode::Kind::kSink) {
+        return Status::invalid_argument("sink '" + parent +
+                                        "' cannot have children");
+      }
+      it->second.children.push_back(name);
+    }
+  }
+
+  // Kahn's algorithm for a topological order; leftovers indicate a cycle.
+  std::map<std::string, std::size_t> in_degree;
+  for (const auto& [name, node] : topo.nodes_) {
+    in_degree[name] = node.parents.size();
+  }
+  std::vector<std::string> frontier;
+  for (const auto& [name, degree] : in_degree) {
+    if (degree == 0) frontier.push_back(name);
+  }
+  std::sort(frontier.begin(), frontier.end());
+  while (!frontier.empty()) {
+    const std::string name = frontier.front();
+    frontier.erase(frontier.begin());
+    topo.order_.push_back(name);
+    for (const std::string& child : topo.nodes_.at(name).children) {
+      if (--in_degree.at(child) == 0) {
+        frontier.insert(
+            std::upper_bound(frontier.begin(), frontier.end(), child), child);
+      }
+    }
+  }
+  if (topo.order_.size() != topo.nodes_.size()) {
+    return Status::invalid_argument("topology contains a cycle");
+  }
+  return topo;
+}
+
+}  // namespace approxiot::streams

@@ -1,0 +1,71 @@
+// Topology: a DAG of sources (flowqueue topics in), processors, and sinks
+// (topics out) — the Streams-DSL "processing topology" of the paper's
+// Fig. 4, assembled programmatically.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "streams/processor.hpp"
+
+namespace approxiot::streams {
+
+struct TopologyNode {
+  enum class Kind { kSource, kProcessor, kSink };
+
+  std::string name;
+  Kind kind{Kind::kProcessor};
+  std::string topic;  // source: input topic; sink: output topic
+  std::function<std::unique_ptr<Processor>()> factory;  // processors only
+  std::vector<std::string> parents;
+  std::vector<std::string> children;  // filled in by build()
+};
+
+class Topology {
+ public:
+  [[nodiscard]] const std::map<std::string, TopologyNode>& nodes() const {
+    return nodes_;
+  }
+  [[nodiscard]] std::vector<std::string> sources() const;
+  [[nodiscard]] std::vector<std::string> sinks() const;
+
+  /// Topological order of processor evaluation (sources first).
+  [[nodiscard]] const std::vector<std::string>& order() const {
+    return order_;
+  }
+
+ private:
+  friend class TopologyBuilder;
+  std::map<std::string, TopologyNode> nodes_;
+  std::vector<std::string> order_;
+};
+
+class TopologyBuilder {
+ public:
+  /// Declares a source reading `topic`.
+  TopologyBuilder& add_source(const std::string& name,
+                              const std::string& topic);
+
+  /// Declares a processor with upstream `parents` (sources or processors).
+  TopologyBuilder& add_processor(
+      const std::string& name,
+      std::function<std::unique_ptr<Processor>()> factory,
+      const std::vector<std::string>& parents);
+
+  /// Declares a sink writing records it receives to `topic`.
+  TopologyBuilder& add_sink(const std::string& name, const std::string& topic,
+                            const std::vector<std::string>& parents);
+
+  /// Validates (names unique, parents exist, acyclic, sinks have parents)
+  /// and produces the immutable topology.
+  [[nodiscard]] Result<Topology> build() const;
+
+ private:
+  std::vector<TopologyNode> pending_;
+};
+
+}  // namespace approxiot::streams

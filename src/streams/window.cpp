@@ -1,0 +1,10 @@
+// TumblingWindows is header-only (class template); this translation unit
+// exists to anchor the library target and to host an explicit
+// instantiation that keeps the template compiling under changes.
+#include "streams/window.hpp"
+
+namespace approxiot::streams {
+
+template class TumblingWindows<int>;
+
+}  // namespace approxiot::streams

@@ -1,0 +1,90 @@
+// Tumbling-window aggregation helper for processors: assigns records to
+// fixed, non-overlapping windows by timestamp and retires windows whose
+// end has passed stream time (plus an optional grace period). This is the
+// windowing model the paper's latency experiments use (window sizes of
+// 0.5–4 s, Fig. 9).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace approxiot::streams {
+
+/// Identifier of a tumbling window: window k covers [k*len, (k+1)*len).
+struct WindowKey {
+  std::int64_t index{0};
+
+  friend bool operator<(WindowKey a, WindowKey b) noexcept {
+    return a.index < b.index;
+  }
+  friend bool operator==(WindowKey a, WindowKey b) noexcept {
+    return a.index == b.index;
+  }
+};
+
+template <typename State>
+class TumblingWindows {
+ public:
+  explicit TumblingWindows(SimTime window_size,
+                           SimTime grace = SimTime::zero())
+      : size_(window_size.us > 0 ? window_size : SimTime::from_seconds(1.0)),
+        grace_(grace) {}
+
+  [[nodiscard]] WindowKey window_of(SimTime t) const noexcept {
+    return WindowKey{t.us / size_.us};
+  }
+
+  [[nodiscard]] SimTime window_start(WindowKey k) const noexcept {
+    return SimTime{k.index * size_.us};
+  }
+  [[nodiscard]] SimTime window_end(WindowKey k) const noexcept {
+    return SimTime{(k.index + 1) * size_.us};
+  }
+  [[nodiscard]] SimTime window_size() const noexcept { return size_; }
+
+  /// State for the window containing `t`, default-constructed on first
+  /// access.
+  State& state_at(SimTime t) { return windows_[window_of(t)]; }
+
+  /// Extracts and removes every window whose end (+grace) is at or before
+  /// `stream_time`, oldest first.
+  [[nodiscard]] std::vector<std::pair<WindowKey, State>> close_expired(
+      SimTime stream_time) {
+    std::vector<std::pair<WindowKey, State>> out;
+    auto it = windows_.begin();
+    while (it != windows_.end()) {
+      if (window_end(it->first) + grace_ <= stream_time) {
+        out.emplace_back(it->first, std::move(it->second));
+        it = windows_.erase(it);
+      } else {
+        break;  // map is ordered by window index == time order
+      }
+    }
+    return out;
+  }
+
+  /// Extracts every remaining window (shutdown flush).
+  [[nodiscard]] std::vector<std::pair<WindowKey, State>> close_all() {
+    std::vector<std::pair<WindowKey, State>> out;
+    for (auto& [key, state] : windows_) {
+      out.emplace_back(key, std::move(state));
+    }
+    windows_.clear();
+    return out;
+  }
+
+  [[nodiscard]] std::size_t open_windows() const noexcept {
+    return windows_.size();
+  }
+
+ private:
+  SimTime size_;
+  SimTime grace_;
+  std::map<WindowKey, State> windows_;
+};
+
+}  // namespace approxiot::streams

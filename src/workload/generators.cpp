@@ -1,0 +1,106 @@
+#include "workload/generators.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+namespace approxiot::workload {
+
+namespace {
+
+SubStreamSpec make_spec(std::uint64_t id, std::string name,
+                        std::shared_ptr<const stats::ValueDistribution> dist,
+                        double rate) {
+  SubStreamSpec spec;
+  spec.id = SubStreamId{id};
+  spec.name = std::move(name);
+  spec.values = std::move(dist);
+  spec.rate_items_per_s = rate;
+  return spec;
+}
+
+}  // namespace
+
+std::vector<SubStreamSpec> gaussian_quad(double rate_per_stream) {
+  std::vector<SubStreamSpec> specs;
+  specs.push_back(make_spec(
+      1, "A", std::make_shared<stats::GaussianDistribution>(10.0, 5.0),
+      rate_per_stream));
+  specs.push_back(make_spec(
+      2, "B", std::make_shared<stats::GaussianDistribution>(1000.0, 50.0),
+      rate_per_stream));
+  specs.push_back(make_spec(
+      3, "C", std::make_shared<stats::GaussianDistribution>(10000.0, 500.0),
+      rate_per_stream));
+  specs.push_back(make_spec(
+      4, "D", std::make_shared<stats::GaussianDistribution>(100000.0, 5000.0),
+      rate_per_stream));
+  return specs;
+}
+
+std::vector<SubStreamSpec> poisson_quad(double rate_per_stream) {
+  std::vector<SubStreamSpec> specs;
+  specs.push_back(make_spec(
+      1, "A", std::make_shared<stats::PoissonDistribution>(10.0),
+      rate_per_stream));
+  specs.push_back(make_spec(
+      2, "B", std::make_shared<stats::PoissonDistribution>(100.0),
+      rate_per_stream));
+  specs.push_back(make_spec(
+      3, "C", std::make_shared<stats::PoissonDistribution>(1000.0),
+      rate_per_stream));
+  specs.push_back(make_spec(
+      4, "D", std::make_shared<stats::PoissonDistribution>(10000.0),
+      rate_per_stream));
+  return specs;
+}
+
+std::vector<SubStreamSpec> fluctuating_setting(int setting, bool gaussian) {
+  std::vector<double> rates;
+  switch (setting) {
+    case 1:
+      rates = {50000.0, 25000.0, 12500.0, 625.0};
+      break;
+    case 2:
+      rates = {25000.0, 25000.0, 25000.0, 25000.0};
+      break;
+    case 3:
+      rates = {625.0, 12500.0, 25000.0, 50000.0};
+      break;
+    default:
+      throw std::invalid_argument("setting must be 1, 2 or 3");
+  }
+  auto specs = gaussian ? gaussian_quad() : poisson_quad();
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    specs[i].rate_items_per_s = rates[i];
+  }
+  return specs;
+}
+
+std::vector<SubStreamSpec> skewed_poisson(double total_rate) {
+  std::vector<SubStreamSpec> specs;
+  specs.push_back(make_spec(
+      1, "A", std::make_shared<stats::PoissonDistribution>(10.0),
+      total_rate * 0.80));
+  specs.push_back(make_spec(
+      2, "B", std::make_shared<stats::PoissonDistribution>(100.0),
+      total_rate * 0.1989));
+  specs.push_back(make_spec(
+      3, "C", std::make_shared<stats::PoissonDistribution>(1000.0),
+      total_rate * 0.001));
+  specs.push_back(make_spec(
+      4, "D", std::make_shared<stats::PoissonDistribution>(10000000.0),
+      total_rate * 0.0001));
+  return specs;
+}
+
+double expected_mean_value(const std::vector<SubStreamSpec>& specs) {
+  double weighted = 0.0;
+  double rate_total = 0.0;
+  for (const auto& spec : specs) {
+    weighted += spec.values->mean() * spec.rate_items_per_s;
+    rate_total += spec.rate_items_per_s;
+  }
+  return rate_total > 0.0 ? weighted / rate_total : 0.0;
+}
+
+}  // namespace approxiot::workload

@@ -1,0 +1,44 @@
+// Canned workloads matching the paper's evaluation section (§V-A, §V-D,
+// §V-E): the four Gaussian and four Poisson sub-streams, the three
+// fluctuating-rate settings, and the extreme-skew mixture.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workload/substream.hpp"
+
+namespace approxiot::workload {
+
+/// Gaussian microbenchmark sub-streams (§V-A):
+///   A(µ=10, σ=5), B(µ=1e3, σ=50), C(µ=1e4, σ=500), D(µ=1e5, σ=5000),
+/// each at `rate_per_stream` items/s.
+[[nodiscard]] std::vector<SubStreamSpec> gaussian_quad(
+    double rate_per_stream = 25000.0);
+
+/// Poisson microbenchmark sub-streams (§V-A):
+///   A(λ=10), B(λ=100), C(λ=1000), D(λ=10000).
+[[nodiscard]] std::vector<SubStreamSpec> poisson_quad(
+    double rate_per_stream = 25000.0);
+
+/// Fluctuating-rate settings of Fig. 10(a,b). `setting` in {1,2,3}:
+///   Setting1: (50k : 25k : 12.5k : 625)
+///   Setting2: (25k : 25k : 25k : 25k)
+///   Setting3: (625 : 12.5k : 25k : 50k)
+/// Applied to either the Gaussian or the Poisson quad.
+[[nodiscard]] std::vector<SubStreamSpec> fluctuating_setting(
+    int setting, bool gaussian);
+
+/// Extreme-skew mixture of Fig. 10(c): Poisson λ = 10, 100, 1000, 1e7 with
+/// arrival shares 80%, 19.89%, 0.1%, 0.01% of `total_rate`.
+[[nodiscard]] std::vector<SubStreamSpec> skewed_poisson(
+    double total_rate = 100000.0);
+
+/// Analytic expected mean item value of a spec set, weighted by rates
+/// (used as a sanity reference; exact ground truth still comes from
+/// GroundTruth over generated items).
+[[nodiscard]] double expected_mean_value(
+    const std::vector<SubStreamSpec>& specs);
+
+}  // namespace approxiot::workload

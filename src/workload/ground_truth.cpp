@@ -1,0 +1,49 @@
+#include "workload/ground_truth.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace approxiot::workload {
+
+double GroundTruth::sum(SubStreamId id) const {
+  auto it = moments_.find(id);
+  return it == moments_.end() ? 0.0 : it->second.sum();
+}
+
+std::uint64_t GroundTruth::count(SubStreamId id) const {
+  auto it = moments_.find(id);
+  return it == moments_.end() ? 0 : it->second.count();
+}
+
+double GroundTruth::total_sum() const {
+  double total = 0.0;
+  for (const auto& [_, m] : moments_) total += m.sum();
+  return total;
+}
+
+std::uint64_t GroundTruth::total_count() const {
+  std::uint64_t total = 0;
+  for (const auto& [_, m] : moments_) total += m.count();
+  return total;
+}
+
+double GroundTruth::total_mean() const {
+  const std::uint64_t n = total_count();
+  return n > 0 ? total_sum() / static_cast<double>(n) : 0.0;
+}
+
+std::vector<SubStreamId> GroundTruth::sub_streams() const {
+  std::vector<SubStreamId> out;
+  out.reserve(moments_.size());
+  for (const auto& [id, _] : moments_) out.push_back(id);
+  return out;
+}
+
+double accuracy_loss_percent(double approx, double exact) {
+  if (exact == 0.0) {
+    return approx == 0.0 ? 0.0 : std::numeric_limits<double>::infinity();
+  }
+  return 100.0 * std::fabs(approx - exact) / std::fabs(exact);
+}
+
+}  // namespace approxiot::workload

@@ -1,0 +1,43 @@
+// GroundTruth: exact per-sub-stream statistics over every generated item,
+// kept alongside the approximate pipeline so benches can report the
+// paper's accuracy-loss metric |approx − exact| / exact (§V-A Metrics).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/types.hpp"
+#include "stats/moments.hpp"
+
+namespace approxiot::workload {
+
+class GroundTruth {
+ public:
+  void add(const Item& item) { moments_[item.source].add(item.value); }
+
+  void add_all(const std::vector<Item>& items) {
+    for (const Item& item : items) add(item);
+  }
+
+  void reset() { moments_.clear(); }
+
+  [[nodiscard]] double sum(SubStreamId id) const;
+  [[nodiscard]] std::uint64_t count(SubStreamId id) const;
+
+  [[nodiscard]] double total_sum() const;
+  [[nodiscard]] std::uint64_t total_count() const;
+  [[nodiscard]] double total_mean() const;
+
+  [[nodiscard]] std::vector<SubStreamId> sub_streams() const;
+
+ private:
+  std::map<SubStreamId, stats::RunningMoments> moments_;
+};
+
+/// The paper's accuracy-loss metric, in *percent* (its plots' unit):
+/// 100 · |approx − exact| / |exact|. Returns +inf when exact == 0 but
+/// approx != 0; 0 when both are 0.
+[[nodiscard]] double accuracy_loss_percent(double approx, double exact);
+
+}  // namespace approxiot::workload

@@ -1,0 +1,89 @@
+#include "workload/substream.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace approxiot::workload {
+
+StreamGenerator::StreamGenerator(std::vector<SubStreamSpec> specs,
+                                 std::uint64_t seed)
+    : specs_(std::move(specs)), accumulators_(specs_.size(), 0.0), rng_(seed) {
+  for (const auto& spec : specs_) {
+    if (!spec.values) {
+      throw std::invalid_argument("sub-stream '" + spec.name +
+                                  "' has no value distribution");
+    }
+    if (spec.rate_items_per_s < 0.0) {
+      throw std::invalid_argument("sub-stream '" + spec.name +
+                                  "' has negative rate");
+    }
+  }
+}
+
+std::vector<Item> StreamGenerator::tick(SimTime now, SimTime dt) {
+  std::vector<Item> items;
+  const double seconds = dt.seconds();
+  for (std::size_t i = 0; i < specs_.size(); ++i) {
+    accumulators_[i] += specs_[i].rate_items_per_s * seconds;
+    const auto due = static_cast<std::size_t>(accumulators_[i]);
+    accumulators_[i] -= static_cast<double>(due);
+    for (std::size_t k = 0; k < due; ++k) {
+      Item item;
+      item.source = specs_[i].id;
+      item.value = specs_[i].values->sample(rng_);
+      item.created_at_us = now.us;
+      items.push_back(item);
+    }
+  }
+  return items;
+}
+
+std::vector<Item> StreamGenerator::generate(SubStreamId id, std::size_t count,
+                                            SimTime now) {
+  for (const auto& spec : specs_) {
+    if (spec.id == id) {
+      std::vector<Item> items;
+      items.reserve(count);
+      for (std::size_t k = 0; k < count; ++k) {
+        Item item;
+        item.source = id;
+        item.value = spec.values->sample(rng_);
+        item.created_at_us = now.us;
+        items.push_back(item);
+      }
+      return items;
+    }
+  }
+  throw std::invalid_argument("unknown sub-stream id");
+}
+
+void StreamGenerator::set_rate(SubStreamId id, double rate_items_per_s) {
+  if (rate_items_per_s < 0.0) {
+    throw std::invalid_argument("negative rate");
+  }
+  for (auto& spec : specs_) {
+    if (spec.id == id) {
+      spec.rate_items_per_s = rate_items_per_s;
+      return;
+    }
+  }
+  throw std::invalid_argument("unknown sub-stream id");
+}
+
+double StreamGenerator::total_rate() const noexcept {
+  double total = 0.0;
+  for (const auto& spec : specs_) total += spec.rate_items_per_s;
+  return total;
+}
+
+std::vector<std::vector<Item>> shard_by_substream(
+    const std::vector<Item>& items, std::size_t leaves) {
+  if (leaves == 0) throw std::invalid_argument("leaves must be > 0");
+  std::vector<std::vector<Item>> out(leaves);
+  for (const Item& item : items) {
+    out[item.source.value() % leaves].push_back(item);
+  }
+  return out;
+}
+
+}  // namespace approxiot::workload

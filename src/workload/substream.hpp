@@ -1,0 +1,63 @@
+// Workload generation: sub-stream specifications and the stream generator
+// that turns them into timestamped items.
+//
+// Each sub-stream (stratum) has a value distribution and an arrival rate.
+// The generator is deterministic given its seed: item counts per tick use
+// a fractional accumulator (exactly rate*dt items in the long run), which
+// keeps ground-truth bookkeeping simple and experiments reproducible.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "common/types.hpp"
+#include "stats/distribution.hpp"
+
+namespace approxiot::workload {
+
+struct SubStreamSpec {
+  SubStreamId id{};
+  std::string name;
+  std::shared_ptr<const stats::ValueDistribution> values;
+  double rate_items_per_s{1000.0};
+};
+
+class StreamGenerator {
+ public:
+  StreamGenerator(std::vector<SubStreamSpec> specs, std::uint64_t seed);
+
+  /// Items arriving in [now, now+dt) across all sub-streams, stamped with
+  /// created_at == now (batch arrival at tick granularity).
+  [[nodiscard]] std::vector<Item> tick(SimTime now, SimTime dt);
+
+  /// Exactly `count` items of one sub-stream (unit tests, microbenches).
+  [[nodiscard]] std::vector<Item> generate(SubStreamId id, std::size_t count,
+                                           SimTime now = SimTime::zero());
+
+  /// Changes one sub-stream's rate (fluctuating-rate experiments).
+  void set_rate(SubStreamId id, double rate_items_per_s);
+
+  [[nodiscard]] const std::vector<SubStreamSpec>& specs() const noexcept {
+    return specs_;
+  }
+
+  /// Total configured arrival rate (items/s).
+  [[nodiscard]] double total_rate() const noexcept;
+
+ private:
+  std::vector<SubStreamSpec> specs_;
+  std::vector<double> accumulators_;  // fractional items owed per spec
+  Rng rng_;
+};
+
+/// Splits a tick's items across `leaves` so that all items of one
+/// sub-stream land on the same leaf (sub-stream affinity, matching the
+/// paper's sources-to-edge wiring).
+[[nodiscard]] std::vector<std::vector<Item>> shard_by_substream(
+    const std::vector<Item>& items, std::size_t leaves);
+
+}  // namespace approxiot::workload

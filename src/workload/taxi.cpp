@@ -1,0 +1,68 @@
+#include "workload/taxi.hpp"
+
+#include <cmath>
+#include <memory>
+#include <string>
+
+namespace approxiot::workload {
+
+namespace {
+
+std::vector<SubStreamSpec> build_specs(const TaxiConfig& config) {
+  // Zipf region popularity: share_k ∝ 1/k^s.
+  std::vector<double> shares(config.regions);
+  double norm = 0.0;
+  for (std::size_t k = 0; k < config.regions; ++k) {
+    shares[k] = 1.0 / std::pow(static_cast<double>(k + 1), config.zipf_s);
+    norm += shares[k];
+  }
+
+  std::vector<SubStreamSpec> specs;
+  specs.reserve(config.regions);
+  for (std::size_t k = 0; k < config.regions; ++k) {
+    SubStreamSpec spec;
+    spec.id = SubStreamId{100 + k};
+    spec.name = "region-" + std::to_string(k);
+    // Outer regions have slightly longer (pricier) trips: scale log-mu up
+    // as popularity falls, like airport/suburb runs.
+    const double mu = config.fare_log_mu +
+                      0.08 * static_cast<double>(k);
+    spec.values = std::make_shared<stats::LogNormalDistribution>(
+        mu, config.fare_log_sigma);
+    spec.rate_items_per_s =
+        config.mean_rate_items_per_s * shares[k] / norm;
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+}  // namespace
+
+TaxiGenerator::TaxiGenerator(TaxiConfig config)
+    : config_(config), generator_(build_specs(config), config.seed) {
+  base_rates_.reserve(generator_.specs().size());
+  for (const auto& spec : generator_.specs()) {
+    base_rates_.push_back(spec.rate_items_per_s);
+  }
+}
+
+double TaxiGenerator::diurnal_factor(SimTime t) const noexcept {
+  // Two-harmonic day curve: deep night trough, morning rise, evening
+  // peak. Coefficients keep the factor positive with mean ~1.
+  const double phase = 2.0 * M_PI *
+                       static_cast<double>(t.us % config_.day_length.us) /
+                       static_cast<double>(config_.day_length.us);
+  return 1.0 + 0.55 * std::sin(phase - M_PI / 2.0) +
+         0.20 * std::sin(2.0 * phase);
+}
+
+std::vector<Item> TaxiGenerator::tick(SimTime now, SimTime dt) {
+  const double factor = diurnal_factor(now);
+  const auto& specs = generator_.specs();
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    generator_.set_rate(specs[i].id, base_rates_[i] * factor);
+  }
+  return generator_.tick(now, dt);
+}
+
+}  // namespace approxiot::workload

@@ -1,0 +1,116 @@
+#include "analytics/executor.hpp"
+
+#include <gtest/gtest.h>
+
+namespace approxiot::analytics {
+namespace {
+
+using core::ThetaStore;
+using core::WeightedSample;
+
+ThetaStore two_stream_theta() {
+  ThetaStore theta;
+  WeightedSample p1;
+  p1.weight = 2.0;
+  p1.items = {Item{SubStreamId{1}, 3.0, 0}, Item{SubStreamId{1}, 5.0, 0}};
+  theta.add_pair(SubStreamId{1}, std::move(p1));
+  WeightedSample p2;
+  p2.weight = 1.0;
+  p2.items = {Item{SubStreamId{2}, 10.0, 0}};
+  theta.add_pair(SubStreamId{2}, std::move(p2));
+  return theta;
+}
+
+TEST(AggregateTest, NamesAndParsing) {
+  EXPECT_STREQ(aggregate_name(Aggregate::kSum), "sum");
+  EXPECT_STREQ(aggregate_name(Aggregate::kMean), "mean");
+  EXPECT_STREQ(aggregate_name(Aggregate::kCount), "count");
+  EXPECT_EQ(parse_aggregate("sum").value(), Aggregate::kSum);
+  EXPECT_EQ(parse_aggregate("mean").value(), Aggregate::kMean);
+  EXPECT_EQ(parse_aggregate("count").value(), Aggregate::kCount);
+  EXPECT_FALSE(parse_aggregate("median").is_ok());
+}
+
+TEST(ExecuteApproximateTest, SumOverAllSubStreams) {
+  Query query;
+  query.aggregate = Aggregate::kSum;
+  const QueryAnswer answer = execute_approximate(query, two_stream_theta());
+  EXPECT_DOUBLE_EQ(answer.value.point, 2.0 * 8.0 + 10.0);
+  EXPECT_DOUBLE_EQ(answer.estimated_count, 5.0);
+  EXPECT_EQ(answer.sampled_items, 3u);
+}
+
+TEST(ExecuteApproximateTest, GroupFilterRestrictsSubStreams) {
+  Query query;
+  query.aggregate = Aggregate::kSum;
+  query.group = {SubStreamId{2}};
+  const QueryAnswer answer = execute_approximate(query, two_stream_theta());
+  EXPECT_DOUBLE_EQ(answer.value.point, 10.0);
+  EXPECT_DOUBLE_EQ(answer.estimated_count, 1.0);
+}
+
+TEST(ExecuteApproximateTest, MeanAndCount) {
+  Query mean_query;
+  mean_query.aggregate = Aggregate::kMean;
+  EXPECT_DOUBLE_EQ(execute_approximate(mean_query, two_stream_theta())
+                       .value.point,
+                   26.0 / 5.0);
+
+  Query count_query;
+  count_query.aggregate = Aggregate::kCount;
+  const QueryAnswer count = execute_approximate(count_query,
+                                                two_stream_theta());
+  EXPECT_DOUBLE_EQ(count.value.point, 5.0);
+  EXPECT_EQ(count.value.margin, 0.0);  // exact under the Eq. 8 invariant
+}
+
+TEST(ExecuteApproximateTest, EmptyThetaIsZero) {
+  Query query;
+  EXPECT_EQ(execute_approximate(query, ThetaStore{}).value.point, 0.0);
+}
+
+TEST(ExecuteExactTest, MatchesDirectComputation) {
+  std::vector<Item> items = {Item{SubStreamId{1}, 3.0, 0},
+                             Item{SubStreamId{1}, 5.0, 0},
+                             Item{SubStreamId{2}, 10.0, 0}};
+  Query sum_query;
+  sum_query.aggregate = Aggregate::kSum;
+  EXPECT_DOUBLE_EQ(execute_exact(sum_query, items).value.point, 18.0);
+  EXPECT_EQ(execute_exact(sum_query, items).value.margin, 0.0);
+
+  Query mean_query;
+  mean_query.aggregate = Aggregate::kMean;
+  EXPECT_DOUBLE_EQ(execute_exact(mean_query, items).value.point, 6.0);
+
+  Query grouped;
+  grouped.aggregate = Aggregate::kCount;
+  grouped.group = {SubStreamId{1}};
+  EXPECT_DOUBLE_EQ(execute_exact(grouped, items).value.point, 2.0);
+}
+
+TEST(ExecutorConsistencyTest, ApproximateAtWeightOneEqualsExact) {
+  // With all weights 1 (no down-sampling anywhere) the approximate
+  // executor must agree with the exact one bit-for-bit.
+  std::vector<Item> items;
+  ThetaStore theta;
+  WeightedSample pair;
+  pair.weight = 1.0;
+  for (int i = 0; i < 50; ++i) {
+    Item item{SubStreamId{1}, static_cast<double>(i) * 0.5, 0};
+    items.push_back(item);
+    pair.items.push_back(item);
+  }
+  theta.add_pair(SubStreamId{1}, std::move(pair));
+
+  for (Aggregate agg :
+       {Aggregate::kSum, Aggregate::kMean, Aggregate::kCount}) {
+    Query query;
+    query.aggregate = agg;
+    EXPECT_DOUBLE_EQ(execute_approximate(query, theta).value.point,
+                     execute_exact(query, items).value.point)
+        << aggregate_name(agg);
+  }
+}
+
+}  // namespace
+}  // namespace approxiot::analytics

@@ -1,0 +1,86 @@
+#include "analytics/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workload/generators.hpp"
+
+namespace approxiot::analytics {
+namespace {
+
+AccuracyExperimentConfig base_config(core::EngineKind engine,
+                                     double fraction) {
+  AccuracyExperimentConfig config;
+  config.tree.engine = engine;
+  config.tree.layer_widths = {4, 2};
+  config.tree.sampling_fraction = fraction;
+  config.tree.rng_seed = 99;
+  config.windows = 6;
+  config.ticks_per_window = 5;
+  config.tick = SimTime::from_millis(100);
+  return config;
+}
+
+TickSource source_from(std::vector<workload::SubStreamSpec> specs,
+                       std::uint64_t seed) {
+  auto gen = std::make_shared<workload::StreamGenerator>(std::move(specs),
+                                                         seed);
+  return [gen](SimTime now, SimTime dt) { return gen->tick(now, dt); };
+}
+
+TEST(AccuracyExperimentTest, NativeHasZeroLoss) {
+  auto result =
+      run_accuracy_experiment(base_config(core::EngineKind::kNative, 1.0),
+                              source_from(workload::gaussian_quad(2000.0), 5));
+  EXPECT_EQ(result.windows_measured, 6u);
+  EXPECT_NEAR(result.mean_sum_loss_pct, 0.0, 1e-9);
+  EXPECT_NEAR(result.effective_fraction(), 1.0, 1e-9);
+  // Coverage of a zero-width interval is a bit-exact comparison between
+  // two differently-ordered summations; it is not asserted here.
+}
+
+TEST(AccuracyExperimentTest, SamplingIntroducesBoundedLoss) {
+  auto result = run_accuracy_experiment(
+      base_config(core::EngineKind::kApproxIoT, 0.2),
+      source_from(workload::gaussian_quad(2000.0), 6));
+  EXPECT_EQ(result.windows_measured, 6u);
+  EXPECT_GT(result.mean_sum_loss_pct, 0.0);
+  EXPECT_LT(result.mean_sum_loss_pct, 5.0);  // still close on Gaussian mix
+  EXPECT_LT(result.effective_fraction(), 0.7);
+  EXPECT_GT(result.items_total, 0u);
+}
+
+TEST(AccuracyExperimentTest, ApproxIoTBeatsSrsOnSkewedStream) {
+  // The paper's core claim (Fig. 10c): under extreme skew, stratified
+  // sampling is dramatically more accurate than SRS.
+  auto whs = run_accuracy_experiment(
+      base_config(core::EngineKind::kApproxIoT, 0.1),
+      source_from(workload::skewed_poisson(20000.0), 7));
+  auto srs =
+      run_accuracy_experiment(base_config(core::EngineKind::kSrs, 0.1),
+                              source_from(workload::skewed_poisson(20000.0), 7));
+  ASSERT_GT(whs.windows_measured, 0u);
+  ASSERT_GT(srs.windows_measured, 0u);
+  EXPECT_LT(whs.mean_sum_loss_pct, srs.mean_sum_loss_pct);
+}
+
+TEST(AccuracyExperimentTest, HigherFractionLowersLoss) {
+  auto coarse = run_accuracy_experiment(
+      base_config(core::EngineKind::kApproxIoT, 0.05),
+      source_from(workload::skewed_poisson(10000.0), 8));
+  auto fine = run_accuracy_experiment(
+      base_config(core::EngineKind::kApproxIoT, 0.8),
+      source_from(workload::skewed_poisson(10000.0), 8));
+  EXPECT_LT(fine.mean_sum_loss_pct, coarse.mean_sum_loss_pct);
+  EXPECT_GT(fine.effective_fraction(), coarse.effective_fraction());
+}
+
+TEST(AccuracyExperimentTest, EmptySourceYieldsNoWindows) {
+  auto result = run_accuracy_experiment(
+      base_config(core::EngineKind::kApproxIoT, 0.5),
+      [](SimTime, SimTime) { return std::vector<Item>{}; });
+  EXPECT_EQ(result.windows_measured, 0u);
+  EXPECT_EQ(result.mean_sum_loss_pct, 0.0);
+}
+
+}  // namespace
+}  // namespace approxiot::analytics

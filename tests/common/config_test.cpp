@@ -1,0 +1,104 @@
+#include "common/config.hpp"
+
+#include <gtest/gtest.h>
+
+namespace approxiot {
+namespace {
+
+TEST(ConfigTest, ParsesArgs) {
+  auto cfg = Config::from_args({"fraction=0.1", "windows=20", "engine=srs"});
+  ASSERT_TRUE(cfg.is_ok());
+  EXPECT_EQ(cfg.value().get_double_or("fraction", 0), 0.1);
+  EXPECT_EQ(cfg.value().get_int_or("windows", 0), 20);
+  EXPECT_EQ(cfg.value().get_string_or("engine", ""), "srs");
+}
+
+TEST(ConfigTest, RejectsTokenWithoutEquals) {
+  auto cfg = Config::from_args({"fraction"});
+  EXPECT_FALSE(cfg.is_ok());
+  EXPECT_EQ(cfg.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ConfigTest, RejectsEmptyKey) {
+  auto cfg = Config::from_args({"=3"});
+  EXPECT_FALSE(cfg.is_ok());
+}
+
+TEST(ConfigTest, ParsesTextWithCommentsAndBlankLines) {
+  const std::string text = R"(
+# experiment setup
+fraction = 0.6   # inline comment
+windows=5
+
+engine = approxiot
+)";
+  auto cfg = Config::from_text(text);
+  ASSERT_TRUE(cfg.is_ok());
+  EXPECT_DOUBLE_EQ(cfg.value().get_double_or("fraction", 0), 0.6);
+  EXPECT_EQ(cfg.value().get_int_or("windows", 0), 5);
+  EXPECT_EQ(cfg.value().get_string_or("engine", ""), "approxiot");
+}
+
+TEST(ConfigTest, TextErrorsNameTheLine) {
+  auto cfg = Config::from_text("good=1\nbad line\n");
+  ASSERT_FALSE(cfg.is_ok());
+  EXPECT_NE(cfg.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(ConfigTest, GetIntRejectsNonInteger) {
+  Config cfg;
+  cfg.set("x", "12abc");
+  EXPECT_FALSE(cfg.get_int("x").is_ok());
+  cfg.set("y", "3.5");
+  EXPECT_FALSE(cfg.get_int("y").is_ok());
+}
+
+TEST(ConfigTest, GetDoubleParsesScientific) {
+  Config cfg;
+  cfg.set("bw", "1e9");
+  ASSERT_TRUE(cfg.get_double("bw").is_ok());
+  EXPECT_DOUBLE_EQ(cfg.get_double("bw").value(), 1e9);
+}
+
+TEST(ConfigTest, GetBoolAcceptsCommonSpellings) {
+  Config cfg;
+  for (const char* t : {"true", "1", "yes", "on", "TRUE", "Yes"}) {
+    cfg.set("b", t);
+    ASSERT_TRUE(cfg.get_bool("b").is_ok()) << t;
+    EXPECT_TRUE(cfg.get_bool("b").value()) << t;
+  }
+  for (const char* f : {"false", "0", "no", "off", "FALSE"}) {
+    cfg.set("b", f);
+    ASSERT_TRUE(cfg.get_bool("b").is_ok()) << f;
+    EXPECT_FALSE(cfg.get_bool("b").value()) << f;
+  }
+  cfg.set("b", "maybe");
+  EXPECT_FALSE(cfg.get_bool("b").is_ok());
+}
+
+TEST(ConfigTest, MissingKeyIsNotFound) {
+  Config cfg;
+  EXPECT_EQ(cfg.get_string("nope").status().code(), StatusCode::kNotFound);
+  EXPECT_FALSE(cfg.contains("nope"));
+}
+
+TEST(ConfigTest, FallbackGetters) {
+  Config cfg;
+  EXPECT_EQ(cfg.get_int_or("k", 9), 9);
+  EXPECT_EQ(cfg.get_double_or("k", 2.5), 2.5);
+  EXPECT_EQ(cfg.get_string_or("k", "d"), "d");
+  EXPECT_TRUE(cfg.get_bool_or("k", true));
+}
+
+TEST(ConfigTest, KeysAreSortedAndComplete) {
+  Config cfg;
+  cfg.set("b", "2");
+  cfg.set("a", "1");
+  const auto keys = cfg.keys();
+  ASSERT_EQ(keys.size(), 2u);
+  EXPECT_EQ(keys[0], "a");
+  EXPECT_EQ(keys[1], "b");
+}
+
+}  // namespace
+}  // namespace approxiot

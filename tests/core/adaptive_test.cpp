@@ -1,0 +1,121 @@
+#include "core/adaptive.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace approxiot::core {
+namespace {
+
+TEST(AdaptiveControllerTest, ValidatesConfig) {
+  AdaptiveConfig bad_target;
+  bad_target.target_relative_error = 0.0;
+  EXPECT_THROW(AdaptiveController(0.5, bad_target), std::invalid_argument);
+
+  AdaptiveConfig bad_range;
+  bad_range.min_fraction = 0.5;
+  bad_range.max_fraction = 0.1;
+  EXPECT_THROW(AdaptiveController(0.5, bad_range), std::invalid_argument);
+}
+
+TEST(AdaptiveControllerTest, ClampsInitialFraction) {
+  AdaptiveConfig config;
+  config.min_fraction = 0.1;
+  config.max_fraction = 0.9;
+  EXPECT_DOUBLE_EQ(AdaptiveController(5.0, config).fraction(), 0.9);
+  EXPECT_DOUBLE_EQ(AdaptiveController(0.0001, config).fraction(), 0.1);
+}
+
+TEST(AdaptiveControllerTest, ErrorAboveTargetRaisesFraction) {
+  AdaptiveConfig config;
+  config.target_relative_error = 0.01;
+  AdaptiveController controller(0.2, config);
+  const double next = controller.observe_relative_error(0.04);
+  EXPECT_GT(next, 0.2);
+}
+
+TEST(AdaptiveControllerTest, ErrorBelowTargetLowersFraction) {
+  AdaptiveConfig config;
+  config.target_relative_error = 0.01;
+  AdaptiveController controller(0.8, config);
+  const double next = controller.observe_relative_error(0.001);
+  EXPECT_LT(next, 0.8);
+}
+
+TEST(AdaptiveControllerTest, HysteresisBandHolds) {
+  AdaptiveConfig config;
+  config.target_relative_error = 0.01;
+  config.tolerance = 0.2;
+  AdaptiveController controller(0.5, config);
+  EXPECT_DOUBLE_EQ(controller.observe_relative_error(0.0101), 0.5);
+  EXPECT_DOUBLE_EQ(controller.observe_relative_error(0.0095), 0.5);
+}
+
+TEST(AdaptiveControllerTest, StepIsBounded) {
+  AdaptiveConfig config;
+  config.target_relative_error = 0.01;
+  config.max_step = 2.0;
+  AdaptiveController controller(0.1, config);
+  // Huge error: still at most doubles.
+  EXPECT_DOUBLE_EQ(controller.observe_relative_error(10.0), 0.2);
+  // Tiny error: at most halves.
+  AdaptiveController down(0.8, config);
+  EXPECT_DOUBLE_EQ(down.observe_relative_error(1e-9), 0.4);
+}
+
+TEST(AdaptiveControllerTest, FractionStaysInRange) {
+  AdaptiveConfig config;
+  config.target_relative_error = 0.01;
+  config.min_fraction = 0.05;
+  config.max_fraction = 0.9;
+  AdaptiveController controller(0.5, config);
+  for (int i = 0; i < 20; ++i) controller.observe_relative_error(100.0);
+  EXPECT_DOUBLE_EQ(controller.fraction(), 0.9);
+  for (int i = 0; i < 40; ++i) controller.observe_relative_error(1e-12);
+  EXPECT_DOUBLE_EQ(controller.fraction(), 0.05);
+}
+
+TEST(AdaptiveControllerTest, NonFiniteErrorTakesMaxStepUp) {
+  AdaptiveConfig config;
+  config.max_step = 2.0;
+  AdaptiveController controller(0.25, config);
+  const double next = controller.observe_relative_error(
+      std::numeric_limits<double>::infinity());
+  EXPECT_DOUBLE_EQ(next, 0.5);
+}
+
+TEST(AdaptiveControllerTest, HistoryRecordsTrajectory) {
+  AdaptiveController controller(0.5);
+  controller.observe_relative_error(1.0);
+  controller.observe_relative_error(1.0);
+  EXPECT_EQ(controller.history().size(), 3u);  // initial + 2 observations
+  EXPECT_DOUBLE_EQ(controller.history()[0], 0.5);
+}
+
+TEST(AdaptiveControllerTest, ObserveFromInterval) {
+  AdaptiveConfig config;
+  config.target_relative_error = 0.01;
+  AdaptiveController controller(0.3, config);
+  stats::ConfidenceInterval noisy{100.0, 10.0, 0.95};  // 10% rel error
+  EXPECT_GT(controller.observe(noisy), 0.3);
+}
+
+// Simulated closed loop: relative error ~ k/sqrt(fraction); the
+// controller should settle near the fraction solving k/sqrt(f) = target.
+TEST(AdaptiveControllerTest, ClosedLoopConverges) {
+  AdaptiveConfig config;
+  config.target_relative_error = 0.02;
+  config.tolerance = 0.05;
+  AdaptiveController controller(0.9, config);
+  const double k = 0.004;  // error at fraction 1 is 0.4%
+  for (int i = 0; i < 60; ++i) {
+    const double error = k / std::sqrt(controller.fraction());
+    controller.observe_relative_error(error);
+  }
+  const double expected = (k / 0.02) * (k / 0.02);  // f* = (k/target)^2
+  EXPECT_NEAR(controller.fraction(), expected, expected * 0.35);
+}
+
+}  // namespace
+}  // namespace approxiot::core

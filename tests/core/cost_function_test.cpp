@@ -1,0 +1,90 @@
+#include "core/cost_function.hpp"
+
+#include <gtest/gtest.h>
+
+namespace approxiot::core {
+namespace {
+
+TEST(FractionCostFunctionTest, FirstObservationSeedsTheEwma) {
+  FractionCostFunction cf;
+  ResourceBudget budget;
+  budget.sampling_fraction = 0.1;
+  // The first observation becomes the EWMA directly.
+  EXPECT_EQ(cf.sample_size(budget, 500, SimTime::from_seconds(1)), 50u);
+  EXPECT_DOUBLE_EQ(cf.smoothed_rate(), 500.0);
+}
+
+TEST(FractionCostFunctionTest, ConvergesToFractionOfRate) {
+  FractionCostFunction cf(1.0);  // alpha 1: no smoothing
+  ResourceBudget budget;
+  budget.sampling_fraction = 0.2;
+  (void)cf.sample_size(budget, 1000, SimTime::from_seconds(1));
+  const std::size_t size =
+      cf.sample_size(budget, 1000, SimTime::from_seconds(1));
+  EXPECT_EQ(size, 200u);
+}
+
+TEST(FractionCostFunctionTest, EwmaSmoothsSpikes) {
+  FractionCostFunction cf(0.5);
+  ResourceBudget budget;
+  budget.sampling_fraction = 1.0;
+  (void)cf.sample_size(budget, 1000, SimTime::from_seconds(1));
+  // One spike to 2000: EWMA gives 1500, not 2000.
+  const std::size_t size =
+      cf.sample_size(budget, 2000, SimTime::from_seconds(1));
+  EXPECT_EQ(size, 1500u);
+  EXPECT_DOUBLE_EQ(cf.smoothed_rate(), 1500.0);
+}
+
+TEST(FractionCostFunctionTest, ClampsFraction) {
+  FractionCostFunction cf(1.0);
+  ResourceBudget budget;
+  budget.sampling_fraction = 2.0;  // over 1: clamp
+  (void)cf.sample_size(budget, 100, SimTime::from_seconds(1));
+  EXPECT_EQ(cf.sample_size(budget, 100, SimTime::from_seconds(1)), 100u);
+}
+
+TEST(FractionCostFunctionTest, ZeroObservationsFloorOfOne) {
+  FractionCostFunction cf(1.0);
+  ResourceBudget budget;
+  budget.sampling_fraction = 0.5;
+  EXPECT_EQ(cf.sample_size(budget, 0, SimTime::from_seconds(1)), 1u);
+}
+
+TEST(FractionCostFunctionTest, RejectsBadAlpha) {
+  EXPECT_THROW(FractionCostFunction(0.0), std::invalid_argument);
+  EXPECT_THROW(FractionCostFunction(1.5), std::invalid_argument);
+}
+
+TEST(RateCostFunctionTest, CapsItemsPerInterval) {
+  RateCostFunction cf;
+  ResourceBudget budget;
+  budget.max_items_per_second = 5000.0;
+  EXPECT_EQ(cf.sample_size(budget, 999999, SimTime::from_seconds(2)), 10000u);
+  EXPECT_EQ(cf.sample_size(budget, 999999, SimTime::from_millis(500)), 2500u);
+}
+
+TEST(RateCostFunctionTest, ZeroRateMeansZeroSample) {
+  RateCostFunction cf;
+  ResourceBudget budget;
+  budget.max_items_per_second = 0.0;
+  EXPECT_EQ(cf.sample_size(budget, 100, SimTime::from_seconds(1)), 0u);
+}
+
+TEST(FixedCostFunctionTest, AlwaysReturnsConfiguredSize) {
+  FixedCostFunction cf;
+  ResourceBudget budget;
+  budget.fixed_sample_size = 77;
+  EXPECT_EQ(cf.sample_size(budget, 0, SimTime::from_seconds(1)), 77u);
+  EXPECT_EQ(cf.sample_size(budget, 1000000, SimTime::from_seconds(9)), 77u);
+}
+
+TEST(CostFunctionFactoryTest, KnownNames) {
+  EXPECT_EQ(make_cost_function("fraction")->name(), "fraction");
+  EXPECT_EQ(make_cost_function("rate")->name(), "rate");
+  EXPECT_EQ(make_cost_function("fixed")->name(), "fixed");
+  EXPECT_THROW(make_cost_function("bogus"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace approxiot::core

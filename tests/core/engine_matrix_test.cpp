@@ -1,0 +1,122 @@
+// Parameterized sweep over (engine, fraction, tree shape): the system
+// invariants that must hold for EVERY configuration of the pipeline, not
+// just the defaults the other tests exercise.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "common/rng.hpp"
+#include "core/pipeline.hpp"
+
+namespace approxiot::core {
+namespace {
+
+using MatrixParams = std::tuple<EngineKind, double, std::vector<std::size_t>>;
+
+class EngineMatrixTest : public ::testing::TestWithParam<MatrixParams> {
+ protected:
+  static std::vector<std::vector<Item>> make_leaves(std::size_t leaves,
+                                                    Rng& rng) {
+    // Three sub-streams of different sizes and value scales, spread
+    // across the leaves.
+    std::vector<std::vector<Item>> out(leaves);
+    const std::size_t counts[] = {2000, 400, 40};
+    const double values[] = {1.0, 100.0, 10000.0};
+    for (std::uint64_t s = 0; s < 3; ++s) {
+      auto& leaf = out[s % leaves];
+      for (std::size_t i = 0; i < counts[s]; ++i) {
+        leaf.push_back(Item{SubStreamId{s + 1},
+                            values[s] * (0.9 + 0.2 * rng.next_double()), 0});
+      }
+    }
+    return out;
+  }
+};
+
+TEST_P(EngineMatrixTest, InvariantsHoldAcrossConfigurations) {
+  const auto& [engine, fraction, widths] = GetParam();
+
+  EdgeTreeConfig config;
+  config.engine = engine;
+  config.layer_widths = widths;
+  config.sampling_fraction = fraction;
+  config.rng_seed = 2024;
+  EdgeTree tree(config);
+
+  Rng rng(55);
+  double exact_total = 0.0;
+  double approx_total = 0.0;
+  double count_total = 0.0;
+  std::uint64_t exact_items = 0;
+
+  const int windows = 8;
+  for (int w = 0; w < windows; ++w) {
+    auto leaves = make_leaves(tree.leaf_count(), rng);
+    for (const auto& leaf : leaves) {
+      for (const Item& item : leaf) {
+        exact_total += item.value;
+        ++exact_items;
+      }
+    }
+    tree.tick(leaves);
+    const ApproxResult result = tree.close_window();
+
+    // Invariant 1: results are finite and non-negative for this workload.
+    ASSERT_TRUE(std::isfinite(result.sum.point));
+    ASSERT_GE(result.sum.point, 0.0);
+    ASSERT_TRUE(std::isfinite(result.sum.margin));
+
+    approx_total += result.sum.point;
+    count_total += result.estimated_count;
+  }
+
+  // Invariant 2 (ApproxIoT + native): the count estimate reconstructs the
+  // generated item count exactly (Eq. 8); snapshot reconstructs it in
+  // expectation over full periods; SRS only in expectation.
+  if (engine == EngineKind::kApproxIoT || engine == EngineKind::kNative) {
+    EXPECT_NEAR(count_total / static_cast<double>(exact_items), 1.0, 1e-9);
+  } else {
+    EXPECT_NEAR(count_total / static_cast<double>(exact_items), 1.0, 0.25);
+  }
+
+  // Invariant 3: the multi-window SUM tracks the exact total. Tolerance
+  // scales with how aggressive the sampling is; native must be exact.
+  if (engine == EngineKind::kNative) {
+    EXPECT_NEAR(approx_total / exact_total, 1.0, 1e-9);
+  } else {
+    EXPECT_NEAR(approx_total / exact_total, 1.0, 0.30);
+  }
+
+  // Invariant 4: metrics add up — the root never sees more items than
+  // were ingested, and sampling engines see strictly fewer.
+  const auto metrics = tree.metrics();
+  EXPECT_EQ(metrics.items_ingested, exact_items);
+  EXPECT_LE(metrics.items_at_root, metrics.items_ingested);
+  if (engine != EngineKind::kNative && fraction < 0.5) {
+    EXPECT_LT(metrics.items_at_root, metrics.items_ingested);
+  }
+}
+
+// Tree shapes named outside the macro: commas inside braced initializers
+// would otherwise split the macro arguments.
+const std::vector<std::size_t> kSingleNode = {1};
+const std::vector<std::size_t> kPaperTree = {4, 2};
+
+INSTANTIATE_TEST_SUITE_P(
+    AllEngines, EngineMatrixTest,
+    ::testing::Combine(
+        ::testing::Values(EngineKind::kApproxIoT, EngineKind::kSrs,
+                          EngineKind::kNative, EngineKind::kSnapshot),
+        ::testing::Values(0.1, 0.5, 1.0),
+        ::testing::Values(kSingleNode, kPaperTree)),
+    [](const ::testing::TestParamInfo<MatrixParams>& info) {
+      std::string name = engine_kind_name(std::get<0>(info.param));
+      name += "_f" + std::to_string(
+                         static_cast<int>(std::get<1>(info.param) * 100));
+      name += "_L" + std::to_string(std::get<2>(info.param).size());
+      return name;
+    });
+
+}  // namespace
+}  // namespace approxiot::core

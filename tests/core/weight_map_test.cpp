@@ -1,0 +1,77 @@
+#include "core/weight_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace approxiot::core {
+namespace {
+
+TEST(WeightMapTest, UnknownSubStreamDefaultsToOne) {
+  WeightMap m;
+  EXPECT_DOUBLE_EQ(m.get(SubStreamId{7}), 1.0);
+  EXPECT_FALSE(m.contains(SubStreamId{7}));
+}
+
+TEST(WeightMapTest, SetAndGet) {
+  WeightMap m;
+  m.set(SubStreamId{1}, 1.5);
+  EXPECT_TRUE(m.contains(SubStreamId{1}));
+  EXPECT_DOUBLE_EQ(m.get(SubStreamId{1}), 1.5);
+  m.set(SubStreamId{1}, 3.0);
+  EXPECT_DOUBLE_EQ(m.get(SubStreamId{1}), 3.0);
+}
+
+TEST(WeightMapTest, UpdateFromOverwritesOnlyPresentEntries) {
+  WeightMap base;
+  base.set(SubStreamId{1}, 2.0);
+  base.set(SubStreamId{2}, 5.0);
+
+  WeightMap incoming;
+  incoming.set(SubStreamId{1}, 4.0);
+  incoming.set(SubStreamId{3}, 9.0);
+
+  base.update_from(incoming);
+  EXPECT_DOUBLE_EQ(base.get(SubStreamId{1}), 4.0);  // overwritten
+  EXPECT_DOUBLE_EQ(base.get(SubStreamId{2}), 5.0);  // kept
+  EXPECT_DOUBLE_EQ(base.get(SubStreamId{3}), 9.0);  // added
+  EXPECT_EQ(base.size(), 3u);
+}
+
+TEST(WeightMapTest, ClearAndEmpty) {
+  WeightMap m;
+  EXPECT_TRUE(m.empty());
+  m.set(SubStreamId{1}, 2.0);
+  EXPECT_FALSE(m.empty());
+  m.clear();
+  EXPECT_TRUE(m.empty());
+  EXPECT_DOUBLE_EQ(m.get(SubStreamId{1}), 1.0);
+}
+
+TEST(WeightMapTest, EqualityAndIteration) {
+  WeightMap a, b;
+  a.set(SubStreamId{1}, 2.0);
+  b.set(SubStreamId{1}, 2.0);
+  EXPECT_TRUE(a == b);
+  b.set(SubStreamId{2}, 3.0);
+  EXPECT_FALSE(a == b);
+
+  std::size_t n = 0;
+  for (const auto& [id, w] : b) {
+    EXPECT_GT(w, 0.0);
+    EXPECT_GT(id.value(), 0u);
+    ++n;
+  }
+  EXPECT_EQ(n, 2u);
+}
+
+TEST(WeightMapTest, StreamOutput) {
+  WeightMap m;
+  m.set(SubStreamId{1}, 1.5);
+  std::ostringstream os;
+  os << m;
+  EXPECT_EQ(os.str(), "{S1: 1.5}");
+}
+
+}  // namespace
+}  // namespace approxiot::core

@@ -1,0 +1,154 @@
+#include "core/whsamp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace approxiot::core {
+namespace {
+
+std::vector<Item> items_of(SubStreamId id, std::initializer_list<double> vals) {
+  std::vector<Item> out;
+  for (double v : vals) out.push_back(Item{id, v, 0});
+  return out;
+}
+
+std::vector<Item> n_items(SubStreamId id, std::size_t n, double value = 1.0) {
+  std::vector<Item> out;
+  for (std::size_t i = 0; i < n; ++i) out.push_back(Item{id, value, 0});
+  return out;
+}
+
+TEST(StratifyTest, GroupsBySource) {
+  std::vector<Item> items;
+  for (auto& i : items_of(SubStreamId{1}, {1, 2})) items.push_back(i);
+  for (auto& i : items_of(SubStreamId{2}, {3})) items.push_back(i);
+  for (auto& i : items_of(SubStreamId{1}, {4})) items.push_back(i);
+
+  auto strata = stratify(items);
+  ASSERT_EQ(strata.size(), 2u);
+  EXPECT_EQ(strata.at(SubStreamId{1}).size(), 3u);
+  EXPECT_EQ(strata.at(SubStreamId{2}).size(), 1u);
+}
+
+TEST(StratifyTest, EmptyInput) {
+  EXPECT_TRUE(stratify({}).empty());
+}
+
+TEST(WHSamplerTest, UnderfullStreamKeepsWeightAndItems) {
+  WHSampler sampler;
+  WeightMap w_in;
+  auto out = sampler.sample(items_of(SubStreamId{1}, {5, 6, 7}), 10, w_in);
+  EXPECT_DOUBLE_EQ(out.w_out.get(SubStreamId{1}), 1.0);
+  EXPECT_EQ(out.sample.at(SubStreamId{1}).size(), 3u);
+}
+
+TEST(WHSamplerTest, OverflowUpdatesWeightPerEquationOne) {
+  // The Fig. 2 example: 4 items, reservoir 3 -> w = 4/3, W_out = W_in*4/3.
+  WHSampler sampler;
+  WeightMap w_in;
+  w_in.set(SubStreamId{1}, 3.0);
+  auto out = sampler.sample(items_of(SubStreamId{1}, {1, 2, 3, 4}), 3, w_in);
+  EXPECT_DOUBLE_EQ(out.w_out.get(SubStreamId{1}), 3.0 * 4.0 / 3.0);
+  EXPECT_EQ(out.sample.at(SubStreamId{1}).size(), 3u);
+}
+
+TEST(WHSamplerTest, WeightInvariantHoldsPerCall) {
+  // W_out * c_tilde == W_in * c for every sub-stream (Eq. 8 per node).
+  WHSampler sampler(Rng(17));
+  WeightMap w_in;
+  w_in.set(SubStreamId{1}, 2.5);
+  w_in.set(SubStreamId{2}, 1.0);
+
+  std::vector<Item> items = n_items(SubStreamId{1}, 100);
+  auto more = n_items(SubStreamId{2}, 7);
+  items.insert(items.end(), more.begin(), more.end());
+
+  auto out = sampler.sample(items, 20, w_in);
+  const double lhs1 = out.w_out.get(SubStreamId{1}) *
+                      static_cast<double>(out.sample.at(SubStreamId{1}).size());
+  EXPECT_DOUBLE_EQ(lhs1, 2.5 * 100.0);
+  const double lhs2 = out.w_out.get(SubStreamId{2}) *
+                      static_cast<double>(out.sample.at(SubStreamId{2}).size());
+  EXPECT_DOUBLE_EQ(lhs2, 1.0 * 7.0);
+}
+
+TEST(WHSamplerTest, BudgetSplitAcrossSubStreams) {
+  WHSampler sampler(Rng(23));
+  WeightMap w_in;
+  std::vector<Item> items = n_items(SubStreamId{1}, 1000);
+  auto more = n_items(SubStreamId{2}, 1000);
+  items.insert(items.end(), more.begin(), more.end());
+
+  auto out = sampler.sample(items, 10, w_in);
+  // Equal allocation: 5 + 5.
+  EXPECT_EQ(out.sample.at(SubStreamId{1}).size(), 5u);
+  EXPECT_EQ(out.sample.at(SubStreamId{2}).size(), 5u);
+  EXPECT_DOUBLE_EQ(out.w_out.get(SubStreamId{1}), 200.0);
+  EXPECT_DOUBLE_EQ(out.w_out.get(SubStreamId{2}), 200.0);
+}
+
+TEST(WHSamplerTest, RareSubStreamNotStarved) {
+  // The stratification guarantee: a 10-item sub-stream sharing a node
+  // with a 100k-item sub-stream still lands in the sample.
+  WHSampler sampler(Rng(29));
+  WeightMap w_in;
+  std::vector<Item> items = n_items(SubStreamId{1}, 100000);
+  auto rare = n_items(SubStreamId{2}, 10, 42.0);
+  items.insert(items.end(), rare.begin(), rare.end());
+
+  auto out = sampler.sample(items, 100, w_in);
+  EXPECT_FALSE(out.sample.at(SubStreamId{2}).empty());
+}
+
+TEST(WHSamplerTest, EmptyItemsGiveEmptyOutput) {
+  WHSampler sampler;
+  auto out = sampler.sample({}, 10, WeightMap{});
+  EXPECT_TRUE(out.sample.empty());
+  EXPECT_TRUE(out.w_out.empty());
+  EXPECT_EQ(out.item_count(), 0u);
+}
+
+TEST(WHSamplerTest, ZeroBudgetKeepsNothingButReportsStreams) {
+  WHSampler sampler(Rng(31));
+  auto out = sampler.sample(n_items(SubStreamId{1}, 10), 0, WeightMap{});
+  EXPECT_TRUE(out.sample.at(SubStreamId{1}).empty());
+  // Weight entry still recorded for observability.
+  EXPECT_TRUE(out.w_out.contains(SubStreamId{1}));
+}
+
+TEST(WHSamplerTest, SampledItemsComeFromInput) {
+  WHSampler sampler(Rng(37));
+  auto out =
+      sampler.sample(items_of(SubStreamId{1}, {10, 20, 30, 40, 50}), 2,
+                     WeightMap{});
+  for (const Item& item : out.sample.at(SubStreamId{1})) {
+    EXPECT_TRUE(item.value == 10 || item.value == 20 || item.value == 30 ||
+                item.value == 40 || item.value == 50);
+  }
+}
+
+TEST(WHSamplerTest, AlgorithmLVariantMatchesInvariant) {
+  WHSampConfig config;
+  config.reservoir_algorithm = sampling::ReservoirAlgorithm::kAlgorithmL;
+  WHSampler sampler(Rng(41), config);
+  auto out = sampler.sample(n_items(SubStreamId{1}, 500), 50, WeightMap{});
+  EXPECT_EQ(out.sample.at(SubStreamId{1}).size(), 50u);
+  EXPECT_DOUBLE_EQ(out.w_out.get(SubStreamId{1}), 10.0);
+}
+
+TEST(WHSamplerTest, BundleFlattening) {
+  WHSampler sampler(Rng(43));
+  WeightMap w_in;
+  std::vector<Item> items = n_items(SubStreamId{1}, 10);
+  auto more = n_items(SubStreamId{2}, 10);
+  items.insert(items.end(), more.begin(), more.end());
+  auto out = sampler.sample(items, 100, w_in);
+
+  ItemBundle bundle = out.to_bundle();
+  EXPECT_EQ(bundle.items.size(), 20u);
+  EXPECT_DOUBLE_EQ(bundle.w_in.get(SubStreamId{1}), 1.0);
+}
+
+}  // namespace
+}  // namespace approxiot::core

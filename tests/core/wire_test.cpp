@@ -1,0 +1,92 @@
+#include "core/wire.hpp"
+
+#include <gtest/gtest.h>
+
+namespace approxiot::core {
+namespace {
+
+ItemBundle sample_bundle() {
+  ItemBundle bundle;
+  bundle.w_in.set(SubStreamId{1}, 1.5);
+  bundle.w_in.set(SubStreamId{2}, 40.0);
+  bundle.items.push_back(Item{SubStreamId{1}, 3.25, 1000});
+  bundle.items.push_back(Item{SubStreamId{2}, -7.0, 2000});
+  bundle.items.push_back(Item{SubStreamId{1}, 0.0, 0});
+  return bundle;
+}
+
+TEST(WireTest, RoundTripPreservesEverything) {
+  const ItemBundle original = sample_bundle();
+  auto decoded = decode_bundle(encode_bundle(original));
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_TRUE(decoded.value().w_in == original.w_in);
+  ASSERT_EQ(decoded.value().items.size(), original.items.size());
+  for (std::size_t i = 0; i < original.items.size(); ++i) {
+    EXPECT_EQ(decoded.value().items[i], original.items[i]) << i;
+  }
+}
+
+TEST(WireTest, EmptyBundleRoundTrips) {
+  ItemBundle empty;
+  auto decoded = decode_bundle(encode_bundle(empty));
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_TRUE(decoded.value().items.empty());
+  EXPECT_TRUE(decoded.value().w_in.empty());
+}
+
+TEST(WireTest, SampledBundleEncodesViaFlatten) {
+  SampledBundle sampled;
+  sampled.w_out.set(SubStreamId{1}, 2.0);
+  sampled.sample[SubStreamId{1}] = {Item{SubStreamId{1}, 5.0, 42}};
+  auto decoded = decode_bundle(encode_bundle(sampled));
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_DOUBLE_EQ(decoded.value().w_in.get(SubStreamId{1}), 2.0);
+  ASSERT_EQ(decoded.value().items.size(), 1u);
+  EXPECT_DOUBLE_EQ(decoded.value().items[0].value, 5.0);
+}
+
+TEST(WireTest, RejectsBadMagic) {
+  auto bytes = encode_bundle(sample_bundle());
+  bytes[0] = 0x00;
+  EXPECT_FALSE(decode_bundle(bytes).is_ok());
+}
+
+TEST(WireTest, RejectsBadVersion) {
+  auto bytes = encode_bundle(sample_bundle());
+  // magic is varint 0xA7 (2 bytes: 0xa7 0x01); version follows.
+  bytes[2] = 0x63;
+  EXPECT_FALSE(decode_bundle(bytes).is_ok());
+}
+
+TEST(WireTest, RejectsTruncation) {
+  auto bytes = encode_bundle(sample_bundle());
+  for (std::size_t cut : {bytes.size() - 1, bytes.size() / 2, std::size_t{3}}) {
+    std::vector<std::uint8_t> truncated(bytes.begin(),
+                                        bytes.begin() + static_cast<long>(cut));
+    EXPECT_FALSE(decode_bundle(truncated).is_ok()) << "cut=" << cut;
+  }
+}
+
+TEST(WireTest, RejectsTrailingGarbage) {
+  auto bytes = encode_bundle(sample_bundle());
+  bytes.push_back(0xFF);
+  EXPECT_FALSE(decode_bundle(bytes).is_ok());
+}
+
+TEST(WireTest, RejectsEmptyPayload) {
+  EXPECT_FALSE(decode_bundle({}).is_ok());
+}
+
+TEST(WireTest, SizeScalesWithItems) {
+  ItemBundle small, large;
+  for (int i = 0; i < 2; ++i) {
+    small.items.push_back(Item{SubStreamId{1}, 1.0, 0});
+  }
+  for (int i = 0; i < 200; ++i) {
+    large.items.push_back(Item{SubStreamId{1}, 1.0, 0});
+  }
+  EXPECT_GT(encode_bundle(large).size(), encode_bundle(small).size() * 50);
+}
+
+}  // namespace
+}  // namespace approxiot::core

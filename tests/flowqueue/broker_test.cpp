@@ -1,0 +1,151 @@
+#include "flowqueue/broker.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace approxiot::flowqueue {
+namespace {
+
+TEST(BrokerTest, CreateAndLookupTopics) {
+  Broker broker;
+  EXPECT_TRUE(broker.create_topic("edge-1", 4).is_ok());
+  EXPECT_TRUE(broker.has_topic("edge-1"));
+  EXPECT_FALSE(broker.has_topic("edge-2"));
+  auto topic = broker.topic("edge-1");
+  ASSERT_TRUE(topic.is_ok());
+  EXPECT_EQ(topic.value()->partition_count(), 4u);
+}
+
+TEST(BrokerTest, CreateDuplicateFails) {
+  Broker broker;
+  ASSERT_TRUE(broker.create_topic("t", 1).is_ok());
+  EXPECT_EQ(broker.create_topic("t", 1).code(), StatusCode::kAlreadyExists);
+}
+
+TEST(BrokerTest, EnsureTopicIsIdempotent) {
+  Broker broker;
+  EXPECT_TRUE(broker.ensure_topic("t", 2).is_ok());
+  EXPECT_TRUE(broker.ensure_topic("t", 2).is_ok());
+}
+
+TEST(BrokerTest, ValidatesTopicArguments) {
+  Broker broker;
+  EXPECT_EQ(broker.create_topic("", 1).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(broker.create_topic("t", 0).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(BrokerTest, MissingTopicIsNotFound) {
+  Broker broker;
+  EXPECT_EQ(broker.topic("ghost").status().code(), StatusCode::kNotFound);
+}
+
+TEST(BrokerTest, TopicNamesSorted) {
+  Broker broker;
+  (void)broker.create_topic("b", 1);
+  (void)broker.create_topic("a", 1);
+  const auto names = broker.topic_names();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "a");
+  EXPECT_EQ(names[1], "b");
+}
+
+TEST(BrokerGroupTest, SingleMemberGetsAllPartitions) {
+  Broker broker;
+  ASSERT_TRUE(broker.create_topic("t", 4).is_ok());
+  auto assigned = broker.join_group("g", "m1", {"t"});
+  ASSERT_TRUE(assigned.is_ok());
+  EXPECT_EQ(assigned.value().size(), 4u);
+}
+
+TEST(BrokerGroupTest, TwoMembersSplitPartitions) {
+  Broker broker;
+  ASSERT_TRUE(broker.create_topic("t", 4).is_ok());
+  ASSERT_TRUE(broker.join_group("g", "m1", {"t"}).is_ok());
+  ASSERT_TRUE(broker.join_group("g", "m2", {"t"}).is_ok());
+  auto a1 = broker.assignment("g", "m1");
+  auto a2 = broker.assignment("g", "m2");
+  ASSERT_TRUE(a1.is_ok());
+  ASSERT_TRUE(a2.is_ok());
+  EXPECT_EQ(a1.value().size(), 2u);
+  EXPECT_EQ(a2.value().size(), 2u);
+  // No overlap.
+  for (const auto& tp : a1.value()) {
+    EXPECT_EQ(std::count(a2.value().begin(), a2.value().end(), tp), 0);
+  }
+}
+
+TEST(BrokerGroupTest, LeaveTriggersRebalance) {
+  Broker broker;
+  ASSERT_TRUE(broker.create_topic("t", 4).is_ok());
+  ASSERT_TRUE(broker.join_group("g", "m1", {"t"}).is_ok());
+  ASSERT_TRUE(broker.join_group("g", "m2", {"t"}).is_ok());
+  const std::uint64_t gen_before = broker.group_generation("g");
+  ASSERT_TRUE(broker.leave_group("g", "m2").is_ok());
+  EXPECT_GT(broker.group_generation("g"), gen_before);
+  auto a1 = broker.assignment("g", "m1");
+  ASSERT_TRUE(a1.is_ok());
+  EXPECT_EQ(a1.value().size(), 4u);
+}
+
+TEST(BrokerGroupTest, JoinUnknownTopicFails) {
+  Broker broker;
+  EXPECT_EQ(broker.join_group("g", "m", {"nope"}).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(BrokerGroupTest, MoreMembersThanPartitions) {
+  Broker broker;
+  ASSERT_TRUE(broker.create_topic("t", 1).is_ok());
+  ASSERT_TRUE(broker.join_group("g", "m1", {"t"}).is_ok());
+  ASSERT_TRUE(broker.join_group("g", "m2", {"t"}).is_ok());
+  auto a1 = broker.assignment("g", "m1");
+  auto a2 = broker.assignment("g", "m2");
+  ASSERT_TRUE(a1.is_ok());
+  ASSERT_TRUE(a2.is_ok());
+  EXPECT_EQ(a1.value().size() + a2.value().size(), 1u);
+}
+
+TEST(BrokerGroupTest, CommittedOffsetsPersistAcrossRebalance) {
+  Broker broker;
+  ASSERT_TRUE(broker.create_topic("t", 2).is_ok());
+  ASSERT_TRUE(broker.join_group("g", "m1", {"t"}).is_ok());
+  const TopicPartition tp{"t", 0};
+  ASSERT_TRUE(broker.commit_offset("g", tp, 42).is_ok());
+  ASSERT_TRUE(broker.join_group("g", "m2", {"t"}).is_ok());  // rebalance
+  EXPECT_EQ(broker.committed_offset("g", tp), 42);
+}
+
+TEST(BrokerGroupTest, CommitKeepsMaximum) {
+  Broker broker;
+  ASSERT_TRUE(broker.create_topic("t", 1).is_ok());
+  ASSERT_TRUE(broker.join_group("g", "m", {"t"}).is_ok());
+  const TopicPartition tp{"t", 0};
+  ASSERT_TRUE(broker.commit_offset("g", tp, 10).is_ok());
+  ASSERT_TRUE(broker.commit_offset("g", tp, 5).is_ok());  // stale commit
+  EXPECT_EQ(broker.committed_offset("g", tp), 10);
+}
+
+TEST(BrokerGroupTest, NegativeOffsetRejected) {
+  Broker broker;
+  ASSERT_TRUE(broker.create_topic("t", 1).is_ok());
+  ASSERT_TRUE(broker.join_group("g", "m", {"t"}).is_ok());
+  EXPECT_EQ(broker.commit_offset("g", {"t", 0}, -1).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(TopicTest, KeyPartitioningIsDeterministicAndSpread) {
+  Topic topic("t", 8);
+  const std::uint32_t p1 = topic.partition_for_key("sensor-1");
+  EXPECT_EQ(topic.partition_for_key("sensor-1"), p1);
+  // Different keys should hit more than one partition.
+  bool spread = false;
+  for (int i = 0; i < 32 && !spread; ++i) {
+    spread = topic.partition_for_key("sensor-" + std::to_string(i)) != p1;
+  }
+  EXPECT_TRUE(spread);
+  EXPECT_EQ(topic.partition_for_key(""), 0u);
+}
+
+}  // namespace
+}  // namespace approxiot::flowqueue

@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "flowqueue/broker.hpp"
+#include "flowqueue/consumer.hpp"
+#include "flowqueue/producer.hpp"
+
+namespace approxiot::flowqueue {
+namespace {
+
+std::vector<std::uint8_t> payload(const std::string& s) {
+  return {s.begin(), s.end()};
+}
+
+class ProducerConsumerTest : public ::testing::Test {
+ protected:
+  void SetUp() override { ASSERT_TRUE(broker_.create_topic("t", 2).is_ok()); }
+  Broker broker_;
+};
+
+TEST_F(ProducerConsumerTest, SendAndPollRoundTrip) {
+  Producer producer(broker_);
+  auto sent = producer.send("t", "key", payload("hello"));
+  ASSERT_TRUE(sent.is_ok());
+
+  Consumer consumer(broker_, "c1");
+  ASSERT_TRUE(consumer.subscribe("g", {"t"}).is_ok());
+  auto batch = consumer.poll(10);
+  ASSERT_TRUE(batch.is_ok());
+  ASSERT_EQ(batch.value().size(), 1u);
+  EXPECT_EQ(batch.value()[0].key, "key");
+  EXPECT_EQ(std::string(batch.value()[0].value.begin(),
+                        batch.value()[0].value.end()),
+            "hello");
+}
+
+TEST_F(ProducerConsumerTest, SendToUnknownTopicFails) {
+  Producer producer(broker_);
+  EXPECT_FALSE(producer.send("ghost", "k", payload("x")).is_ok());
+}
+
+TEST_F(ProducerConsumerTest, SendToInvalidPartitionFails) {
+  Producer producer(broker_);
+  EXPECT_EQ(
+      producer.send_to_partition("t", 9, "k", payload("x")).status().code(),
+      StatusCode::kOutOfRange);
+}
+
+TEST_F(ProducerConsumerTest, SameKeyLandsInSamePartition) {
+  Producer producer(broker_);
+  auto a = producer.send("t", "stable-key", payload("1"));
+  auto b = producer.send("t", "stable-key", payload("2"));
+  ASSERT_TRUE(a.is_ok());
+  ASSERT_TRUE(b.is_ok());
+  EXPECT_EQ(a.value().partition, b.value().partition);
+  EXPECT_EQ(b.value().offset, a.value().offset + 1);
+}
+
+TEST_F(ProducerConsumerTest, PollEmptyTopicReturnsNothing) {
+  Consumer consumer(broker_, "c1");
+  ASSERT_TRUE(consumer.subscribe("g", {"t"}).is_ok());
+  auto batch = consumer.poll(10);
+  ASSERT_TRUE(batch.is_ok());
+  EXPECT_TRUE(batch.value().empty());
+}
+
+TEST_F(ProducerConsumerTest, PollAdvancesPositionNoDuplicates) {
+  Producer producer(broker_);
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(producer.send("t", "k" + std::to_string(i),
+                              payload(std::to_string(i)))
+                    .is_ok());
+  }
+  Consumer consumer(broker_, "c1");
+  ASSERT_TRUE(consumer.subscribe("g", {"t"}).is_ok());
+
+  std::multiset<std::string> seen;
+  while (true) {
+    auto batch = consumer.poll(7);
+    ASSERT_TRUE(batch.is_ok());
+    if (batch.value().empty()) break;
+    for (const auto& r : batch.value()) seen.insert(r.key);
+  }
+  EXPECT_EQ(seen.size(), 20u);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(seen.count("k" + std::to_string(i)), 1u) << i;
+  }
+  EXPECT_EQ(consumer.total_lag(), 0);
+}
+
+TEST_F(ProducerConsumerTest, StandaloneAssignAndSeek) {
+  Producer producer(broker_);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(
+        producer.send_to_partition("t", 0, "k", payload(std::to_string(i)))
+            .is_ok());
+  }
+  Consumer consumer(broker_, "solo");
+  ASSERT_TRUE(consumer.assign({TopicPartition{"t", 0}}).is_ok());
+  auto first = consumer.poll(100);
+  ASSERT_TRUE(first.is_ok());
+  EXPECT_EQ(first.value().size(), 5u);
+
+  // Seek back and re-read.
+  ASSERT_TRUE(consumer.seek(TopicPartition{"t", 0}, 3).is_ok());
+  auto again = consumer.poll(100);
+  ASSERT_TRUE(again.is_ok());
+  EXPECT_EQ(again.value().size(), 2u);
+}
+
+TEST_F(ProducerConsumerTest, SeekUnassignedPartitionFails) {
+  Consumer consumer(broker_, "solo");
+  ASSERT_TRUE(consumer.assign({TopicPartition{"t", 0}}).is_ok());
+  EXPECT_FALSE(consumer.seek(TopicPartition{"t", 1}, 0).is_ok());
+  EXPECT_FALSE(consumer.seek(TopicPartition{"t", 0}, -2).is_ok());
+}
+
+TEST_F(ProducerConsumerTest, AssignAfterSubscribeFails) {
+  Consumer consumer(broker_, "c");
+  ASSERT_TRUE(consumer.subscribe("g", {"t"}).is_ok());
+  EXPECT_EQ(consumer.assign({TopicPartition{"t", 0}}).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(ProducerConsumerTest, CommitAndRestore) {
+  Producer producer(broker_);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(
+        producer.send_to_partition("t", 0, "k", payload("x")).is_ok());
+  }
+  {
+    Consumer consumer(broker_, "c1");
+    ASSERT_TRUE(consumer.subscribe("g", {"t"}).is_ok());
+    auto batch = consumer.poll(4);
+    ASSERT_TRUE(batch.is_ok());
+    ASSERT_TRUE(consumer.commit().is_ok());
+  }  // consumer leaves the group on destruction
+
+  Consumer resumed(broker_, "c2");
+  ASSERT_TRUE(resumed.subscribe("g", {"t"}).is_ok());
+  ASSERT_TRUE(resumed.restore_committed().is_ok());
+  auto rest = resumed.poll(100);
+  ASSERT_TRUE(rest.is_ok());
+  EXPECT_EQ(rest.value().size(), 6u);  // 10 - 4 already committed
+}
+
+TEST_F(ProducerConsumerTest, GroupMembersShareTheTopicDisjointly) {
+  Producer producer(broker_);
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(producer
+                    .send_to_partition("t", static_cast<std::uint32_t>(i % 2),
+                                       "k" + std::to_string(i), payload("x"))
+                    .is_ok());
+  }
+  Consumer c1(broker_, "m1"), c2(broker_, "m2");
+  ASSERT_TRUE(c1.subscribe("g", {"t"}).is_ok());
+  ASSERT_TRUE(c2.subscribe("g", {"t"}).is_ok());
+
+  std::multiset<std::string> seen;
+  for (Consumer* c : {&c1, &c2}) {
+    while (true) {
+      auto batch = c->poll(8);
+      ASSERT_TRUE(batch.is_ok());
+      if (batch.value().empty()) break;
+      for (const auto& r : batch.value()) seen.insert(r.key);
+    }
+  }
+  EXPECT_EQ(seen.size(), 40u);  // everything seen exactly once
+}
+
+TEST_F(ProducerConsumerTest, ProducerCountsBytesAndRecords) {
+  Producer producer(broker_);
+  ASSERT_TRUE(producer.send("t", "k", payload("hello")).is_ok());
+  ASSERT_TRUE(producer.send("t", "k", payload("world!")).is_ok());
+  EXPECT_EQ(producer.records_sent(), 2u);
+  EXPECT_GT(producer.bytes_sent(), 11u);
+}
+
+TEST_F(ProducerConsumerTest, LagReflectsUnconsumedRecords) {
+  Producer producer(broker_);
+  Consumer consumer(broker_, "c");
+  ASSERT_TRUE(consumer.subscribe("g", {"t"}).is_ok());
+  EXPECT_EQ(consumer.total_lag(), 0);
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(producer.send("t", std::to_string(i), payload("x")).is_ok());
+  }
+  EXPECT_EQ(consumer.total_lag(), 6);
+  ASSERT_TRUE(consumer.poll(3).is_ok());
+  EXPECT_EQ(consumer.total_lag(), 3);
+}
+
+}  // namespace
+}  // namespace approxiot::flowqueue

@@ -1,0 +1,126 @@
+#include "flowqueue/serde.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace approxiot::flowqueue {
+namespace {
+
+TEST(SerdeTest, VarintRoundTrip) {
+  Encoder enc;
+  const std::uint64_t values[] = {0,
+                                  1,
+                                  127,
+                                  128,
+                                  300,
+                                  16383,
+                                  16384,
+                                  std::numeric_limits<std::uint64_t>::max()};
+  for (std::uint64_t v : values) enc.put_varint(v);
+
+  Decoder dec(enc.bytes());
+  for (std::uint64_t v : values) {
+    auto got = dec.get_varint();
+    ASSERT_TRUE(got.is_ok());
+    EXPECT_EQ(got.value(), v);
+  }
+  EXPECT_TRUE(dec.exhausted());
+}
+
+TEST(SerdeTest, VarintCompactness) {
+  Encoder enc;
+  enc.put_varint(5);
+  EXPECT_EQ(enc.size(), 1u);
+  Encoder enc2;
+  enc2.put_varint(300);
+  EXPECT_EQ(enc2.size(), 2u);
+}
+
+TEST(SerdeTest, Fixed64RoundTrip) {
+  Encoder enc;
+  enc.put_fixed64(0xdeadbeefcafebabeULL);
+  Decoder dec(enc.bytes());
+  auto got = dec.get_fixed64();
+  ASSERT_TRUE(got.is_ok());
+  EXPECT_EQ(got.value(), 0xdeadbeefcafebabeULL);
+}
+
+TEST(SerdeTest, DoubleRoundTripIncludingSpecials) {
+  Encoder enc;
+  const double values[] = {0.0, -0.0, 1.5, -273.15, 1e300, 1e-300,
+                           std::numeric_limits<double>::infinity()};
+  for (double v : values) enc.put_double(v);
+  enc.put_double(std::nan(""));
+
+  Decoder dec(enc.bytes());
+  for (double v : values) {
+    auto got = dec.get_double();
+    ASSERT_TRUE(got.is_ok());
+    EXPECT_EQ(got.value(), v);
+  }
+  auto nan_back = dec.get_double();
+  ASSERT_TRUE(nan_back.is_ok());
+  EXPECT_TRUE(std::isnan(nan_back.value()));
+}
+
+TEST(SerdeTest, StringRoundTrip) {
+  Encoder enc;
+  enc.put_string("");
+  enc.put_string("hello");
+  enc.put_string(std::string(1000, 'z'));
+
+  Decoder dec(enc.bytes());
+  EXPECT_EQ(dec.get_string().value(), "");
+  EXPECT_EQ(dec.get_string().value(), "hello");
+  EXPECT_EQ(dec.get_string().value(), std::string(1000, 'z'));
+}
+
+TEST(SerdeTest, BytesRoundTrip) {
+  Encoder enc;
+  enc.put_bytes({0x01, 0x02, 0xff});
+  Decoder dec(enc.bytes());
+  auto len = dec.get_varint();
+  ASSERT_TRUE(len.is_ok());
+  EXPECT_EQ(len.value(), 3u);
+  EXPECT_EQ(dec.remaining(), 3u);
+}
+
+TEST(SerdeTest, TruncatedVarintFails) {
+  const std::uint8_t bad[] = {0x80, 0x80};  // continuation never ends
+  Decoder dec(bad, sizeof(bad));
+  EXPECT_FALSE(dec.get_varint().is_ok());
+}
+
+TEST(SerdeTest, OverlongVarintFails) {
+  // 11 bytes of continuation exceeds 64 bits.
+  std::vector<std::uint8_t> bad(11, 0x80);
+  bad.push_back(0x01);
+  Decoder dec(bad);
+  EXPECT_FALSE(dec.get_varint().is_ok());
+}
+
+TEST(SerdeTest, TruncatedFixed64Fails) {
+  const std::uint8_t bad[] = {1, 2, 3};
+  Decoder dec(bad, sizeof(bad));
+  EXPECT_FALSE(dec.get_fixed64().is_ok());
+}
+
+TEST(SerdeTest, TruncatedStringFails) {
+  Encoder enc;
+  enc.put_varint(100);  // claims 100 bytes, provides none
+  Decoder dec(enc.bytes());
+  EXPECT_FALSE(dec.get_string().is_ok());
+}
+
+TEST(SerdeTest, TakeMovesBufferOut) {
+  Encoder enc;
+  enc.put_varint(7);
+  auto bytes = enc.take();
+  EXPECT_EQ(bytes.size(), 1u);
+  EXPECT_EQ(enc.size(), 0u);
+}
+
+}  // namespace
+}  // namespace approxiot::flowqueue

@@ -1,0 +1,199 @@
+// Full-stack integration: workload generator -> flowqueue topics ->
+// streams drivers running sampling processors per layer -> root Θ ->
+// approximate query with error bounds, checked against exact ground
+// truth. This is the architecture of the paper's Fig. 4 wired end to end
+// inside one process.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "analytics/executor.hpp"
+#include "core/error.hpp"
+#include "core/estimators.hpp"
+#include "core/wire.hpp"
+#include "flowqueue/broker.hpp"
+#include "flowqueue/producer.hpp"
+#include "streams/driver.hpp"
+#include "streams/sampling_processor.hpp"
+#include "workload/generators.hpp"
+#include "workload/ground_truth.hpp"
+
+namespace approxiot {
+namespace {
+
+core::NodeConfig fixed_node(std::size_t sample_size) {
+  core::NodeConfig config;
+  config.cost_function = "fixed";
+  config.budget.fixed_sample_size = sample_size;
+  config.interval = SimTime::from_seconds(1.0);
+  return config;
+}
+
+class EndToEndTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(broker_.create_topic("sources", 1).is_ok());
+    ASSERT_TRUE(broker_.create_topic("layer1", 1).is_ok());
+    ASSERT_TRUE(broker_.create_topic("root", 1).is_ok());
+  }
+
+  flowqueue::Broker broker_;
+};
+
+TEST_F(EndToEndTest, TwoLayerKafkaStylePipeline) {
+  // Layer 1: edge sampling node, reservoir 200 per pair.
+  streams::TopologyBuilder l1;
+  l1.add_source("in", "sources")
+      .add_processor("edge",
+                     []() {
+                       return std::make_unique<streams::SamplingProcessor>(
+                           fixed_node(200));
+                     },
+                     {"in"})
+      .add_sink("out", "layer1", {"edge"});
+  auto topo1 = l1.build();
+  ASSERT_TRUE(topo1.is_ok());
+
+  // Layer 2 (datacenter): reservoir 50 per pair.
+  streams::TopologyBuilder l2;
+  l2.add_source("in", "layer1")
+      .add_processor("dc",
+                     []() {
+                       return std::make_unique<streams::SamplingProcessor>(
+                           fixed_node(50));
+                     },
+                     {"in"})
+      .add_sink("out", "root", {"dc"});
+  auto topo2 = l2.build();
+  ASSERT_TRUE(topo2.is_ok());
+
+  streams::TopologyDriver edge(broker_, std::move(topo1).value(), "edge");
+  streams::TopologyDriver dc(broker_, std::move(topo2).value(), "dc");
+  ASSERT_TRUE(edge.start().is_ok());
+  ASSERT_TRUE(dc.start().is_ok());
+
+  // Publish four Gaussian sub-streams (the paper's microbenchmark mix).
+  workload::StreamGenerator gen(workload::gaussian_quad(2000.0), 13);
+  workload::GroundTruth truth;
+  flowqueue::Producer producer(broker_);
+  SimTime now = SimTime::from_millis(1);
+  for (int tick = 0; tick < 10; ++tick) {
+    auto items = gen.tick(now, SimTime::from_millis(100));
+    truth.add_all(items);
+    core::ItemBundle bundle;
+    bundle.items = std::move(items);
+    ASSERT_TRUE(
+        producer.send("sources", "gen", core::encode_bundle(bundle), now)
+            .is_ok());
+    now = now + SimTime::from_millis(100);
+  }
+
+  ASSERT_TRUE(edge.run_until_idle().is_ok());
+  ASSERT_TRUE(edge.stop().is_ok());
+  ASSERT_TRUE(dc.run_until_idle().is_ok());
+  ASSERT_TRUE(dc.stop().is_ok());
+
+  // Drain the root topic into Θ.
+  core::ThetaStore theta;
+  std::vector<flowqueue::Record> records;
+  auto root_topic = broker_.topic("root");
+  ASSERT_TRUE(root_topic.is_ok());
+  root_topic.value()->partition(0).read(0, 1000000, records);
+  ASSERT_FALSE(records.empty());
+  for (const auto& record : records) {
+    auto bundle = core::decode_bundle(record.value);
+    ASSERT_TRUE(bundle.is_ok());
+    core::SampledBundle sampled;
+    sampled.w_out = bundle.value().w_in;
+    for (const Item& item : bundle.value().items) {
+      sampled.sample[item.source].push_back(item);
+    }
+    theta.add(sampled);
+  }
+
+  // 1. Count invariant: exact reconstruction of per-stream counts.
+  for (SubStreamId id : theta.sub_streams()) {
+    EXPECT_NEAR(theta.estimated_original_count(id),
+                static_cast<double>(truth.count(id)),
+                static_cast<double>(truth.count(id)) * 1e-9)
+        << "stream " << id;
+  }
+
+  // 2. The sample at the root is a small subset of the input.
+  EXPECT_LT(theta.total_sampled(), truth.total_count() / 4);
+
+  // 3. SUM estimate lands within a few percent of the exact answer on
+  //    this well-behaved mix, and the error bound is honest about it.
+  const core::ApproxResult result = core::approximate_query(theta);
+  const double exact = truth.total_sum();
+  EXPECT_NEAR(result.sum.point / exact, 1.0, 0.10);
+  EXPECT_GT(result.sum.margin, 0.0);
+
+  // 4. The analytics executor agrees with the core estimator.
+  analytics::Query query;
+  query.aggregate = analytics::Aggregate::kSum;
+  EXPECT_DOUBLE_EQ(analytics::execute_approximate(query, theta).value.point,
+                   result.sum.point);
+}
+
+TEST_F(EndToEndTest, ConsumerGroupSplitsLayerWork) {
+  // Two edge drivers in one consumer group share the source topic's
+  // partitions; together they must process everything exactly once.
+  ASSERT_TRUE(broker_.create_topic("wide", 2).is_ok());
+
+  auto build = []() {
+    streams::TopologyBuilder builder;
+    builder.add_source("in", "wide")
+        .add_processor("edge",
+                       []() {
+                         return std::make_unique<streams::SamplingProcessor>(
+                             fixed_node(1000000));  // keep everything
+                       },
+                       {"in"})
+        .add_sink("out", "layer1", {"edge"});
+    auto topo = builder.build();
+    EXPECT_TRUE(topo.is_ok());
+    return std::move(topo).value();
+  };
+
+  streams::TopologyDriver worker_a(broker_, build(), "edge-group");
+  streams::TopologyDriver worker_b(broker_, build(), "edge-group");
+  ASSERT_TRUE(worker_a.start().is_ok());
+  ASSERT_TRUE(worker_b.start().is_ok());
+
+  flowqueue::Producer producer(broker_);
+  std::size_t total_items = 0;
+  for (int i = 0; i < 20; ++i) {
+    core::ItemBundle bundle;
+    for (int k = 0; k < 10; ++k) {
+      bundle.items.push_back(Item{SubStreamId{1}, 1.0, 0});
+    }
+    total_items += bundle.items.size();
+    ASSERT_TRUE(producer
+                    .send_to_partition("wide",
+                                       static_cast<std::uint32_t>(i % 2),
+                                       "k", core::encode_bundle(bundle),
+                                       SimTime::from_millis(i * 10))
+                    .is_ok());
+  }
+
+  ASSERT_TRUE(worker_a.run_until_idle().is_ok());
+  ASSERT_TRUE(worker_b.run_until_idle().is_ok());
+  ASSERT_TRUE(worker_a.stop().is_ok());
+  ASSERT_TRUE(worker_b.stop().is_ok());
+
+  std::vector<flowqueue::Record> out;
+  auto layer1 = broker_.topic("layer1");
+  ASSERT_TRUE(layer1.is_ok());
+  layer1.value()->partition(0).read(0, 1000000, out);
+  std::size_t forwarded = 0;
+  for (const auto& record : out) {
+    auto bundle = core::decode_bundle(record.value);
+    ASSERT_TRUE(bundle.is_ok());
+    forwarded += bundle.value().items.size();
+  }
+  EXPECT_EQ(forwarded, total_items);
+}
+
+}  // namespace
+}  // namespace approxiot

@@ -1,0 +1,210 @@
+// Failure injection: degenerate budgets, empty and vanishing sub-streams,
+// corrupted records, consumer churn, and extreme weights. The system must
+// degrade gracefully (drop, hold, or widen bounds) — never crash or
+// corrupt estimates.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <memory>
+
+#include "core/error.hpp"
+#include "core/node.hpp"
+#include "core/pipeline.hpp"
+#include "core/wire.hpp"
+#include "flowqueue/broker.hpp"
+#include "flowqueue/consumer.hpp"
+#include "flowqueue/producer.hpp"
+#include "streams/driver.hpp"
+#include "streams/sampling_processor.hpp"
+
+namespace approxiot {
+namespace {
+
+std::vector<Item> n_items(SubStreamId id, std::size_t n, double value = 1.0) {
+  std::vector<Item> out;
+  for (std::size_t i = 0; i < n; ++i) out.push_back(Item{id, value, 0});
+  return out;
+}
+
+TEST(FailureTest, ZeroBudgetNodeForwardsNothingButSurvives) {
+  core::NodeConfig config;
+  config.cost_function = "fixed";
+  config.budget.fixed_sample_size = 0;
+  core::SamplingNode node(config);
+
+  core::ItemBundle bundle;
+  bundle.items = n_items(SubStreamId{1}, 100);
+  for (int i = 0; i < 5; ++i) {
+    auto out = node.process_interval({bundle});
+    for (const auto& o : out) EXPECT_EQ(o.item_count(), 0u);
+  }
+  EXPECT_EQ(node.metrics().items_out, 0u);
+}
+
+TEST(FailureTest, SubStreamVanishingMidWindow) {
+  core::NodeConfig config;
+  config.cost_function = "fixed";
+  config.budget.fixed_sample_size = 10;
+  core::SamplingNode node(config);
+
+  core::ItemBundle both;
+  both.items = n_items(SubStreamId{1}, 50);
+  auto more = n_items(SubStreamId{2}, 50);
+  both.items.insert(both.items.end(), more.begin(), more.end());
+  (void)node.process_interval({both});
+
+  // Stream 2 disappears; the node must not emit phantom entries for it.
+  core::ItemBundle only_one;
+  only_one.items = n_items(SubStreamId{1}, 50);
+  auto out = node.process_interval({only_one});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].sample.count(SubStreamId{2}), 0u);
+}
+
+TEST(FailureTest, ExtremeWeightsStayFinite) {
+  // 20 hops each multiplying the weight by 10: 10^20 — large but finite,
+  // and the count invariant must still hold to double precision.
+  core::ItemBundle bundle;
+  bundle.items = n_items(SubStreamId{1}, 1);
+  bundle.w_in.set(SubStreamId{1}, 1e20);
+
+  core::NodeConfig config;
+  config.cost_function = "fixed";
+  config.budget.fixed_sample_size = 10;
+  core::SamplingNode node(config);
+  auto out = node.process_interval({bundle});
+  ASSERT_EQ(out.size(), 1u);
+  const double w = out[0].w_out.get(SubStreamId{1});
+  EXPECT_TRUE(std::isfinite(w));
+  EXPECT_DOUBLE_EQ(w, 1e20);
+}
+
+TEST(FailureTest, EmptyWindowQueryIsZeroNotNan) {
+  core::RootNode root([]() {
+    core::NodeConfig c;
+    c.cost_function = "fixed";
+    c.budget.fixed_sample_size = 10;
+    return c;
+  }());
+  const core::ApproxResult result = root.close_window();
+  EXPECT_EQ(result.sum.point, 0.0);
+  EXPECT_FALSE(std::isnan(result.mean.point));
+  EXPECT_FALSE(std::isnan(result.sum.margin));
+}
+
+TEST(FailureTest, SingleItemSubStreamHasZeroVarianceNotNan) {
+  core::ThetaStore theta;
+  core::WeightedSample pair;
+  pair.weight = 100.0;
+  pair.items = {Item{SubStreamId{1}, 5.0, 0}};
+  theta.add_pair(SubStreamId{1}, std::move(pair));
+  const core::ApproxResult result = core::approximate_query(theta);
+  EXPECT_FALSE(std::isnan(result.sum.margin));
+  EXPECT_DOUBLE_EQ(result.sum.point, 500.0);
+}
+
+TEST(FailureTest, CorruptedRecordsDoNotPoisonThePipeline) {
+  flowqueue::Broker broker;
+  ASSERT_TRUE(broker.create_topic("in", 1).is_ok());
+  ASSERT_TRUE(broker.create_topic("out", 1).is_ok());
+
+  streams::TopologyBuilder builder;
+  builder.add_source("src", "in")
+      .add_processor("samp",
+                     []() {
+                       core::NodeConfig c;
+                       c.cost_function = "fixed";
+                       c.budget.fixed_sample_size = 100;
+                       return std::make_unique<streams::SamplingProcessor>(c);
+                     },
+                     {"src"})
+      .add_sink("sink", "out", {"samp"});
+  auto topo = builder.build();
+  ASSERT_TRUE(topo.is_ok());
+  streams::TopologyDriver driver(broker, std::move(topo).value(), "app");
+  ASSERT_TRUE(driver.start().is_ok());
+
+  flowqueue::Producer producer(broker);
+  // Interleave garbage with one valid bundle.
+  ASSERT_TRUE(producer.send("in", "junk1", {0xff, 0x00, 0x13}).is_ok());
+  core::ItemBundle good;
+  good.items = n_items(SubStreamId{1}, 10, 2.0);
+  ASSERT_TRUE(
+      producer.send("in", "good", core::encode_bundle(good)).is_ok());
+  ASSERT_TRUE(producer.send("in", "junk2", {}).is_ok());
+
+  ASSERT_TRUE(driver.run_until_idle().is_ok());
+  ASSERT_TRUE(driver.stop().is_ok());
+
+  std::vector<flowqueue::Record> out;
+  auto topic = broker.topic("out");
+  ASSERT_TRUE(topic.is_ok());
+  topic.value()->partition(0).read(0, 1000, out);
+  ASSERT_EQ(out.size(), 1u);  // only the good bundle made it
+  auto decoded = core::decode_bundle(out[0].value);
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_EQ(decoded.value().items.size(), 10u);
+}
+
+TEST(FailureTest, ConsumerChurnPreservesDelivery) {
+  flowqueue::Broker broker;
+  ASSERT_TRUE(broker.create_topic("t", 4).is_ok());
+  flowqueue::Producer producer(broker);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(producer
+                    .send_to_partition("t", static_cast<std::uint32_t>(i % 4),
+                                       std::to_string(i), {0x01})
+                    .is_ok());
+  }
+
+  std::size_t delivered = 0;
+  {
+    flowqueue::Consumer first(broker, "m1");
+    ASSERT_TRUE(first.subscribe("g", {"t"}).is_ok());
+    auto batch = first.poll(30);
+    ASSERT_TRUE(batch.is_ok());
+    delivered += batch.value().size();
+    ASSERT_TRUE(first.commit().is_ok());
+  }  // m1 dies; its partitions rebalance to m2
+
+  flowqueue::Consumer second(broker, "m2");
+  ASSERT_TRUE(second.subscribe("g", {"t"}).is_ok());
+  ASSERT_TRUE(second.restore_committed().is_ok());
+  while (true) {
+    auto batch = second.poll(30);
+    ASSERT_TRUE(batch.is_ok());
+    if (batch.value().empty()) break;
+    delivered += batch.value().size();
+  }
+  EXPECT_EQ(delivered, 100u);
+}
+
+TEST(FailureTest, TreeWithAllEmptyLeavesProducesEmptyWindows) {
+  core::EdgeTreeConfig config;
+  config.layer_widths = {4, 2};
+  core::EdgeTree tree(config);
+  std::vector<std::vector<Item>> empty(4);
+  tree.tick(empty);
+  tree.tick(empty);
+  const core::ApproxResult result = tree.close_window();
+  EXPECT_EQ(result.sampled_items, 0u);
+  EXPECT_EQ(result.sum.point, 0.0);
+}
+
+TEST(FailureTest, NanValuesFlowWithoutCrashing) {
+  // A sensor emitting NaN must not crash sampling; the estimate becomes
+  // NaN (garbage in, garbage out) but the pipeline machinery survives.
+  core::NodeConfig config;
+  config.cost_function = "fixed";
+  config.budget.fixed_sample_size = 5;
+  core::RootNode root(config);
+  core::ItemBundle bundle;
+  bundle.items = n_items(SubStreamId{1}, 3,
+                         std::numeric_limits<double>::quiet_NaN());
+  root.ingest_interval({bundle});
+  const core::ApproxResult result = root.run_query();
+  EXPECT_TRUE(std::isnan(result.sum.point));
+}
+
+}  // namespace
+}  // namespace approxiot

@@ -1,0 +1,88 @@
+#include "netsim/link.hpp"
+
+#include <gtest/gtest.h>
+
+namespace approxiot::netsim {
+namespace {
+
+TEST(LinkTest, DeliversAfterLatencyPlusSerialization) {
+  Simulator sim;
+  LinkConfig config;
+  config.one_way_latency = SimTime::from_millis(10);
+  config.bandwidth_bps = 8e6;  // 1 MB/s -> 1000 bytes take 1 ms
+  Link link(sim, config);
+
+  SimTime arrival{};
+  link.transfer(1000, [&]() { arrival = sim.now(); });
+  sim.run();
+  EXPECT_EQ(arrival, SimTime::from_millis(11));
+}
+
+TEST(LinkTest, BackToBackTransfersQueueOnSerialization) {
+  Simulator sim;
+  LinkConfig config;
+  config.one_way_latency = SimTime::from_millis(5);
+  config.bandwidth_bps = 8e6;
+  Link link(sim, config);
+
+  SimTime first{}, second{};
+  link.transfer(1000, [&]() { first = sim.now(); });   // busy until 1 ms
+  link.transfer(1000, [&]() { second = sim.now(); });  // starts at 1 ms
+  sim.run();
+  EXPECT_EQ(first, SimTime::from_millis(6));
+  EXPECT_EQ(second, SimTime::from_millis(7));
+}
+
+TEST(LinkTest, InfiniteBandwidthIsPureLatency) {
+  Simulator sim;
+  LinkConfig config;
+  config.one_way_latency = SimTime::from_millis(20);
+  config.bandwidth_bps = 0.0;  // treated as "no serialization cost"
+  Link link(sim, config);
+  SimTime arrival{};
+  link.transfer(1 << 30, [&]() { arrival = sim.now(); });
+  sim.run();
+  EXPECT_EQ(arrival, SimTime::from_millis(20));
+}
+
+TEST(LinkTest, CountsBytesAndTransfers) {
+  Simulator sim;
+  Link link(sim, LinkConfig{});
+  link.transfer(100, []() {});
+  link.transfer(250, []() {});
+  EXPECT_EQ(link.bytes_sent(), 350u);
+  EXPECT_EQ(link.transfers(), 2u);
+  link.reset_counters();
+  EXPECT_EQ(link.bytes_sent(), 0u);
+}
+
+TEST(LinkTest, UtilizationReflectsBusyTime) {
+  Simulator sim;
+  LinkConfig config;
+  config.one_way_latency = SimTime::zero();
+  config.bandwidth_bps = 8e6;  // 1000 bytes/ms
+  Link link(sim, config);
+  // 1000 bytes = 1 ms busy.
+  link.transfer(1000, []() {});
+  sim.run();
+  sim.run_until(SimTime::from_millis(10));
+  EXPECT_NEAR(link.utilization(), 0.1, 0.01);
+}
+
+TEST(LinkTest, IdleTransferStartsFromNow) {
+  Simulator sim;
+  LinkConfig config;
+  config.one_way_latency = SimTime::from_millis(1);
+  config.bandwidth_bps = 8e6;
+  Link link(sim, config);
+  SimTime arrival{};
+  sim.schedule_at(SimTime::from_millis(100), [&]() {
+    link.transfer(1000, [&]() { arrival = sim.now(); });
+  });
+  sim.run();
+  // Starts at 100 ms (link idle), not at the old busy_until.
+  EXPECT_EQ(arrival, SimTime::from_millis(102));
+}
+
+}  // namespace
+}  // namespace approxiot::netsim

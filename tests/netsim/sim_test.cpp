@@ -1,0 +1,100 @@
+#include "netsim/sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace approxiot::netsim {
+namespace {
+
+TEST(SimulatorTest, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(SimTime::from_millis(30), [&]() { order.push_back(3); });
+  sim.schedule_at(SimTime::from_millis(10), [&]() { order.push_back(1); });
+  sim.schedule_at(SimTime::from_millis(20), [&]() { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), SimTime::from_millis(30));
+}
+
+TEST(SimulatorTest, TiesBreakFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.schedule_at(SimTime::from_millis(10), [&order, i]() {
+      order.push_back(i);
+    });
+  }
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SimulatorTest, ScheduleAfterIsRelative) {
+  Simulator sim;
+  SimTime fired{};
+  sim.schedule_at(SimTime::from_millis(100), [&]() {
+    sim.schedule_after(SimTime::from_millis(50),
+                       [&]() { fired = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(fired, SimTime::from_millis(150));
+}
+
+TEST(SimulatorTest, PastEventsClampToNow) {
+  Simulator sim;
+  sim.schedule_at(SimTime::from_millis(100), [&]() {
+    // Scheduling in the past is clamped, not time-travel.
+    sim.schedule_at(SimTime::from_millis(1), [&]() {
+      EXPECT_GE(sim.now(), SimTime::from_millis(100));
+    });
+  });
+  sim.run();
+}
+
+TEST(SimulatorTest, RunUntilStopsAtBoundary) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(SimTime::from_millis(10), [&]() { ++fired; });
+  sim.schedule_at(SimTime::from_millis(20), [&]() { ++fired; });
+  sim.schedule_at(SimTime::from_millis(30), [&]() { ++fired; });
+  EXPECT_EQ(sim.run_until(SimTime::from_millis(20)), 2u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.now(), SimTime::from_millis(20));
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.run();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(SimulatorTest, RunUntilAdvancesClockEvenWithoutEvents) {
+  Simulator sim;
+  EXPECT_EQ(sim.run_until(SimTime::from_seconds(5.0)), 0u);
+  EXPECT_EQ(sim.now(), SimTime::from_seconds(5.0));
+}
+
+TEST(SimulatorTest, EventsCanScheduleMoreEvents) {
+  Simulator sim;
+  int chain = 0;
+  std::function<void()> step = [&]() {
+    if (++chain < 10) {
+      sim.schedule_after(SimTime::from_millis(1), step);
+    }
+  };
+  sim.schedule_at(SimTime::zero(), step);
+  sim.run();
+  EXPECT_EQ(chain, 10);
+  EXPECT_EQ(sim.executed(), 10u);
+}
+
+TEST(SimulatorTest, ClearDropsPending) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(SimTime::from_millis(10), [&]() { ++fired; });
+  sim.clear();
+  sim.run();
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+}  // namespace
+}  // namespace approxiot::netsim

@@ -1,0 +1,138 @@
+#include "netsim/tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace approxiot::netsim {
+namespace {
+
+TreeNetConfig small_config() {
+  TreeNetConfig config;
+  config.sources = 4;
+  config.layer_widths = {2, 1};
+  config.hop_rtts = {SimTime::from_millis(20), SimTime::from_millis(40),
+                     SimTime::from_millis(80)};
+  config.interval = SimTime::from_millis(500);
+  config.source_tick = SimTime::from_millis(100);
+  config.edge_service_rate = 1e6;
+  config.root_service_rate = 1e6;
+  return config;
+}
+
+/// Constant-rate source: each source emits `per_tick` items of its own
+/// sub-stream with value 1.
+SourceFn constant_source(std::size_t per_tick) {
+  return [per_tick](std::size_t source, SimTime now) {
+    std::vector<Item> items;
+    items.reserve(per_tick);
+    for (std::size_t i = 0; i < per_tick; ++i) {
+      items.push_back(Item{SubStreamId{source + 1}, 1.0, now.us});
+    }
+    return items;
+  };
+}
+
+TEST(TreeNetworkTest, ValidatesConfig) {
+  Simulator sim;
+  TreeNetConfig bad = small_config();
+  bad.layer_widths = {};
+  EXPECT_THROW(TreeNetwork(sim, bad, constant_source(1)),
+               std::invalid_argument);
+
+  TreeNetConfig mismatched = small_config();
+  mismatched.hop_rtts.pop_back();
+  EXPECT_THROW(TreeNetwork(sim, mismatched, constant_source(1)),
+               std::invalid_argument);
+}
+
+TEST(TreeNetworkTest, NativeDeliversEverythingEventually) {
+  Simulator sim;
+  TreeNetConfig config = small_config();
+  config.engine = core::EngineKind::kNative;
+  TreeNetwork net(sim, config, constant_source(10));
+  net.run_for(SimTime::from_seconds(10.0));
+  // Let in-flight items settle: bounded drain past the stop time.
+  net.drain();
+
+  EXPECT_GT(net.items_generated(), 0u);
+  // Everything generated early enough reaches the root under native.
+  EXPECT_GT(net.items_processed_at_root(),
+            net.items_generated() * 9 / 10);
+}
+
+TEST(TreeNetworkTest, SamplingShrinksRootVolumeAndBytes) {
+  Simulator sim_full, sim_sampled;
+  TreeNetConfig full = small_config();
+  full.engine = core::EngineKind::kNative;
+  TreeNetConfig sampled = small_config();
+  sampled.engine = core::EngineKind::kApproxIoT;
+  sampled.sampling_fraction = 0.1;
+
+  TreeNetwork net_full(sim_full, full, constant_source(50));
+  TreeNetwork net_sampled(sim_sampled, sampled, constant_source(50));
+  net_full.run_for(SimTime::from_seconds(10.0));
+  net_sampled.run_for(SimTime::from_seconds(10.0));
+  net_full.drain();
+  net_sampled.drain();
+
+  EXPECT_LT(net_sampled.items_processed_at_root(),
+            net_full.items_processed_at_root() / 2);
+
+  const auto bytes_full = net_full.bytes_per_hop();
+  const auto bytes_sampled = net_sampled.bytes_per_hop();
+  ASSERT_EQ(bytes_full.size(), 3u);
+  // The last hop (towards the datacenter) carries far fewer bytes when
+  // sampling — the Fig. 7 bandwidth-saving effect.
+  EXPECT_LT(bytes_sampled[2], bytes_full[2] / 2);
+  // Source links carry the same raw data either way.
+  EXPECT_NEAR(static_cast<double>(bytes_sampled[0]),
+              static_cast<double>(bytes_full[0]),
+              static_cast<double>(bytes_full[0]) * 0.01);
+}
+
+TEST(TreeNetworkTest, LatencyIncludesPropagationAndWindows) {
+  Simulator sim;
+  TreeNetConfig config = small_config();
+  config.engine = core::EngineKind::kNative;
+  TreeNetwork net(sim, config, constant_source(5));
+  net.run_for(SimTime::from_seconds(8.0));
+  net.drain();
+
+  ASSERT_GT(net.latency_moments().count(), 0u);
+  // One-way propagation alone is 10+20+40 = 70 ms; interval buffering at
+  // three stages adds more. The mean must exceed propagation and stay
+  // within the run duration.
+  EXPECT_GT(net.latency_moments().mean(), 0.07);
+  EXPECT_LT(net.latency_moments().mean(), 8.0);
+}
+
+TEST(TreeNetworkTest, WindowsProduceQueryResults) {
+  Simulator sim;
+  TreeNetConfig config = small_config();
+  config.engine = core::EngineKind::kNative;
+  TreeNetwork net(sim, config, constant_source(10));
+  net.run_for(SimTime::from_seconds(5.0));
+  net.drain();
+
+  ASSERT_FALSE(net.windows().empty());
+  double total = 0.0;
+  for (const auto& w : net.windows()) total += w.result.sum.point;
+  // All values are 1: the summed window results reconstruct the item
+  // count that reached the root.
+  EXPECT_NEAR(total, static_cast<double>(net.items_processed_at_root()),
+              1e-6);
+}
+
+TEST(TreeNetworkTest, SaturationGrowsRootBacklog) {
+  Simulator sim;
+  TreeNetConfig config = small_config();
+  config.engine = core::EngineKind::kNative;
+  config.root_service_rate = 100.0;  // far below the offered load
+  TreeNetwork net(sim, config, constant_source(100));
+  net.run_for(SimTime::from_seconds(5.0));
+  EXPECT_GT(net.root_backlog().seconds(), 1.0);
+}
+
+}  // namespace
+}  // namespace approxiot::netsim

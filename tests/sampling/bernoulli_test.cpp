@@ -1,0 +1,70 @@
+#include "sampling/bernoulli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace approxiot::sampling {
+namespace {
+
+TEST(BernoulliSamplerTest, ClampsProbability) {
+  BernoulliSampler low(-0.5);
+  EXPECT_EQ(low.probability(), 0.0);
+  BernoulliSampler high(1.5);
+  EXPECT_EQ(high.probability(), 1.0);
+}
+
+TEST(BernoulliSamplerTest, ZeroProbabilityKeepsNothing) {
+  BernoulliSampler s(0.0, Rng(1));
+  for (int i = 0; i < 1000; ++i) EXPECT_FALSE(s.keep());
+  EXPECT_EQ(s.kept(), 0u);
+  EXPECT_EQ(s.seen(), 1000u);
+  EXPECT_EQ(s.weight(), 0.0);
+}
+
+TEST(BernoulliSamplerTest, FullProbabilityKeepsEverything) {
+  BernoulliSampler s(1.0, Rng(2));
+  for (int i = 0; i < 1000; ++i) EXPECT_TRUE(s.keep());
+  EXPECT_EQ(s.kept(), 1000u);
+  EXPECT_DOUBLE_EQ(s.weight(), 1.0);
+}
+
+TEST(BernoulliSamplerTest, KeepRateMatchesProbability) {
+  for (double p : {0.1, 0.3, 0.6, 0.9}) {
+    BernoulliSampler s(p, Rng(static_cast<std::uint64_t>(p * 1000)));
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) s.keep();
+    EXPECT_NEAR(static_cast<double>(s.kept()) / n, p, 0.01) << "p=" << p;
+  }
+}
+
+TEST(BernoulliSamplerTest, WeightIsHorvitzThompson) {
+  BernoulliSampler s(0.25);
+  EXPECT_DOUBLE_EQ(s.weight(), 4.0);
+  s.set_probability(0.5);
+  EXPECT_DOUBLE_EQ(s.weight(), 2.0);
+}
+
+TEST(BernoulliSamplerTest, FilterKeepsSubset) {
+  BernoulliSampler s(0.5, Rng(3));
+  std::vector<int> input(10000);
+  for (int i = 0; i < 10000; ++i) input[static_cast<std::size_t>(i)] = i;
+  auto kept = s.filter(input);
+  EXPECT_NEAR(static_cast<double>(kept.size()), 5000.0, 300.0);
+  // Kept elements preserve order.
+  for (std::size_t i = 1; i < kept.size(); ++i) {
+    EXPECT_LT(kept[i - 1], kept[i]);
+  }
+}
+
+TEST(BernoulliSamplerTest, ResetCountersKeepsProbability) {
+  BernoulliSampler s(0.5, Rng(4));
+  for (int i = 0; i < 100; ++i) s.keep();
+  s.reset_counters();
+  EXPECT_EQ(s.seen(), 0u);
+  EXPECT_EQ(s.kept(), 0u);
+  EXPECT_DOUBLE_EQ(s.probability(), 0.5);
+}
+
+}  // namespace
+}  // namespace approxiot::sampling

@@ -1,0 +1,174 @@
+#include "sampling/reservoir.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace approxiot::sampling {
+namespace {
+
+using IntReservoir = ReservoirSampler<int>;
+
+class ReservoirAlgorithmTest
+    : public ::testing::TestWithParam<ReservoirAlgorithm> {};
+
+TEST_P(ReservoirAlgorithmTest, KeepsEverythingUnderCapacity) {
+  IntReservoir r(10, Rng(1), GetParam());
+  for (int i = 0; i < 7; ++i) r.offer(i);
+  EXPECT_EQ(r.size(), 7u);
+  EXPECT_EQ(r.seen(), 7u);
+  EXPECT_FALSE(r.overflowed());
+  std::set<int> contents(r.contents().begin(), r.contents().end());
+  EXPECT_EQ(contents.size(), 7u);
+}
+
+TEST_P(ReservoirAlgorithmTest, NeverExceedsCapacity) {
+  IntReservoir r(5, Rng(2), GetParam());
+  for (int i = 0; i < 1000; ++i) {
+    r.offer(i);
+    ASSERT_LE(r.size(), 5u);
+  }
+  EXPECT_EQ(r.seen(), 1000u);
+  EXPECT_TRUE(r.overflowed());
+}
+
+TEST_P(ReservoirAlgorithmTest, SampleElementsComeFromStream) {
+  IntReservoir r(8, Rng(3), GetParam());
+  for (int i = 100; i < 400; ++i) r.offer(i);
+  for (int x : r.contents()) {
+    EXPECT_GE(x, 100);
+    EXPECT_LT(x, 400);
+  }
+}
+
+// The statistical core: every stream position must be included with
+// probability R/n. We check the mean selected *value* over many trials:
+// for a uniform inclusion over values 0..n-1 it converges to (n-1)/2.
+TEST_P(ReservoirAlgorithmTest, InclusionIsUniformOverPositions) {
+  const std::size_t capacity = 20;
+  const int n = 400;
+  const int trials = 600;
+  double sum = 0.0;
+  std::uint64_t count = 0;
+  std::vector<int> position_hits(n, 0);
+  for (int t = 0; t < trials; ++t) {
+    IntReservoir r(capacity, Rng(1000 + static_cast<std::uint64_t>(t)),
+                   GetParam());
+    for (int i = 0; i < n; ++i) r.offer(i);
+    for (int x : r.contents()) {
+      sum += x;
+      ++count;
+      ++position_hits[static_cast<std::size_t>(x)];
+    }
+  }
+  EXPECT_EQ(count, capacity * trials);
+  const double mean = sum / static_cast<double>(count);
+  // Uniform over 0..399 has mean 199.5, stddev of the trial mean is small.
+  EXPECT_NEAR(mean, 199.5, 6.0);
+
+  // Early, middle and late positions should all be hit at roughly
+  // R/n * trials = 30 times.
+  const double expected = static_cast<double>(capacity) / n * trials;
+  for (int pos : {0, 1, n / 2, n - 2, n - 1}) {
+    EXPECT_NEAR(position_hits[static_cast<std::size_t>(pos)], expected,
+                expected * 0.6)
+        << "position " << pos;
+  }
+}
+
+TEST_P(ReservoirAlgorithmTest, DrainResetsAndReturnsSample) {
+  IntReservoir r(4, Rng(5), GetParam());
+  for (int i = 0; i < 100; ++i) r.offer(i);
+  auto sample = r.drain();
+  EXPECT_EQ(sample.size(), 4u);
+  EXPECT_EQ(r.size(), 0u);
+  EXPECT_EQ(r.seen(), 0u);
+  // Works again after drain.
+  for (int i = 0; i < 10; ++i) r.offer(i);
+  EXPECT_EQ(r.seen(), 10u);
+  EXPECT_EQ(r.size(), 4u);
+}
+
+TEST_P(ReservoirAlgorithmTest, ZeroCapacityCountsButKeepsNothing) {
+  IntReservoir r(0, Rng(6), GetParam());
+  for (int i = 0; i < 50; ++i) r.offer(i);
+  EXPECT_EQ(r.size(), 0u);
+  EXPECT_EQ(r.seen(), 50u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BothAlgorithms, ReservoirAlgorithmTest,
+    ::testing::Values(ReservoirAlgorithm::kAlgorithmR,
+                      ReservoirAlgorithm::kAlgorithmL),
+    [](const ::testing::TestParamInfo<ReservoirAlgorithm>& info) {
+      return info.param == ReservoirAlgorithm::kAlgorithmR ? "AlgorithmR"
+                                                           : "AlgorithmL";
+    });
+
+TEST(ReservoirTest, AlgorithmsProduceSameDistribution) {
+  // Compare the mean selected value of R and L over many trials: both
+  // must estimate the stream mean without bias.
+  const int n = 1000;
+  const std::size_t capacity = 10;
+  const int trials = 400;
+  double sum_r = 0.0, sum_l = 0.0;
+  for (int t = 0; t < trials; ++t) {
+    IntReservoir rr(capacity, Rng(t * 2 + 1), ReservoirAlgorithm::kAlgorithmR);
+    IntReservoir rl(capacity, Rng(t * 2 + 2), ReservoirAlgorithm::kAlgorithmL);
+    for (int i = 0; i < n; ++i) {
+      rr.offer(i);
+      rl.offer(i);
+    }
+    sum_r = std::accumulate(rr.contents().begin(), rr.contents().end(), sum_r);
+    sum_l = std::accumulate(rl.contents().begin(), rl.contents().end(), sum_l);
+  }
+  const double denom = static_cast<double>(capacity) * trials;
+  EXPECT_NEAR(sum_r / denom, 499.5, 18.0);
+  EXPECT_NEAR(sum_l / denom, 499.5, 18.0);
+}
+
+TEST(ReservoirTest, SetCapacityShrinksUniformly) {
+  IntReservoir r(10, Rng(7));
+  for (int i = 0; i < 10; ++i) r.offer(i);
+  r.set_capacity(4);
+  EXPECT_EQ(r.size(), 4u);
+  EXPECT_EQ(r.capacity(), 4u);
+  std::set<int> contents(r.contents().begin(), r.contents().end());
+  EXPECT_EQ(contents.size(), 4u);  // distinct survivors
+}
+
+TEST(ReservoirTest, SetCapacityGrowAllowsMoreItems) {
+  IntReservoir r(2, Rng(8));
+  r.offer(1);
+  r.offer(2);
+  r.set_capacity(5);
+  r.reset();
+  for (int i = 0; i < 5; ++i) r.offer(i);
+  EXPECT_EQ(r.size(), 5u);
+}
+
+TEST(ReservoirTest, ResetClearsWithoutReturning) {
+  IntReservoir r(4, Rng(9));
+  for (int i = 0; i < 9; ++i) r.offer(i);
+  r.reset();
+  EXPECT_EQ(r.size(), 0u);
+  EXPECT_EQ(r.seen(), 0u);
+}
+
+TEST(ReservoirTest, MoveOnlyPayloadWorks) {
+  ReservoirSampler<std::unique_ptr<int>> r(2, Rng(10));
+  for (int i = 0; i < 20; ++i) r.offer(std::make_unique<int>(i));
+  EXPECT_EQ(r.size(), 2u);
+  for (const auto& p : r.contents()) {
+    ASSERT_NE(p, nullptr);
+    EXPECT_GE(*p, 0);
+    EXPECT_LT(*p, 20);
+  }
+}
+
+}  // namespace
+}  // namespace approxiot::sampling

@@ -1,0 +1,81 @@
+#include "stats/confidence.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "common/rng.hpp"
+
+namespace approxiot::stats {
+namespace {
+
+TEST(ConfidenceIntervalTest, BoundsAndCoverage) {
+  ConfidenceInterval ci{10.0, 2.0, 0.95};
+  EXPECT_DOUBLE_EQ(ci.lower(), 8.0);
+  EXPECT_DOUBLE_EQ(ci.upper(), 12.0);
+  EXPECT_TRUE(ci.covers(10.0));
+  EXPECT_TRUE(ci.covers(8.0));
+  EXPECT_TRUE(ci.covers(12.0));
+  EXPECT_FALSE(ci.covers(7.99));
+  EXPECT_FALSE(ci.covers(12.01));
+}
+
+TEST(ConfidenceIntervalTest, RelativeMargin) {
+  ConfidenceInterval ci{100.0, 5.0, 0.95};
+  EXPECT_DOUBLE_EQ(ci.relative_margin(), 0.05);
+  ConfidenceInterval negative{-100.0, 5.0, 0.95};
+  EXPECT_DOUBLE_EQ(negative.relative_margin(), 0.05);
+  ConfidenceInterval zero{0.0, 5.0, 0.95};
+  EXPECT_TRUE(std::isinf(zero.relative_margin()));
+  ConfidenceInterval both_zero{0.0, 0.0, 0.95};
+  EXPECT_EQ(both_zero.relative_margin(), 0.0);
+}
+
+TEST(MakeIntervalTest, TwoSigmaAt95) {
+  const ConfidenceInterval ci = make_interval(50.0, 16.0, kConfidence95);
+  // variance 16 -> stddev 4 -> margin 2 sigma = 8.
+  EXPECT_NEAR(ci.margin, 8.0, 1e-6);
+  EXPECT_DOUBLE_EQ(ci.point, 50.0);
+}
+
+TEST(MakeIntervalTest, NegativeVarianceClampsToZero) {
+  const ConfidenceInterval ci = make_interval(1.0, -4.0, kConfidence95);
+  EXPECT_EQ(ci.margin, 0.0);
+}
+
+TEST(MakeIntervalTest, WiderConfidenceWiderInterval) {
+  const auto narrow = make_interval(0.0, 1.0, kConfidence68);
+  const auto mid = make_interval(0.0, 1.0, kConfidence95);
+  const auto wide = make_interval(0.0, 1.0, kConfidence997);
+  EXPECT_LT(narrow.margin, mid.margin);
+  EXPECT_LT(mid.margin, wide.margin);
+}
+
+TEST(MakeIntervalTest, StreamOutput) {
+  std::ostringstream os;
+  os << make_interval(5.0, 0.0, 0.95);
+  EXPECT_NE(os.str().find("±"), std::string::npos);
+}
+
+// Property: an interval built from the true sampling variance of a sample
+// mean covers the true mean at roughly its nominal rate.
+TEST(MakeIntervalTest, EmpiricalCoverageOfSampleMean) {
+  approxiot::Rng rng(99);
+  const double mu = 10.0, sigma = 3.0;
+  const int n = 50;
+  const int trials = 2000;
+  int covered = 0;
+  for (int t = 0; t < trials; ++t) {
+    double sum = 0.0;
+    for (int i = 0; i < n; ++i) sum += mu + sigma * rng.next_gaussian();
+    const double mean = sum / n;
+    const double var_of_mean = sigma * sigma / n;
+    if (make_interval(mean, var_of_mean, kConfidence95).covers(mu)) ++covered;
+  }
+  const double rate = static_cast<double>(covered) / trials;
+  EXPECT_NEAR(rate, kConfidence95, 0.02);
+}
+
+}  // namespace
+}  // namespace approxiot::stats

@@ -1,0 +1,119 @@
+#include "stats/distribution.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "common/rng.hpp"
+#include "stats/moments.hpp"
+
+namespace approxiot::stats {
+namespace {
+
+// Property sweep: every distribution's empirical mean and variance match
+// its analytic mean()/variance() within CLT tolerance.
+struct DistCase {
+  const char* name;
+  std::shared_ptr<ValueDistribution> dist;
+  double mean_tol;
+  double var_rel_tol;
+};
+
+class DistributionMomentsTest : public ::testing::TestWithParam<DistCase> {};
+
+TEST_P(DistributionMomentsTest, EmpiricalMomentsMatchAnalytic) {
+  const DistCase& c = GetParam();
+  approxiot::Rng rng(123);
+  RunningMoments m;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) m.add(c.dist->sample(rng));
+  EXPECT_NEAR(m.mean(), c.dist->mean(), c.mean_tol) << c.name;
+  if (c.dist->variance() > 0.0) {
+    EXPECT_NEAR(m.sample_variance() / c.dist->variance(), 1.0, c.var_rel_tol)
+        << c.name;
+  } else {
+    EXPECT_EQ(m.sample_variance(), 0.0) << c.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDistributions, DistributionMomentsTest,
+    ::testing::Values(
+        DistCase{"gaussian_paper_A",
+                 std::make_shared<GaussianDistribution>(10.0, 5.0), 0.05,
+                 0.02},
+        DistCase{"gaussian_paper_D",
+                 std::make_shared<GaussianDistribution>(100000.0, 5000.0),
+                 50.0, 0.02},
+        DistCase{"gaussian_degenerate",
+                 std::make_shared<GaussianDistribution>(3.0, 0.0), 1e-12,
+                 0.0},
+        DistCase{"poisson_small", std::make_shared<PoissonDistribution>(10.0),
+                 0.05, 0.03},
+        DistCase{"poisson_large",
+                 std::make_shared<PoissonDistribution>(10000.0), 5.0, 0.03},
+        DistCase{"uniform", std::make_shared<UniformDistribution>(2.0, 8.0),
+                 0.02, 0.02},
+        DistCase{"exponential",
+                 std::make_shared<ExponentialDistribution>(0.5), 0.02, 0.03},
+        DistCase{"lognormal",
+                 std::make_shared<LogNormalDistribution>(2.3, 0.55), 0.05,
+                 0.05}),
+    [](const ::testing::TestParamInfo<DistCase>& info) {
+      return info.param.name;
+    });
+
+TEST(DistributionTest, ConstructorValidation) {
+  EXPECT_THROW(GaussianDistribution(0.0, -1.0), std::invalid_argument);
+  EXPECT_THROW(PoissonDistribution(-1.0), std::invalid_argument);
+  EXPECT_THROW(UniformDistribution(2.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(ExponentialDistribution(0.0), std::invalid_argument);
+  EXPECT_THROW(LogNormalDistribution(0.0, -0.1), std::invalid_argument);
+}
+
+TEST(DistributionTest, CloneIsIndependentAndEquivalent) {
+  GaussianDistribution original(5.0, 2.0);
+  auto copy = original.clone();
+  EXPECT_DOUBLE_EQ(copy->mean(), original.mean());
+  EXPECT_DOUBLE_EQ(copy->variance(), original.variance());
+  EXPECT_EQ(copy->describe(), original.describe());
+}
+
+TEST(DistributionTest, DescribeMentionsParameters) {
+  EXPECT_NE(GaussianDistribution(10.0, 5.0).describe().find("10"),
+            std::string::npos);
+  EXPECT_NE(PoissonDistribution(42.0).describe().find("42"),
+            std::string::npos);
+}
+
+TEST(DistributionTest, LogNormalAnalyticMoments) {
+  // E[X] = exp(mu + s^2/2); Var = (exp(s^2)-1) exp(2mu + s^2).
+  LogNormalDistribution d(1.0, 0.5);
+  EXPECT_NEAR(d.mean(), std::exp(1.125), 1e-9);
+  EXPECT_NEAR(d.variance(),
+              (std::exp(0.25) - 1.0) * std::exp(2.0 + 0.25), 1e-9);
+}
+
+TEST(DistributionTest, UniformSamplesStayInRange) {
+  UniformDistribution d(-3.0, 3.0);
+  approxiot::Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = d.sample(rng);
+    ASSERT_GE(x, -3.0);
+    ASSERT_LT(x, 3.0);
+  }
+}
+
+TEST(DistributionTest, PoissonSamplesAreNonNegativeIntegers) {
+  PoissonDistribution d(7.0);
+  approxiot::Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = d.sample(rng);
+    ASSERT_GE(x, 0.0);
+    ASSERT_EQ(x, std::floor(x));
+  }
+}
+
+}  // namespace
+}  // namespace approxiot::stats

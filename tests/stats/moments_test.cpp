@@ -1,0 +1,128 @@
+#include "stats/moments.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace approxiot::stats {
+namespace {
+
+TEST(RunningMomentsTest, EmptyIsZero) {
+  RunningMoments m;
+  EXPECT_EQ(m.count(), 0u);
+  EXPECT_EQ(m.mean(), 0.0);
+  EXPECT_EQ(m.sum(), 0.0);
+  EXPECT_EQ(m.sample_variance(), 0.0);
+  EXPECT_EQ(m.population_variance(), 0.0);
+}
+
+TEST(RunningMomentsTest, SingleValue) {
+  RunningMoments m;
+  m.add(4.0);
+  EXPECT_EQ(m.count(), 1u);
+  EXPECT_DOUBLE_EQ(m.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(m.sum(), 4.0);
+  EXPECT_EQ(m.sample_variance(), 0.0);  // n-1 undefined -> 0
+  EXPECT_EQ(m.min(), 4.0);
+  EXPECT_EQ(m.max(), 4.0);
+}
+
+TEST(RunningMomentsTest, MatchesDirectComputation) {
+  const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  RunningMoments m;
+  for (double x : xs) m.add(x);
+  EXPECT_DOUBLE_EQ(m.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(m.population_variance(), 4.0);
+  EXPECT_NEAR(m.sample_variance(), 4.0 * 8.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(m.min(), 2.0);
+  EXPECT_DOUBLE_EQ(m.max(), 9.0);
+}
+
+TEST(RunningMomentsTest, NumericallyStableForLargeOffsets) {
+  // Naive sum-of-squares catastrophically cancels here; Welford must not.
+  RunningMoments m;
+  const double offset = 1e9;
+  for (double x : {offset + 4.0, offset + 7.0, offset + 13.0, offset + 16.0}) {
+    m.add(x);
+  }
+  EXPECT_NEAR(m.mean(), offset + 10.0, 1e-3);
+  EXPECT_NEAR(m.sample_variance(), 30.0, 1e-3);
+}
+
+TEST(RunningMomentsTest, MergeMatchesSequential) {
+  Rng rng(3);
+  RunningMoments all, left, right;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.next_gaussian() * 3.0 + 1.0;
+    all.add(x);
+    (i < 400 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(left.sample_variance(), all.sample_variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(RunningMomentsTest, MergeWithEmptySides) {
+  RunningMoments a, b;
+  a.add(1.0);
+  a.add(3.0);
+  RunningMoments a_copy = a;
+  a.merge(b);  // empty right
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  b.merge(a_copy);  // empty left
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(RunningMomentsTest, ResetClearsState) {
+  RunningMoments m;
+  m.add(5.0);
+  m.reset();
+  EXPECT_EQ(m.count(), 0u);
+  EXPECT_EQ(m.mean(), 0.0);
+}
+
+TEST(WeightedMomentsTest, WeightOneMatchesUnweighted) {
+  RunningMoments plain;
+  WeightedMoments weighted;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) {
+    plain.add(x);
+    weighted.add(x, 1.0);
+  }
+  EXPECT_NEAR(weighted.mean(), plain.mean(), 1e-12);
+  EXPECT_NEAR(weighted.population_variance(), plain.population_variance(),
+              1e-12);
+  EXPECT_NEAR(weighted.weighted_sum(), plain.sum(), 1e-12);
+}
+
+TEST(WeightedMomentsTest, IntegerWeightEqualsRepetition) {
+  RunningMoments repeated;
+  WeightedMoments weighted;
+  repeated.add(2.0);
+  repeated.add(2.0);
+  repeated.add(2.0);
+  repeated.add(8.0);
+  weighted.add(2.0, 3.0);
+  weighted.add(8.0, 1.0);
+  EXPECT_NEAR(weighted.mean(), repeated.mean(), 1e-12);
+  EXPECT_NEAR(weighted.population_variance(), repeated.population_variance(),
+              1e-12);
+}
+
+TEST(WeightedMomentsTest, IgnoresNonPositiveWeights) {
+  WeightedMoments m;
+  m.add(5.0, 0.0);
+  m.add(5.0, -2.0);
+  EXPECT_EQ(m.weight_sum(), 0.0);
+  EXPECT_EQ(m.mean(), 0.0);
+}
+
+}  // namespace
+}  // namespace approxiot::stats

@@ -1,0 +1,66 @@
+#include "stats/normal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace approxiot::stats {
+namespace {
+
+TEST(NormalCdfTest, KnownValues) {
+  EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(normal_cdf(1.0), 0.8413447460685429, 1e-10);
+  EXPECT_NEAR(normal_cdf(-1.0), 1.0 - 0.8413447460685429, 1e-10);
+  EXPECT_NEAR(normal_cdf(1.959963984540054), 0.975, 1e-9);
+}
+
+TEST(NormalQuantileTest, KnownValues) {
+  EXPECT_NEAR(normal_quantile(0.5), 0.0, 1e-9);
+  EXPECT_NEAR(normal_quantile(0.975), 1.959963984540054, 1e-8);
+  EXPECT_NEAR(normal_quantile(0.8413447460685429), 1.0, 1e-8);
+  EXPECT_NEAR(normal_quantile(0.001), -3.090232306167813, 1e-7);
+}
+
+TEST(NormalQuantileTest, RoundTripsThroughCdf) {
+  for (double p = 0.001; p < 1.0; p += 0.013) {
+    EXPECT_NEAR(normal_cdf(normal_quantile(p)), p, 1e-9) << "p=" << p;
+  }
+}
+
+TEST(NormalQuantileTest, TailsAreInfinite) {
+  EXPECT_TRUE(std::isinf(normal_quantile(0.0)));
+  EXPECT_LT(normal_quantile(0.0), 0.0);
+  EXPECT_TRUE(std::isinf(normal_quantile(1.0)));
+  EXPECT_GT(normal_quantile(1.0), 0.0);
+}
+
+TEST(NormalQuantileTest, SymmetricAroundHalf) {
+  for (double p : {0.01, 0.1, 0.25, 0.4}) {
+    EXPECT_NEAR(normal_quantile(p), -normal_quantile(1.0 - p), 1e-9);
+  }
+}
+
+TEST(ZForConfidenceTest, SigmaRuleValues) {
+  // The "68-95-99.7" rule: these confidences correspond to 1, 2, 3 sigma.
+  EXPECT_NEAR(z_for_confidence(kConfidence68), 1.0, 1e-8);
+  EXPECT_NEAR(z_for_confidence(kConfidence95), 2.0, 1e-8);
+  EXPECT_NEAR(z_for_confidence(kConfidence997), 3.0, 1e-7);
+}
+
+TEST(ZForConfidenceTest, EdgeCases) {
+  EXPECT_EQ(z_for_confidence(0.0), 0.0);
+  EXPECT_EQ(z_for_confidence(-1.0), 0.0);
+  EXPECT_TRUE(std::isinf(z_for_confidence(1.0)));
+}
+
+TEST(ZForConfidenceTest, MonotoneInConfidence) {
+  double prev = 0.0;
+  for (double c = 0.1; c < 0.999; c += 0.05) {
+    const double z = z_for_confidence(c);
+    EXPECT_GT(z, prev);
+    prev = z;
+  }
+}
+
+}  // namespace
+}  // namespace approxiot::stats

@@ -1,0 +1,96 @@
+#include "stats/summary.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "common/rng.hpp"
+
+namespace approxiot::stats {
+namespace {
+
+TEST(HistogramTest, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 10), std::invalid_argument);
+  EXPECT_THROW(Histogram(2.0, 1.0, 10), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(HistogramTest, BinsAndTotals) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(1.5);
+  h.add(1.7);
+  h.add(9.9);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.bin(0), 1u);
+  EXPECT_EQ(h.bin(1), 2u);
+  EXPECT_EQ(h.bin(9), 1u);
+  EXPECT_DOUBLE_EQ(h.bin_lower(1), 1.0);
+  EXPECT_DOUBLE_EQ(h.bin_upper(1), 2.0);
+}
+
+TEST(HistogramTest, OutOfRangeClampsToEdges) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(-100.0);
+  h.add(1e9);
+  EXPECT_EQ(h.bin(0), 1u);
+  EXPECT_EQ(h.bin(4), 1u);
+  EXPECT_EQ(h.total(), 2u);
+}
+
+TEST(HistogramTest, QuantileOfUniformData) {
+  Histogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 100; ++i) h.add(static_cast<double>(i) + 0.5);
+  EXPECT_NEAR(h.quantile(0.5), 50.0, 1.5);
+  EXPECT_NEAR(h.quantile(0.9), 90.0, 1.5);
+  EXPECT_NEAR(h.quantile(0.1), 10.0, 1.5);
+}
+
+TEST(HistogramTest, ResetClears) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(0.5);
+  h.reset();
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_EQ(h.bin(2), 0u);
+}
+
+TEST(QuantileSketchTest, ExactWhenUnderCapacity) {
+  QuantileSketch q(100);
+  for (int i = 1; i <= 99; ++i) q.add(static_cast<double>(i));
+  EXPECT_EQ(q.total(), 99u);
+  EXPECT_NEAR(q.median(), 50.0, 1e-9);
+  EXPECT_NEAR(q.quantile(0.0), 1.0, 1e-9);
+  EXPECT_NEAR(q.quantile(1.0), 99.0, 1e-9);
+}
+
+TEST(QuantileSketchTest, ApproximateOverCapacity) {
+  QuantileSketch q(512, 7);
+  approxiot::Rng rng(21);
+  for (int i = 0; i < 100000; ++i) q.add(rng.next_double() * 1000.0);
+  EXPECT_EQ(q.total(), 100000u);
+  EXPECT_NEAR(q.median(), 500.0, 60.0);
+  EXPECT_NEAR(q.quantile(0.95), 950.0, 60.0);
+}
+
+TEST(QuantileSketchTest, EmptyIsZero) {
+  QuantileSketch q;
+  EXPECT_EQ(q.quantile(0.5), 0.0);
+}
+
+TEST(QuantileSketchTest, ResetClears) {
+  QuantileSketch q(8);
+  q.add(5.0);
+  q.reset();
+  EXPECT_EQ(q.total(), 0u);
+  EXPECT_EQ(q.median(), 0.0);
+}
+
+TEST(QuantileSketchTest, ZeroCapacityStillWorks) {
+  QuantileSketch q(0);
+  q.add(1.0);
+  q.add(2.0);
+  EXPECT_EQ(q.total(), 2u);
+}
+
+}  // namespace
+}  // namespace approxiot::stats

@@ -1,0 +1,192 @@
+#include "streams/driver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "flowqueue/producer.hpp"
+
+namespace approxiot::streams {
+namespace {
+
+/// Uppercases record keys and forwards; counts punctuations.
+class UppercaseProcessor final : public Processor {
+ public:
+  explicit UppercaseProcessor(std::vector<SimTime>* punctuations = nullptr,
+                              SimTime schedule_every = SimTime::zero())
+      : punctuations_(punctuations), schedule_every_(schedule_every) {}
+
+  void init(ProcessorContext& context) override {
+    context_ = &context;
+    if (schedule_every_.us > 0) context.schedule(schedule_every_);
+  }
+
+  void process(const flowqueue::Record& record) override {
+    flowqueue::Record out = record;
+    for (char& c : out.key) c = static_cast<char>(std::toupper(c));
+    context_->forward(std::move(out));
+  }
+
+  void punctuate(SimTime now) override {
+    if (punctuations_ != nullptr) punctuations_->push_back(now);
+  }
+
+ private:
+  ProcessorContext* context_{nullptr};
+  std::vector<SimTime>* punctuations_;
+  SimTime schedule_every_;
+};
+
+class DriverTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(broker_.create_topic("in", 1).is_ok());
+    ASSERT_TRUE(broker_.create_topic("out", 1).is_ok());
+  }
+
+  Topology make_linear_topology(
+      std::function<std::unique_ptr<Processor>()> factory) {
+    TopologyBuilder builder;
+    builder.add_source("src", "in")
+        .add_processor("proc", std::move(factory), {"src"})
+        .add_sink("sink", "out", {"proc"});
+    auto topo = builder.build();
+    EXPECT_TRUE(topo.is_ok());
+    return std::move(topo).value();
+  }
+
+  std::vector<flowqueue::Record> read_all(const std::string& topic) {
+    std::vector<flowqueue::Record> out;
+    auto t = broker_.topic(topic);
+    EXPECT_TRUE(t.is_ok());
+    t.value()->partition(0).read(0, 100000, out);
+    return out;
+  }
+
+  flowqueue::Broker broker_;
+};
+
+TEST_F(DriverTest, PumpsRecordsSourceToSink) {
+  TopologyDriver driver(broker_, make_linear_topology([]() {
+    return std::make_unique<UppercaseProcessor>();
+  }),
+                        "app");
+  ASSERT_TRUE(driver.start().is_ok());
+
+  flowqueue::Producer producer(broker_);
+  ASSERT_TRUE(producer.send("in", "hello", {1, 2, 3}).is_ok());
+  ASSERT_TRUE(producer.send("in", "world", {4}).is_ok());
+
+  ASSERT_TRUE(driver.run_until_idle().is_ok());
+  auto records = read_all("out");
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].key, "HELLO");
+  EXPECT_EQ(records[1].key, "WORLD");
+}
+
+TEST_F(DriverTest, RunOnceReportsConsumedCount) {
+  TopologyDriver driver(broker_, make_linear_topology([]() {
+    return std::make_unique<UppercaseProcessor>();
+  }),
+                        "app");
+  ASSERT_TRUE(driver.start().is_ok());
+  flowqueue::Producer producer(broker_);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(producer.send("in", std::to_string(i), {}).is_ok());
+  }
+  auto consumed = driver.run_once();
+  ASSERT_TRUE(consumed.is_ok());
+  EXPECT_EQ(consumed.value(), 5u);
+  consumed = driver.run_once();
+  ASSERT_TRUE(consumed.is_ok());
+  EXPECT_EQ(consumed.value(), 0u);
+}
+
+TEST_F(DriverTest, RunBeforeStartFails) {
+  TopologyDriver driver(broker_, make_linear_topology([]() {
+    return std::make_unique<UppercaseProcessor>();
+  }),
+                        "app");
+  EXPECT_FALSE(driver.run_once().is_ok());
+}
+
+TEST_F(DriverTest, DoubleStartFails) {
+  TopologyDriver driver(broker_, make_linear_topology([]() {
+    return std::make_unique<UppercaseProcessor>();
+  }),
+                        "app");
+  ASSERT_TRUE(driver.start().is_ok());
+  EXPECT_EQ(driver.start().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(DriverTest, StreamTimeFollowsRecordTimestamps) {
+  TopologyDriver driver(broker_, make_linear_topology([]() {
+    return std::make_unique<UppercaseProcessor>();
+  }),
+                        "app");
+  ASSERT_TRUE(driver.start().is_ok());
+  flowqueue::Producer producer(broker_);
+  ASSERT_TRUE(
+      producer.send("in", "a", {}, SimTime::from_seconds(3.0)).is_ok());
+  ASSERT_TRUE(driver.run_until_idle().is_ok());
+  EXPECT_EQ(driver.stream_time(), SimTime::from_seconds(3.0));
+}
+
+TEST_F(DriverTest, PunctuationFiresOnStreamTime) {
+  auto punctuations = std::make_shared<std::vector<SimTime>>();
+  TopologyDriver driver(
+      broker_, make_linear_topology([punctuations]() {
+        return std::make_unique<UppercaseProcessor>(
+            punctuations.get(), SimTime::from_seconds(1.0));
+      }),
+      "app");
+  ASSERT_TRUE(driver.start().is_ok());
+
+  flowqueue::Producer producer(broker_);
+  ASSERT_TRUE(
+      producer.send("in", "a", {}, SimTime::from_millis(100)).is_ok());
+  ASSERT_TRUE(
+      producer.send("in", "b", {}, SimTime::from_millis(2500)).is_ok());
+  ASSERT_TRUE(driver.run_until_idle().is_ok());
+
+  // Crossing 2.5 s fires boundaries at 1 s and 2 s.
+  ASSERT_EQ(punctuations->size(), 2u);
+  EXPECT_EQ((*punctuations)[0], SimTime::from_seconds(1.0));
+  EXPECT_EQ((*punctuations)[1], SimTime::from_seconds(2.0));
+}
+
+TEST_F(DriverTest, AdvanceStreamTimeFiresPendingPunctuation) {
+  auto punctuations = std::make_shared<std::vector<SimTime>>();
+  TopologyDriver driver(
+      broker_, make_linear_topology([punctuations]() {
+        return std::make_unique<UppercaseProcessor>(
+            punctuations.get(), SimTime::from_seconds(1.0));
+      }),
+      "app");
+  ASSERT_TRUE(driver.start().is_ok());
+  driver.advance_stream_time(SimTime::from_seconds(3.5));
+  EXPECT_EQ(punctuations->size(), 3u);
+}
+
+TEST_F(DriverTest, StopFlushesAndCloses) {
+  auto punctuations = std::make_shared<std::vector<SimTime>>();
+  TopologyDriver driver(
+      broker_, make_linear_topology([punctuations]() {
+        return std::make_unique<UppercaseProcessor>(
+            punctuations.get(), SimTime::from_seconds(1.0));
+      }),
+      "app");
+  ASSERT_TRUE(driver.start().is_ok());
+  flowqueue::Producer producer(broker_);
+  ASSERT_TRUE(
+      producer.send("in", "a", {}, SimTime::from_millis(300)).is_ok());
+  ASSERT_TRUE(driver.run_until_idle().is_ok());
+  EXPECT_TRUE(punctuations->empty());  // 1 s boundary not reached yet
+  ASSERT_TRUE(driver.stop().is_ok());
+  EXPECT_FALSE(punctuations->empty());  // stop advanced past the boundary
+}
+
+}  // namespace
+}  // namespace approxiot::streams

@@ -1,0 +1,120 @@
+#include "streams/sliding.hpp"
+
+#include <gtest/gtest.h>
+
+namespace approxiot::streams {
+namespace {
+
+struct CountState {
+  int count{0};
+};
+
+TEST(SlidingWindowsTest, ValidatesConstruction) {
+  EXPECT_THROW(SlidingWindows<CountState>(SimTime::zero(),
+                                          SimTime::from_millis(100)),
+               std::invalid_argument);
+  EXPECT_THROW(SlidingWindows<CountState>(SimTime::from_millis(100),
+                                          SimTime::zero()),
+               std::invalid_argument);
+  EXPECT_THROW(SlidingWindows<CountState>(SimTime::from_millis(100),
+                                          SimTime::from_millis(200)),
+               std::invalid_argument);
+}
+
+TEST(SlidingWindowsTest, TumblingSpecialCase) {
+  // slide == size: each time belongs to exactly one window.
+  SlidingWindows<CountState> windows(SimTime::from_seconds(1.0),
+                                     SimTime::from_seconds(1.0));
+  const auto keys = windows.windows_of(SimTime::from_millis(1500));
+  ASSERT_EQ(keys.size(), 1u);
+  EXPECT_EQ(keys[0].index, 1);
+}
+
+TEST(SlidingWindowsTest, OverlapMembership) {
+  // size 1 s, slide 250 ms: every instant belongs to 4 windows.
+  SlidingWindows<CountState> windows(SimTime::from_seconds(1.0),
+                                     SimTime::from_millis(250));
+  const auto keys = windows.windows_of(SimTime::from_millis(1100));
+  ASSERT_EQ(keys.size(), 4u);
+  EXPECT_EQ(keys.front().index, 1);  // [0.25, 1.25)
+  EXPECT_EQ(keys.back().index, 4);   // [1.0, 2.0)
+  for (WindowKey k : keys) {
+    EXPECT_LE(windows.window_start(k).us, 1'100'000);
+    EXPECT_GT(windows.window_end(k).us, 1'100'000);
+  }
+}
+
+TEST(SlidingWindowsTest, EarlyTimesHaveFewerWindows) {
+  SlidingWindows<CountState> windows(SimTime::from_seconds(1.0),
+                                     SimTime::from_millis(250));
+  // t = 100 ms: only window 0 has started.
+  EXPECT_EQ(windows.windows_of(SimTime::from_millis(100)).size(), 1u);
+  // t = 300 ms: windows 0 and 1.
+  EXPECT_EQ(windows.windows_of(SimTime::from_millis(300)).size(), 2u);
+}
+
+TEST(SlidingWindowsTest, UpdateFansOutToAllContainingWindows) {
+  SlidingWindows<CountState> windows(SimTime::from_seconds(1.0),
+                                     SimTime::from_millis(500));
+  windows.update_at(SimTime::from_millis(700),
+                    [](CountState& s) { s.count++; });
+  EXPECT_EQ(windows.open_windows(), 2u);  // windows 0 and 1
+}
+
+TEST(SlidingWindowsTest, CloseExpiredHonoursOverlap) {
+  SlidingWindows<CountState> windows(SimTime::from_seconds(1.0),
+                                     SimTime::from_millis(500));
+  windows.update_at(SimTime::from_millis(700),
+                    [](CountState& s) { s.count += 1; });
+  windows.update_at(SimTime::from_millis(1200),
+                    [](CountState& s) { s.count += 10; });
+
+  // Stream time 1.5 s: window 0 ([0,1)) expired; window 1 ([0.5,1.5))
+  // expires exactly at 1.5; window 2 ([1.0,2.0)) still open.
+  auto closed = windows.close_expired(SimTime::from_millis(1500));
+  ASSERT_EQ(closed.size(), 2u);
+  EXPECT_EQ(closed[0].first.index, 0);
+  EXPECT_EQ(closed[0].second.count, 1);
+  EXPECT_EQ(closed[1].first.index, 1);
+  EXPECT_EQ(closed[1].second.count, 11);  // saw both updates
+  EXPECT_EQ(windows.open_windows(), 1u);
+}
+
+TEST(SlidingWindowsTest, GraceDelaysClosure) {
+  SlidingWindows<CountState> windows(SimTime::from_seconds(1.0),
+                                     SimTime::from_seconds(1.0),
+                                     SimTime::from_millis(300));
+  windows.update_at(SimTime::from_millis(100),
+                    [](CountState& s) { s.count++; });
+  EXPECT_TRUE(windows.close_expired(SimTime::from_millis(1200)).empty());
+  EXPECT_EQ(windows.close_expired(SimTime::from_millis(1300)).size(), 1u);
+}
+
+TEST(SlidingWindowsTest, CloseAllFlushes) {
+  SlidingWindows<CountState> windows(SimTime::from_seconds(1.0),
+                                     SimTime::from_millis(500));
+  windows.update_at(SimTime::from_millis(700),
+                    [](CountState& s) { s.count++; });
+  EXPECT_EQ(windows.close_all().size(), 2u);
+  EXPECT_EQ(windows.open_windows(), 0u);
+}
+
+TEST(SlidingWindowsTest, CountsMatchTumblingWhenSlideEqualsSize) {
+  SlidingWindows<CountState> sliding(SimTime::from_seconds(1.0),
+                                     SimTime::from_seconds(1.0));
+  TumblingWindows<CountState> tumbling(SimTime::from_seconds(1.0));
+  for (int ms = 50; ms < 5000; ms += 137) {
+    sliding.update_at(SimTime::from_millis(ms),
+                      [](CountState& s) { s.count++; });
+    tumbling.state_at(SimTime::from_millis(ms)).count++;
+  }
+  auto s = sliding.close_all();
+  auto t = tumbling.close_all();
+  ASSERT_EQ(s.size(), t.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    EXPECT_EQ(s[i].second.count, t[i].second.count) << i;
+  }
+}
+
+}  // namespace
+}  // namespace approxiot::streams

@@ -1,0 +1,78 @@
+#include "streams/window.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace approxiot::streams {
+namespace {
+
+struct CountState {
+  int count{0};
+};
+
+TEST(TumblingWindowsTest, AssignsByTimestamp) {
+  TumblingWindows<CountState> windows(SimTime::from_seconds(1.0));
+  EXPECT_EQ(windows.window_of(SimTime::from_millis(0)).index, 0);
+  EXPECT_EQ(windows.window_of(SimTime::from_millis(999)).index, 0);
+  EXPECT_EQ(windows.window_of(SimTime::from_millis(1000)).index, 1);
+  EXPECT_EQ(windows.window_of(SimTime::from_seconds(7.3)).index, 7);
+}
+
+TEST(TumblingWindowsTest, BoundariesAreHalfOpen) {
+  TumblingWindows<CountState> windows(SimTime::from_millis(250));
+  const WindowKey k{4};
+  EXPECT_EQ(windows.window_start(k).us, 1'000'000);
+  EXPECT_EQ(windows.window_end(k).us, 1'250'000);
+}
+
+TEST(TumblingWindowsTest, StateAccumulatesPerWindow) {
+  TumblingWindows<CountState> windows(SimTime::from_seconds(1.0));
+  windows.state_at(SimTime::from_millis(100)).count++;
+  windows.state_at(SimTime::from_millis(200)).count++;
+  windows.state_at(SimTime::from_millis(1100)).count++;
+  EXPECT_EQ(windows.open_windows(), 2u);
+
+  auto closed = windows.close_expired(SimTime::from_seconds(1.0));
+  ASSERT_EQ(closed.size(), 1u);
+  EXPECT_EQ(closed[0].first.index, 0);
+  EXPECT_EQ(closed[0].second.count, 2);
+  EXPECT_EQ(windows.open_windows(), 1u);
+}
+
+TEST(TumblingWindowsTest, GraceDelaysClosure) {
+  TumblingWindows<CountState> windows(SimTime::from_seconds(1.0),
+                                      SimTime::from_millis(500));
+  windows.state_at(SimTime::from_millis(100)).count++;
+  EXPECT_TRUE(windows.close_expired(SimTime::from_millis(1200)).empty());
+  EXPECT_EQ(windows.close_expired(SimTime::from_millis(1500)).size(), 1u);
+}
+
+TEST(TumblingWindowsTest, CloseExpiredReturnsOldestFirst) {
+  TumblingWindows<CountState> windows(SimTime::from_seconds(1.0));
+  windows.state_at(SimTime::from_seconds(2.5)).count = 3;
+  windows.state_at(SimTime::from_seconds(0.5)).count = 1;
+  windows.state_at(SimTime::from_seconds(1.5)).count = 2;
+  auto closed = windows.close_expired(SimTime::from_seconds(10.0));
+  ASSERT_EQ(closed.size(), 3u);
+  EXPECT_EQ(closed[0].second.count, 1);
+  EXPECT_EQ(closed[1].second.count, 2);
+  EXPECT_EQ(closed[2].second.count, 3);
+}
+
+TEST(TumblingWindowsTest, CloseAllFlushesEverything) {
+  TumblingWindows<CountState> windows(SimTime::from_seconds(1.0));
+  windows.state_at(SimTime::from_seconds(0.1)).count = 1;
+  windows.state_at(SimTime::from_seconds(5.1)).count = 2;
+  auto all = windows.close_all();
+  EXPECT_EQ(all.size(), 2u);
+  EXPECT_EQ(windows.open_windows(), 0u);
+}
+
+TEST(TumblingWindowsTest, ZeroSizeFallsBackToOneSecond) {
+  TumblingWindows<CountState> windows(SimTime::zero());
+  EXPECT_EQ(windows.window_size().us, 1'000'000);
+}
+
+}  // namespace
+}  // namespace approxiot::streams

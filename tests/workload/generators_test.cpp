@@ -1,0 +1,80 @@
+#include "workload/generators.hpp"
+
+#include <gtest/gtest.h>
+
+namespace approxiot::workload {
+namespace {
+
+TEST(GaussianQuadTest, MatchesPaperParameters) {
+  auto specs = gaussian_quad();
+  ASSERT_EQ(specs.size(), 4u);
+  EXPECT_DOUBLE_EQ(specs[0].values->mean(), 10.0);
+  EXPECT_DOUBLE_EQ(specs[0].values->variance(), 25.0);
+  EXPECT_DOUBLE_EQ(specs[1].values->mean(), 1000.0);
+  EXPECT_DOUBLE_EQ(specs[1].values->variance(), 2500.0);
+  EXPECT_DOUBLE_EQ(specs[2].values->mean(), 10000.0);
+  EXPECT_DOUBLE_EQ(specs[3].values->mean(), 100000.0);
+  EXPECT_DOUBLE_EQ(specs[3].values->variance(), 25000000.0);
+  for (const auto& s : specs) {
+    EXPECT_DOUBLE_EQ(s.rate_items_per_s, 25000.0);
+  }
+}
+
+TEST(PoissonQuadTest, MatchesPaperParameters) {
+  auto specs = poisson_quad(1000.0);
+  ASSERT_EQ(specs.size(), 4u);
+  EXPECT_DOUBLE_EQ(specs[0].values->mean(), 10.0);
+  EXPECT_DOUBLE_EQ(specs[1].values->mean(), 100.0);
+  EXPECT_DOUBLE_EQ(specs[2].values->mean(), 1000.0);
+  EXPECT_DOUBLE_EQ(specs[3].values->mean(), 10000.0);
+  EXPECT_DOUBLE_EQ(specs[0].rate_items_per_s, 1000.0);
+}
+
+TEST(FluctuatingSettingTest, RatesMatchFigureTen) {
+  auto s1 = fluctuating_setting(1, true);
+  EXPECT_DOUBLE_EQ(s1[0].rate_items_per_s, 50000.0);
+  EXPECT_DOUBLE_EQ(s1[1].rate_items_per_s, 25000.0);
+  EXPECT_DOUBLE_EQ(s1[2].rate_items_per_s, 12500.0);
+  EXPECT_DOUBLE_EQ(s1[3].rate_items_per_s, 625.0);
+
+  auto s2 = fluctuating_setting(2, false);
+  for (const auto& s : s2) EXPECT_DOUBLE_EQ(s.rate_items_per_s, 25000.0);
+
+  auto s3 = fluctuating_setting(3, true);
+  EXPECT_DOUBLE_EQ(s3[0].rate_items_per_s, 625.0);
+  EXPECT_DOUBLE_EQ(s3[3].rate_items_per_s, 50000.0);
+
+  EXPECT_THROW(fluctuating_setting(0, true), std::invalid_argument);
+  EXPECT_THROW(fluctuating_setting(4, true), std::invalid_argument);
+}
+
+TEST(FluctuatingSettingTest, DistributionFamilySelectable) {
+  auto gauss = fluctuating_setting(1, true);
+  auto pois = fluctuating_setting(1, false);
+  EXPECT_NE(gauss[0].values->describe(), pois[0].values->describe());
+}
+
+TEST(SkewedPoissonTest, SharesMatchFigureTenC) {
+  auto specs = skewed_poisson(100000.0);
+  ASSERT_EQ(specs.size(), 4u);
+  EXPECT_DOUBLE_EQ(specs[0].rate_items_per_s, 80000.0);
+  EXPECT_DOUBLE_EQ(specs[1].rate_items_per_s, 19890.0);
+  EXPECT_DOUBLE_EQ(specs[2].rate_items_per_s, 100.0);
+  EXPECT_DOUBLE_EQ(specs[3].rate_items_per_s, 10.0);
+  // The dominating-by-value sub-stream D has lambda 10^7.
+  EXPECT_DOUBLE_EQ(specs[3].values->mean(), 10000000.0);
+}
+
+TEST(ExpectedMeanValueTest, RateWeightedAverage) {
+  auto specs = gaussian_quad();  // equal rates
+  const double expected = (10.0 + 1000.0 + 10000.0 + 100000.0) / 4.0;
+  EXPECT_NEAR(expected_mean_value(specs), expected, 1e-9);
+
+  // Skew the rates: the mean must follow.
+  specs[3].rate_items_per_s = 0.0;
+  const double without_d = (10.0 + 1000.0 + 10000.0) / 3.0;
+  EXPECT_NEAR(expected_mean_value(specs), without_d, 1e-9);
+}
+
+}  // namespace
+}  // namespace approxiot::workload

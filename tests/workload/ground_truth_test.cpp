@@ -1,0 +1,63 @@
+#include "workload/ground_truth.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace approxiot::workload {
+namespace {
+
+TEST(GroundTruthTest, EmptyIsZero) {
+  GroundTruth truth;
+  EXPECT_EQ(truth.total_sum(), 0.0);
+  EXPECT_EQ(truth.total_count(), 0u);
+  EXPECT_EQ(truth.total_mean(), 0.0);
+  EXPECT_TRUE(truth.sub_streams().empty());
+}
+
+TEST(GroundTruthTest, TracksPerSubStream) {
+  GroundTruth truth;
+  truth.add(Item{SubStreamId{1}, 2.0, 0});
+  truth.add(Item{SubStreamId{1}, 4.0, 0});
+  truth.add(Item{SubStreamId{2}, 10.0, 0});
+  EXPECT_DOUBLE_EQ(truth.sum(SubStreamId{1}), 6.0);
+  EXPECT_EQ(truth.count(SubStreamId{1}), 2u);
+  EXPECT_DOUBLE_EQ(truth.sum(SubStreamId{2}), 10.0);
+  EXPECT_DOUBLE_EQ(truth.total_sum(), 16.0);
+  EXPECT_EQ(truth.total_count(), 3u);
+  EXPECT_NEAR(truth.total_mean(), 16.0 / 3.0, 1e-12);
+  EXPECT_EQ(truth.sub_streams().size(), 2u);
+}
+
+TEST(GroundTruthTest, AddAllAndReset) {
+  GroundTruth truth;
+  truth.add_all({Item{SubStreamId{1}, 1.0, 0}, Item{SubStreamId{1}, 2.0, 0}});
+  EXPECT_EQ(truth.total_count(), 2u);
+  truth.reset();
+  EXPECT_EQ(truth.total_count(), 0u);
+}
+
+TEST(GroundTruthTest, UnknownSubStreamIsZero) {
+  GroundTruth truth;
+  EXPECT_EQ(truth.sum(SubStreamId{9}), 0.0);
+  EXPECT_EQ(truth.count(SubStreamId{9}), 0u);
+}
+
+TEST(AccuracyLossTest, MatchesPaperDefinition) {
+  // |approx - exact| / exact, in percent.
+  EXPECT_DOUBLE_EQ(accuracy_loss_percent(95.0, 100.0), 5.0);
+  EXPECT_DOUBLE_EQ(accuracy_loss_percent(105.0, 100.0), 5.0);
+  EXPECT_DOUBLE_EQ(accuracy_loss_percent(100.0, 100.0), 0.0);
+}
+
+TEST(AccuracyLossTest, NegativeExactUsesMagnitude) {
+  EXPECT_DOUBLE_EQ(accuracy_loss_percent(-90.0, -100.0), 10.0);
+}
+
+TEST(AccuracyLossTest, ZeroExactEdgeCases) {
+  EXPECT_EQ(accuracy_loss_percent(0.0, 0.0), 0.0);
+  EXPECT_TRUE(std::isinf(accuracy_loss_percent(1.0, 0.0)));
+}
+
+}  // namespace
+}  // namespace approxiot::workload

@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "stats/moments.hpp"
+#include "workload/pollution.hpp"
+#include "workload/taxi.hpp"
+
+namespace approxiot::workload {
+namespace {
+
+TEST(TaxiGeneratorTest, RegionsFormSubStreams) {
+  TaxiConfig config;
+  config.regions = 8;
+  TaxiGenerator gen(config);
+  EXPECT_EQ(gen.specs().size(), 8u);
+  // Zipf: region 0 busiest, monotone decreasing.
+  for (std::size_t k = 1; k < gen.specs().size(); ++k) {
+    EXPECT_LT(gen.specs()[k].rate_items_per_s,
+              gen.specs()[k - 1].rate_items_per_s);
+  }
+}
+
+TEST(TaxiGeneratorTest, MeanRateRoughlyConfigured) {
+  TaxiConfig config;
+  config.mean_rate_items_per_s = 10000.0;
+  TaxiGenerator gen(config);
+  // Integrate over one full day: the diurnal factor averages ~1.
+  std::size_t total = 0;
+  SimTime now = SimTime::zero();
+  const SimTime dt = SimTime::from_millis(100);
+  while (now < config.day_length) {
+    total += gen.tick(now, dt).size();
+    now = now + dt;
+  }
+  const double rate =
+      static_cast<double>(total) / config.day_length.seconds();
+  EXPECT_NEAR(rate / 10000.0, 1.0, 0.1);
+}
+
+TEST(TaxiGeneratorTest, DiurnalFactorVariesAndStaysPositive) {
+  TaxiGenerator gen;
+  double lo = 1e9, hi = -1e9;
+  for (int i = 0; i < 240; ++i) {
+    const double f = gen.diurnal_factor(SimTime::from_seconds(i));
+    EXPECT_GT(f, 0.0);
+    lo = std::min(lo, f);
+    hi = std::max(hi, f);
+  }
+  EXPECT_GT(hi / lo, 2.0);  // real peak/trough spread
+}
+
+TEST(TaxiGeneratorTest, FaresArePositiveAndRightSkewed) {
+  TaxiGenerator gen;
+  stats::RunningMoments m;
+  SimTime now = SimTime::zero();
+  for (int i = 0; i < 20; ++i) {
+    for (const Item& item : gen.tick(now, SimTime::from_millis(10))) {
+      EXPECT_GT(item.value, 0.0);
+      m.add(item.value);
+    }
+    now = now + SimTime::from_millis(10);
+  }
+  ASSERT_GT(m.count(), 100u);
+  // Log-normal: mean exceeds the median -> right skew. Median of the
+  // busiest region is exp(2.3) ≈ 10.
+  EXPECT_GT(m.mean(), 9.0);
+  EXPECT_GT(m.max(), m.mean() * 3.0);  // long right tail
+}
+
+TEST(PollutionGeneratorTest, FourPollutantSubStreams) {
+  PollutionGenerator gen;
+  ASSERT_EQ(gen.specs().size(), 4u);
+  for (const auto& spec : gen.specs()) {
+    EXPECT_GT(spec.rate_items_per_s, 0.0);
+  }
+}
+
+TEST(PollutionGeneratorTest, DriftIsSlowAndSmall) {
+  PollutionGenerator gen;
+  for (int i = 0; i < 120; ++i) {
+    const double f = gen.drift_factor(SimTime::from_seconds(i));
+    EXPECT_GT(f, 0.9);
+    EXPECT_LT(f, 1.1);
+  }
+}
+
+TEST(PollutionGeneratorTest, ValuesArePositive) {
+  PollutionGenerator gen;
+  auto items = gen.tick(SimTime::zero(), SimTime::from_seconds(1.0));
+  ASSERT_FALSE(items.empty());
+  for (const Item& item : items) EXPECT_GT(item.value, 0.0);
+}
+
+// The property the paper leans on in Fig. 11(a): pollution values are
+// more stable (lower relative dispersion) than taxi fares, so pollution
+// accuracy-loss curves sit below taxi curves. The relevant dispersion is
+// per sub-stream (stratum) — stratified sampling estimates each stratum
+// separately, so between-stratum spread does not matter.
+TEST(WorkloadComparisonTest, TaxiMoreDispersedThanPollution) {
+  TaxiGenerator taxi;
+  PollutionGenerator pollution;
+  std::map<approxiot::SubStreamId, stats::RunningMoments> taxi_m, pol_m;
+  SimTime now = SimTime::zero();
+  for (int i = 0; i < 50; ++i) {
+    for (const Item& item : taxi.tick(now, SimTime::from_millis(10))) {
+      taxi_m[item.source].add(item.value);
+    }
+    for (const Item& item : pollution.tick(now, SimTime::from_millis(10))) {
+      pol_m[item.source].add(item.value);
+    }
+    now = now + SimTime::from_millis(10);
+  }
+  ASSERT_FALSE(taxi_m.empty());
+  ASSERT_FALSE(pol_m.empty());
+  auto mean_cv = [](const auto& by_stream) {
+    double total = 0.0;
+    std::size_t n = 0;
+    for (const auto& [_, m] : by_stream) {
+      if (m.count() < 10 || m.mean() == 0.0) continue;
+      total += m.sample_stddev() / m.mean();
+      ++n;
+    }
+    return n > 0 ? total / static_cast<double>(n) : 0.0;
+  };
+  const double taxi_cv = mean_cv(taxi_m);
+  const double pol_cv = mean_cv(pol_m);
+  EXPECT_GT(taxi_cv, pol_cv * 1.5);
+}
+
+}  // namespace
+}  // namespace approxiot::workload
