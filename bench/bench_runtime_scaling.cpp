@@ -1,0 +1,126 @@
+// Runtime scaling bench: throughput and interval latency of the
+// ConcurrentEdgeTree as within-node workers grow (1/2/4/8), for the WHS
+// (ApproxIoT) and SRS engines on the paper's 4-2-1 testbed shape.
+//
+// Two effects stack here: layers always pipeline (one thread per node),
+// and workers_per_node shards each WHS node's reservoirs across threads
+// (§III-E, no coordination while items flow). SRS ignores the per-node
+// worker count, so its row doubles as the pipelining-only baseline.
+//
+// Caveat: ParallelSampler currently spawns and joins OS threads per
+// sub-stream per interval, so sharding only pays off with large strata
+// on real multi-core hardware; on few cores the spawn cost dominates and
+// the WHS curve *degrades* with workers. This bench exists to measure
+// exactly that trade-off (a persistent per-node worker pool is the
+// planned fix — see ROADMAP).
+//
+// Output: the human-readable table plus one JSON line per engine in the
+// shared bench_util shape. `--smoke` shrinks the run for CI.
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "runtime/concurrent_tree.hpp"
+#include "runtime/metrics.hpp"
+
+namespace {
+
+using namespace approxiot;
+
+struct RunResult {
+  double throughput_items_per_s{0.0};
+  double p50_us{0.0};
+  double p99_us{0.0};
+};
+
+RunResult run_once(core::EngineKind engine, std::size_t workers,
+                   std::size_t intervals, std::size_t items_per_leaf) {
+  runtime::MetricsRegistry registry;
+  runtime::ConcurrentTreeConfig config;
+  config.tree.layer_widths = {4, 2};
+  config.tree.engine = engine;
+  config.tree.sampling_fraction = 0.4;
+  config.tree.rng_seed = 20180701;
+  config.channel_capacity = 8;
+  config.workers_per_node = workers;
+  runtime::ConcurrentEdgeTree tree(config, &registry);
+
+  // Pre-generate the workload so generation cost stays out of the
+  // measured section. 4 sub-streams interleaved, the paper's mix.
+  Rng rng(7);
+  std::vector<std::vector<Item>> interval(tree.leaf_count());
+  for (auto& leaf : interval) {
+    leaf.reserve(items_per_leaf);
+    for (std::size_t i = 0; i < items_per_leaf; ++i) {
+      leaf.push_back(
+          Item{SubStreamId{1 + rng.next_below(4)}, rng.next_double(), 0});
+    }
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t k = 0; k < intervals; ++k) tree.push_interval(interval);
+  tree.drain();
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  tree.stop();
+
+  RunResult result;
+  const auto metrics = tree.metrics();
+  result.throughput_items_per_s =
+      static_cast<double>(metrics.items_ingested) / elapsed.count();
+  const auto snap = registry.snapshot();
+  const auto& latency = snap.histograms.at("runtime.interval_latency_us");
+  result.p50_us = latency.p50;
+  result.p99_us = latency.p99;
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke]\nunknown argument: %s\n",
+                   argv[0], argv[i]);
+      return 2;
+    }
+  }
+  const std::size_t intervals = smoke ? 5 : 40;
+  const std::size_t items_per_leaf = smoke ? 2000 : 25000;
+  const std::vector<int> worker_counts = {1, 2, 4, 8};
+
+  bench::print_header("runtime scaling: ConcurrentEdgeTree",
+                      "4-2-1 tree, fraction 0.4, " +
+                          std::to_string(intervals) + " intervals x " +
+                          std::to_string(4 * items_per_leaf) +
+                          " items");
+  bench::print_cols("workers/node", worker_counts);
+
+  for (core::EngineKind engine :
+       {core::EngineKind::kApproxIoT, core::EngineKind::kSrs}) {
+    std::vector<double> throughput, p50, p99;
+    for (int workers : worker_counts) {
+      const RunResult r = run_once(engine, static_cast<std::size_t>(workers),
+                                   intervals, items_per_leaf);
+      throughput.push_back(r.throughput_items_per_s);
+      p50.push_back(r.p50_us);
+      p99.push_back(r.p99_us);
+    }
+    const std::string name = core::engine_kind_name(engine);
+    bench::print_row(name + " items/s", throughput, "%12.0f");
+    bench::print_row(name + " p50 us", p50, "%12.1f");
+    bench::print_row(name + " p99 us", p99, "%12.1f");
+    bench::print_json_result("runtime_scaling", name, "workers",
+                             worker_counts,
+                             {{"throughput_items_per_s", throughput},
+                              {"latency_p50_us", p50},
+                              {"latency_p99_us", p99}});
+  }
+  return 0;
+}

@@ -43,6 +43,29 @@ inline void print_cols(const std::string& label,
   std::printf("\n");
 }
 
+/// Machine-readable result record shared by the benches: one JSON object
+/// per (bench, engine) pair, every series aligned to the x-axis values.
+///   {"bench":"...","engine":"...","workers":[1,2],"throughput":[..],..}
+inline void print_json_result(
+    const std::string& bench, const std::string& engine,
+    const std::string& x_name, const std::vector<int>& x_values,
+    const std::vector<std::pair<std::string, std::vector<double>>>& series) {
+  std::printf("{\"bench\":\"%s\",\"engine\":\"%s\",\"%s\":[", bench.c_str(),
+              engine.c_str(), x_name.c_str());
+  for (std::size_t i = 0; i < x_values.size(); ++i) {
+    std::printf("%s%d", i > 0 ? "," : "", x_values[i]);
+  }
+  std::printf("]");
+  for (const auto& [name, values] : series) {
+    std::printf(",\"%s\":[", name.c_str());
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      std::printf("%s%.6g", i > 0 ? "," : "", values[i]);
+    }
+    std::printf("]");
+  }
+  std::printf("}\n");
+}
+
 /// Builds the accuracy-experiment config used by Figs. 5/10/11a: the
 /// paper's 4-2-1 edge tree, 1 s windows made of 10 ticks.
 inline analytics::AccuracyExperimentConfig accuracy_config(

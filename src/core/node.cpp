@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <set>
+#include <stdexcept>
 
 #include "common/logging.hpp"
 
@@ -10,7 +11,26 @@ namespace approxiot::core {
 SamplingNode::SamplingNode(NodeConfig config)
     : config_(std::move(config)),
       sampler_(Rng(config_.rng_seed), config_.whsamp),
-      cost_function_(make_cost_function(config_.cost_function)) {}
+      cost_function_(make_cost_function(config_.cost_function)) {
+  if (config_.parallel_workers > 1) {
+    // ParallelSampler hard-codes equal allocation and Algorithm R
+    // reservoirs (§III-E); refuse rather than silently ignore a
+    // configured alternative.
+    if (config_.whsamp.allocation_policy != "equal") {
+      throw std::invalid_argument(
+          "parallel_workers > 1 supports only the 'equal' allocation "
+          "policy, got '" +
+          config_.whsamp.allocation_policy + "'");
+    }
+    if (config_.whsamp.reservoir_algorithm !=
+        sampling::ReservoirAlgorithm::kAlgorithmR) {
+      throw std::invalid_argument(
+          "parallel_workers > 1 supports only the Algorithm R reservoir");
+    }
+    parallel_ = std::make_unique<ParallelSampler>(config_.parallel_workers,
+                                                  Rng(config_.rng_seed));
+  }
+}
 
 std::vector<SampledBundle> SamplingNode::process_interval(
     const std::vector<ItemBundle>& psi) {
@@ -61,7 +81,9 @@ std::vector<SampledBundle> SamplingNode::process_interval(
     WeightMap effective = remembered_weights_;
     effective.update_from(bundle.w_in);
 
-    SampledBundle out = sampler_.sample(bundle.items, pair_budget, effective);
+    SampledBundle out =
+        parallel_ ? parallel_->sample(bundle.items, pair_budget, effective)
+                  : sampler_.sample(bundle.items, pair_budget, effective);
 
     // Remember the *input* weights for sub-streams whose weight arrived
     // with this bundle, so later intervals can resolve weight-less items.

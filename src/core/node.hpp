@@ -24,6 +24,7 @@
 #include "core/batch.hpp"
 #include "core/cost_function.hpp"
 #include "core/error.hpp"
+#include "core/parallel.hpp"
 #include "core/theta_store.hpp"
 #include "core/whsamp.hpp"
 
@@ -36,6 +37,10 @@ struct NodeConfig {
   std::string cost_function{"fraction"};
   WHSampConfig whsamp{};
   std::uint64_t rng_seed{0x5eed5eedULL};
+  /// Workers sharding each sub-stream's reservoir (§III-E). 1 keeps the
+  /// single-reservoir WHSampler path; >1 switches the node to the
+  /// no-coordination ParallelSampler (equal allocation only).
+  std::size_t parallel_workers{1};
 };
 
 /// Counters a node exposes for the throughput/bandwidth benches.
@@ -80,6 +85,7 @@ class SamplingNode {
  private:
   NodeConfig config_;
   WHSampler sampler_;
+  std::unique_ptr<ParallelSampler> parallel_;
   std::unique_ptr<CostFunction> cost_function_;
   WeightMap remembered_weights_;
   std::uint64_t last_interval_items_{0};

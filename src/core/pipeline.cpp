@@ -134,6 +134,7 @@ std::unique_ptr<PipelineStage> make_pipeline_stage(const StageConfig& config) {
       nc.whsamp.allocation_policy = config.allocation_policy;
       nc.whsamp.reservoir_algorithm = config.reservoir_algorithm;
       nc.rng_seed = config.rng_seed;
+      nc.parallel_workers = config.parallel_workers;
       return std::make_unique<WhsStage>(std::move(nc));
     }
     case EngineKind::kSrs: {
@@ -157,54 +158,67 @@ std::unique_ptr<PipelineStage> make_pipeline_stage(const StageConfig& config) {
   throw std::logic_error("unreachable engine kind");
 }
 
-std::unique_ptr<PipelineStage> EdgeTree::make_stage(std::size_t layer,
-                                                    std::size_t index,
-                                                    double fraction) {
+StageConfig edge_tree_stage_config(const EdgeTreeConfig& config,
+                                   std::size_t layer, std::size_t index) {
+  // Sampling layers = all edge layers + the root; snapshot decimates only
+  // at the leaves (see the EdgeTree constructor comment).
+  const std::size_t sampling_layers = config.layer_widths.size() + 1;
+  const double plf =
+      per_layer_fraction(config.sampling_fraction, sampling_layers);
+  const bool snapshot = config.engine == EngineKind::kSnapshot;
+
   StageConfig sc;
-  sc.engine = config_.engine;
+  sc.engine = config.engine;
   sc.id = NodeId{(static_cast<std::uint64_t>(layer) << 32) | index};
-  sc.interval = config_.interval;
-  sc.fraction = fraction;
-  sc.allocation_policy = config_.allocation_policy;
-  sc.reservoir_algorithm = config_.reservoir_algorithm;
-  sc.rng_seed = config_.rng_seed * 0x9e3779b97f4a7c15ULL + sc.id.value() + 1;
-  return make_pipeline_stage(sc);
+  sc.interval = config.interval;
+  sc.fraction =
+      snapshot ? (layer == 0 ? config.sampling_fraction : 1.0) : plf;
+  sc.allocation_policy = config.allocation_policy;
+  sc.reservoir_algorithm = config.reservoir_algorithm;
+  sc.rng_seed = config.rng_seed * 0x9e3779b97f4a7c15ULL + sc.id.value() + 1;
+  return sc;
 }
 
-EdgeTree::EdgeTree(EdgeTreeConfig config) : config_(std::move(config)) {
-  if (config_.layer_widths.empty()) {
-    throw std::invalid_argument("EdgeTree needs at least one edge layer");
+std::unique_ptr<PipelineStage> EdgeTree::make_stage(std::size_t layer,
+                                                    std::size_t index) {
+  return make_pipeline_stage(edge_tree_stage_config(config_, layer, index));
+}
+
+void validate_edge_tree_config(const EdgeTreeConfig& config) {
+  if (config.layer_widths.empty()) {
+    throw std::invalid_argument("edge tree needs at least one edge layer");
   }
-  for (std::size_t w : config_.layer_widths) {
+  for (std::size_t w : config.layer_widths) {
     if (w == 0) throw std::invalid_argument("layer width must be > 0");
   }
-  for (std::size_t i = 1; i < config_.layer_widths.size(); ++i) {
-    if (config_.layer_widths[i] > config_.layer_widths[i - 1]) {
+  for (std::size_t i = 1; i < config.layer_widths.size(); ++i) {
+    if (config.layer_widths[i] > config.layer_widths[i - 1]) {
       throw std::invalid_argument(
           "layer widths must not grow towards the root");
     }
   }
+}
+
+EdgeTree::EdgeTree(EdgeTreeConfig config) : config_(std::move(config)) {
+  validate_edge_tree_config(config_);
 
   // Sampling layers = all edge layers + the root. Snapshot sampling is a
   // sensor-side scheme (related work [38, 39]): it decimates whole
   // intervals once, at the leaves, and passes through elsewhere —
-  // decimating at every layer would compound the period.
+  // decimating at every layer would compound the period. The per-stage
+  // fractions live in edge_tree_stage_config so runtime adapters build
+  // identical stages.
   const std::size_t sampling_layers = config_.layer_widths.size() + 1;
   per_layer_fraction_ =
       per_layer_fraction(config_.sampling_fraction, sampling_layers);
-  const bool snapshot = config_.engine == EngineKind::kSnapshot;
 
   stages_.resize(config_.layer_widths.size());
   for (std::size_t layer = 0; layer < config_.layer_widths.size(); ++layer) {
-    const double f = snapshot
-                         ? (layer == 0 ? config_.sampling_fraction : 1.0)
-                         : per_layer_fraction_;
     for (std::size_t i = 0; i < config_.layer_widths[layer]; ++i) {
-      stages_[layer].push_back(make_stage(layer, i, f));
+      stages_[layer].push_back(make_stage(layer, i));
     }
   }
-  root_stage_ =
-      make_stage(stages_.size(), 0, snapshot ? 1.0 : per_layer_fraction_);
+  root_stage_ = make_stage(stages_.size(), 0);
 }
 
 std::size_t EdgeTree::leaf_count() const noexcept {

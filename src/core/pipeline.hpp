@@ -65,6 +65,12 @@ struct EdgeTreeConfig {
 [[nodiscard]] double per_layer_fraction(double end_to_end,
                                         std::size_t layers) noexcept;
 
+/// Throws std::invalid_argument unless the topology is well-formed: at
+/// least one edge layer, no zero widths, widths non-increasing towards
+/// the root. Shared by every executor of the logical tree (EdgeTree, the
+/// concurrent runtime) so they accept exactly the same configs.
+void validate_edge_tree_config(const EdgeTreeConfig& config);
+
 /// Parameters for constructing a single stage outside an EdgeTree (the
 /// netsim wraps stages in simulated nodes instead of the in-memory tree).
 struct StageConfig {
@@ -77,10 +83,22 @@ struct StageConfig {
   sampling::ReservoirAlgorithm reservoir_algorithm{
       sampling::ReservoirAlgorithm::kAlgorithmR};
   std::uint64_t rng_seed{42};
+  /// Workers sharding each reservoir within the stage (§III-E); only the
+  /// kApproxIoT engine honours values > 1.
+  std::size_t parallel_workers{1};
 };
 
 [[nodiscard]] std::unique_ptr<PipelineStage> make_pipeline_stage(
     const StageConfig& config);
+
+/// The StageConfig an EdgeTree with `config` builds for node (layer,
+/// index); `layer == config.layer_widths.size()` addresses the root.
+/// Adapters that run the same logical tree on another substrate (the
+/// concurrent runtime, netsim) use this so their stages — seeds included —
+/// are bit-identical to the sequential tree's.
+[[nodiscard]] StageConfig edge_tree_stage_config(const EdgeTreeConfig& config,
+                                                std::size_t layer,
+                                                std::size_t index);
 
 class EdgeTree {
  public:
@@ -120,8 +138,7 @@ class EdgeTree {
 
  private:
   std::unique_ptr<PipelineStage> make_stage(std::size_t layer,
-                                            std::size_t index,
-                                            double fraction);
+                                            std::size_t index);
 
   EdgeTreeConfig config_;
   double per_layer_fraction_{1.0};

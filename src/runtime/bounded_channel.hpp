@@ -1,0 +1,167 @@
+// BoundedChannel: a fixed-capacity MPSC/MPMC queue with close semantics —
+// the edge between two concurrently-running tree nodes.
+//
+// The capacity bound is what turns the channel into a *backpressure*
+// mechanism: a fast child filling its parent's inbox either blocks (the
+// default, lossless) or drops the newest message and counts the loss.
+// Dropping whole interval messages is itself a sampling decision the
+// ApproxIoT estimators can absorb — a dropped interval is equivalent to a
+// sensor that produced nothing that interval (the Fig. 3 carry-over rule
+// keeps later intervals consistent) — so overloaded deployments can trade
+// bounded memory for a lower effective sampling fraction. The dropped
+// count is surfaced so operators can see exactly how much was shed.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace approxiot::runtime {
+
+/// What a producer does when the channel is full.
+enum class BackpressurePolicy {
+  kBlock,       ///< push() waits for space (lossless, propagates pressure)
+  kDropNewest,  ///< push() discards the incoming value and counts it
+};
+
+[[nodiscard]] constexpr const char* backpressure_policy_name(
+    BackpressurePolicy policy) noexcept {
+  switch (policy) {
+    case BackpressurePolicy::kBlock:
+      return "block";
+    case BackpressurePolicy::kDropNewest:
+      return "drop-newest";
+  }
+  return "?";
+}
+
+template <typename T>
+class BoundedChannel {
+ public:
+  explicit BoundedChannel(std::size_t capacity,
+                          BackpressurePolicy policy = BackpressurePolicy::kBlock)
+      : capacity_(capacity == 0 ? 1 : capacity), policy_(policy) {}
+
+  BoundedChannel(const BoundedChannel&) = delete;
+  BoundedChannel& operator=(const BoundedChannel&) = delete;
+
+  /// Enqueues `value`. Under kBlock, waits until space or close; under
+  /// kDropNewest a full channel discards the value immediately. Returns
+  /// true iff the value was enqueued (false == dropped or channel closed).
+  bool push(T value) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (policy_ == BackpressurePolicy::kDropNewest) {
+      if (closed_) return false;
+      if (queue_.size() >= capacity_) {
+        ++dropped_;
+        return false;
+      }
+    } else {
+      not_full_.wait(lock,
+                     [this] { return closed_ || queue_.size() < capacity_; });
+      if (closed_) return false;
+    }
+    queue_.push_back(std::move(value));
+    ++pushed_;
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking push: false if full (not counted as a drop) or closed.
+  bool try_push(T value) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_ || queue_.size() >= capacity_) return false;
+      queue_.push_back(std::move(value));
+      ++pushed_;
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Dequeues the oldest value, waiting while the channel is empty but
+  /// open. Returns nullopt only once the channel is closed AND drained.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [this] { return closed_ || !queue_.empty(); });
+    if (queue_.empty()) return std::nullopt;
+    T value = std::move(queue_.front());
+    queue_.pop_front();
+    ++popped_;
+    lock.unlock();
+    not_full_.notify_one();
+    return value;
+  }
+
+  /// Non-blocking pop: nullopt when nothing is ready right now.
+  std::optional<T> try_pop() {
+    std::optional<T> value;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (queue_.empty()) return std::nullopt;
+      value.emplace(std::move(queue_.front()));
+      queue_.pop_front();
+      ++popped_;
+    }
+    not_full_.notify_one();
+    return value;
+  }
+
+  /// Closes the channel: pending values stay poppable, new pushes fail,
+  /// and every blocked producer/consumer wakes up.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_) return;
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  [[nodiscard]] bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] BackpressurePolicy policy() const noexcept { return policy_; }
+
+  [[nodiscard]] std::uint64_t pushed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return pushed_;
+  }
+  [[nodiscard]] std::uint64_t popped() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return popped_;
+  }
+  /// Values discarded by kDropNewest (always 0 under kBlock).
+  [[nodiscard]] std::uint64_t dropped() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return dropped_;
+  }
+
+ private:
+  const std::size_t capacity_;
+  const BackpressurePolicy policy_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> queue_;
+  bool closed_{false};
+  std::uint64_t pushed_{0};
+  std::uint64_t popped_{0};
+  std::uint64_t dropped_{0};
+};
+
+}  // namespace approxiot::runtime

@@ -1,0 +1,323 @@
+#include "runtime/concurrent_tree.hpp"
+
+#include <chrono>
+#include <stdexcept>
+#include <utility>
+
+namespace approxiot::runtime {
+
+namespace {
+
+std::int64_t now_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+ConcurrentEdgeTree::ConcurrentEdgeTree(ConcurrentTreeConfig config,
+                                       MetricsRegistry* metrics)
+    : config_(std::move(config)), metrics_(metrics) {
+  core::validate_edge_tree_config(config_.tree);
+  const auto& widths = config_.tree.layer_widths;
+
+  auto new_channel = [this]() {
+    channels_.push_back(std::make_unique<BoundedChannel<IntervalMessage>>(
+        config_.channel_capacity, config_.backpressure));
+    return channels_.back().get();
+  };
+
+  // Source -> leaf channels.
+  leaf_inputs_.reserve(widths[0]);
+  for (std::size_t i = 0; i < widths[0]; ++i) {
+    leaf_inputs_.push_back(new_channel());
+  }
+
+  // Nodes, layer by layer; the root is the single node of layer n.
+  nodes_.resize(widths.size() + 1);
+  for (std::size_t layer = 0; layer <= widths.size(); ++layer) {
+    const std::size_t width = layer < widths.size() ? widths[layer] : 1;
+    nodes_[layer].resize(width);
+    for (std::size_t i = 0; i < width; ++i) {
+      core::StageConfig sc =
+          core::edge_tree_stage_config(config_.tree, layer, i);
+      sc.parallel_workers = config_.workers_per_node;
+      NodeRuntime& node = nodes_[layer][i];
+      node.stage = core::make_pipeline_stage(sc);
+      node.layer = layer;
+      node.output = layer < widths.size() ? new_channel() : nullptr;
+    }
+  }
+
+  // Wiring. Leaves read the source channels; node i of layer L feeds
+  // parent i * next_width / width (the EdgeTree block mapping), and a
+  // parent's inputs keep child-index order so Ψ ordering — and therefore
+  // every RNG draw — matches the sequential tree exactly.
+  for (std::size_t i = 0; i < widths[0]; ++i) {
+    nodes_[0][i].inputs.push_back(leaf_inputs_[i]);
+  }
+  for (std::size_t layer = 0; layer < widths.size(); ++layer) {
+    const std::size_t next_width =
+        layer + 1 < widths.size() ? widths[layer + 1] : 1;
+    for (std::size_t i = 0; i < widths[layer]; ++i) {
+      const std::size_t parent = i * next_width / widths[layer];
+      nodes_[layer + 1][parent].inputs.push_back(nodes_[layer][i].output);
+    }
+  }
+
+  // One long-running worker per node; the pool is sized to match, so each
+  // node loop owns a thread for the runtime's lifetime.
+  std::size_t total_nodes = 0;
+  for (const auto& layer : nodes_) total_nodes += layer.size();
+  pool_ = std::make_unique<ThreadPool>(total_nodes, config_.tree.rng_seed);
+  for (auto& layer : nodes_) {
+    for (NodeRuntime& node : layer) {
+      pool_->submit([this, &node](WorkerContext&) { node_loop(node); });
+    }
+  }
+}
+
+ConcurrentEdgeTree::~ConcurrentEdgeTree() { stop(); }
+
+std::size_t ConcurrentEdgeTree::leaf_count() const noexcept {
+  return config_.tree.layer_widths.front();
+}
+
+std::size_t ConcurrentEdgeTree::node_count() const noexcept {
+  std::size_t n = 0;
+  for (const auto& layer : nodes_) n += layer.size();
+  return n;
+}
+
+void ConcurrentEdgeTree::push_interval(
+    const std::vector<std::vector<Item>>& items_per_leaf) {
+  if (items_per_leaf.size() != leaf_count()) {
+    throw std::invalid_argument(
+        "push_interval() expects one item vector per leaf");
+  }
+
+  // One lock across seq assignment AND the channel pushes: two producers
+  // interleaving their pushes would deliver seqs out of order, and a
+  // receiver treats a lower-seq message arriving late as stale.
+  std::lock_guard<std::mutex> push_lock(push_mutex_);
+
+  std::int64_t seq = 0;
+  std::uint64_t total_items = 0;
+  for (const auto& items : items_per_leaf) total_items += items.size();
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    if (stopped_) {
+      throw std::logic_error("push_interval() after stop()");
+    }
+    seq = next_interval_++;
+    items_ingested_ += total_items;
+    push_times_us_[seq] = now_us();
+  }
+
+  // Pushes happen outside the state lock: under kBlock a saturated leaf
+  // parks the producer right here — that is the backpressure surface.
+  for (std::size_t i = 0; i < items_per_leaf.size(); ++i) {
+    IntervalMessage msg;
+    msg.interval = seq;
+    if (!items_per_leaf[i].empty()) {
+      core::ItemBundle bundle;
+      bundle.items = items_per_leaf[i];
+      msg.bundles.push_back(std::move(bundle));
+    }
+    leaf_inputs_[i]->push(std::move(msg));
+  }
+
+  if (metrics_ != nullptr) {
+    metrics_->counter("runtime.intervals_pushed").increment();
+    metrics_->counter("runtime.items_ingested").increment(total_items);
+  }
+}
+
+void ConcurrentEdgeTree::drain() {
+  std::unique_lock<std::mutex> lock(state_mutex_);
+  drained_cv_.wait(lock, [this] {
+    return stopped_ ||
+           intervals_completed_ >= static_cast<std::uint64_t>(next_interval_);
+  });
+}
+
+void ConcurrentEdgeTree::stop() {
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    if (stopped_) return;
+    stopped_ = true;
+  }
+  for (auto* channel : leaf_inputs_) channel->close();
+  pool_->shutdown();
+  drained_cv_.notify_all();
+
+  if (metrics_ != nullptr) {
+    const TreeMetrics m = metrics();
+    metrics_->gauge("runtime.messages_dropped")
+        .set(static_cast<double>(m.messages_dropped));
+    for (std::size_t layer = 0; layer < m.items_forwarded_per_layer.size();
+         ++layer) {
+      metrics_
+          ->gauge("runtime.items_forwarded.layer" + std::to_string(layer))
+          .set(static_cast<double>(m.items_forwarded_per_layer[layer]));
+    }
+  }
+}
+
+core::ApproxResult ConcurrentEdgeTree::close_window(double confidence) {
+  // Under kDropNewest a shed trailing interval never completes, so a full
+  // drain() could wait forever; the window then closes over whatever
+  // reached the root (the drop already was a sampling decision).
+  if (config_.backpressure == BackpressurePolicy::kBlock) drain();
+  std::lock_guard<std::mutex> lock(theta_mutex_);
+  core::ApproxResult result = core::approximate_query(theta_, confidence);
+  theta_.clear();
+  return result;
+}
+
+core::ApproxResult ConcurrentEdgeTree::run_query(double confidence) const {
+  std::lock_guard<std::mutex> lock(theta_mutex_);
+  return core::approximate_query(theta_, confidence);
+}
+
+ConcurrentEdgeTree::TreeMetrics ConcurrentEdgeTree::metrics() const {
+  TreeMetrics m;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    m.items_ingested = items_ingested_;
+    m.items_at_root = items_at_root_;
+    m.intervals_pushed = static_cast<std::uint64_t>(next_interval_);
+    m.intervals_completed = intervals_completed_;
+  }
+  for (const auto& channel : channels_) {
+    m.messages_dropped += channel->dropped();
+  }
+  // Per-layer forwarded counts (excluding the root, matching EdgeTree).
+  for (std::size_t layer = 0; layer + 1 < nodes_.size(); ++layer) {
+    std::uint64_t forwarded = 0;
+    for (const NodeRuntime& node : nodes_[layer]) {
+      forwarded += node.stage->metrics().items_out;
+    }
+    m.items_forwarded_per_layer.push_back(forwarded);
+  }
+  return m;
+}
+
+void ConcurrentEdgeTree::node_loop(NodeRuntime& node) {
+  const std::size_t n_inputs = node.inputs.size();
+  const bool is_root = node.output == nullptr;
+  std::vector<std::optional<IntervalMessage>> held(n_inputs);
+  std::vector<bool> finished(n_inputs, false);
+
+  for (std::int64_t interval = 0;; ++interval) {
+    // Assemble this interval's Ψ: one contribution per child, in child
+    // order. A child whose message for this interval was shed (drop
+    // policy) shows up as a held message for a later interval — it then
+    // contributes nothing now, exactly as if its sensors were silent.
+    std::vector<core::ItemBundle> psi;
+    for (std::size_t c = 0; c < n_inputs; ++c) {
+      if (held[c].has_value()) {
+        if (held[c]->interval == interval) {
+          for (core::ItemBundle& bundle : held[c]->bundles) {
+            psi.push_back(std::move(bundle));
+          }
+          held[c].reset();
+        }
+        continue;
+      }
+      if (finished[c]) continue;
+      for (;;) {
+        auto msg = node.inputs[c]->pop();
+        if (!msg.has_value()) {
+          finished[c] = true;
+          break;
+        }
+        if (msg->interval < interval) continue;  // stale; cannot happen
+        if (msg->interval == interval) {
+          for (core::ItemBundle& bundle : msg->bundles) {
+            psi.push_back(std::move(bundle));
+          }
+        } else {
+          held[c] = std::move(*msg);
+        }
+        break;
+      }
+    }
+
+    // End of stream: every input closed and drained, nothing held back,
+    // nothing gathered. Deciding this *after* gathering keeps the last
+    // real interval in and phantom trailing intervals out — each node
+    // processes exactly the intervals that were fed to it, like EdgeTree.
+    bool all_finished = true;
+    bool any_held = false;
+    for (std::size_t c = 0; c < n_inputs; ++c) {
+      all_finished = all_finished && finished[c];
+      any_held = any_held || held[c].has_value();
+    }
+    if (all_finished && !any_held && psi.empty()) break;
+
+    // Run the stage even on an empty Ψ — interval bookkeeping (budget
+    // history, snapshot periods) must advance exactly as in EdgeTree.
+    if (is_root) {
+      std::uint64_t arrived = 0;
+      for (const core::ItemBundle& bundle : psi) {
+        arrived += bundle.items.size();
+      }
+      std::vector<core::SampledBundle> outputs =
+          node.stage->process_interval(psi);
+      {
+        std::lock_guard<std::mutex> lock(theta_mutex_);
+        for (const core::SampledBundle& bundle : outputs) {
+          theta_.add(bundle);
+        }
+      }
+      if (config_.root_tap) {
+        for (const core::SampledBundle& bundle : outputs) {
+          config_.root_tap(bundle);
+        }
+      }
+      {
+        std::lock_guard<std::mutex> lock(state_mutex_);
+        items_at_root_ += arrived;
+      }
+      complete_root_interval(interval);
+    } else {
+      IntervalMessage out;
+      out.interval = interval;
+      std::vector<core::SampledBundle> outputs =
+          node.stage->process_interval(psi);
+      out.bundles.reserve(outputs.size());
+      for (core::SampledBundle& bundle : outputs) {
+        out.bundles.push_back(bundle.to_bundle());
+      }
+      node.output->push(std::move(out));
+    }
+  }
+
+  if (node.output != nullptr) node.output->close();
+}
+
+void ConcurrentEdgeTree::complete_root_interval(std::int64_t interval) {
+  std::int64_t latency_us = -1;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    ++intervals_completed_;
+    auto it = push_times_us_.find(interval);
+    if (it != push_times_us_.end()) {
+      latency_us = now_us() - it->second;
+      push_times_us_.erase(it);
+    }
+  }
+  drained_cv_.notify_all();
+
+  if (metrics_ != nullptr) {
+    metrics_->counter("runtime.intervals_completed").increment();
+    if (latency_us >= 0) {
+      metrics_->histogram("runtime.interval_latency_us")
+          .record(static_cast<double>(latency_us));
+    }
+  }
+}
+
+}  // namespace approxiot::runtime

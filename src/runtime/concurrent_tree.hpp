@@ -1,0 +1,167 @@
+// ConcurrentEdgeTree: the paper's no-coordination claim, executed.
+//
+// core::EdgeTree ticks its layers in lockstep from one thread. This
+// runtime gives every tree node its own worker: a node consumes one
+// IntervalMessage per interval from each child's BoundedChannel, runs the
+// exact same core::PipelineStage (WHS / SRS / native / snapshot), and
+// pushes its (W^out, sample) output upstream. Layers therefore *pipeline*
+// — the leaves may be sampling interval k+3 while the root is still on
+// interval k — and the only inter-thread contact is the channels, mirroring
+// how ApproxIoT's layers coordinate solely through Kafka topics.
+//
+// Determinism: stages are built with core::edge_tree_stage_config, so with
+// kBlock backpressure (lossless) and workers_per_node == 1, the ConcurrentEdgeTree
+// produces bit-identical samples, weights and Θ to a sequential EdgeTree
+// fed the same input — the equivalence the runtime test suite pins down.
+// With workers_per_node > 1, nodes shard reservoirs across threads
+// (§III-E); samples differ but the Eq. 8 weight invariant still holds.
+//
+// Backpressure: kBlock propagates pressure source-wards and loses
+// nothing. kDropNewest sheds whole interval messages at full channels and
+// counts them — a coarse extra sampling stage for overload; see
+// bounded_channel.hpp for why ApproxIoT can absorb that.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/batch.hpp"
+#include "core/pipeline.hpp"
+#include "core/theta_store.hpp"
+#include "runtime/bounded_channel.hpp"
+#include "runtime/metrics.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace approxiot::runtime {
+
+/// One interval's worth of Ψ contribution travelling over one tree edge.
+/// `bundles` may be empty (an interval in which the child produced
+/// nothing); the message still flows so receivers can align intervals.
+struct IntervalMessage {
+  std::int64_t interval{0};
+  std::vector<core::ItemBundle> bundles;
+};
+
+struct ConcurrentTreeConfig {
+  /// Topology, engine, fractions, seeds — shared with core::EdgeTree.
+  core::EdgeTreeConfig tree{};
+  /// Interval messages in flight per edge before backpressure kicks in.
+  std::size_t channel_capacity{8};
+  BackpressurePolicy backpressure{BackpressurePolicy::kBlock};
+  /// Reservoir-sharding workers inside each WHS node (§III-E).
+  std::size_t workers_per_node{1};
+  /// Optional: called from the root's thread for every sampled bundle the
+  /// root adds to Θ (e.g. to republish results into a flowqueue topic).
+  std::function<void(const core::SampledBundle&)> root_tap{};
+};
+
+class ConcurrentEdgeTree {
+ public:
+  /// Builds the tree and starts one worker per node immediately.
+  /// `metrics` (optional, unowned) receives runtime counters/latencies.
+  explicit ConcurrentEdgeTree(ConcurrentTreeConfig config,
+                              MetricsRegistry* metrics = nullptr);
+
+  ConcurrentEdgeTree(const ConcurrentEdgeTree&) = delete;
+  ConcurrentEdgeTree& operator=(const ConcurrentEdgeTree&) = delete;
+
+  ~ConcurrentEdgeTree();
+
+  [[nodiscard]] std::size_t leaf_count() const noexcept;
+  [[nodiscard]] std::size_t node_count() const noexcept;
+
+  /// Feeds one interval of source data (one item vector per leaf).
+  /// Under kBlock this blocks when the leaves are saturated; under
+  /// kDropNewest it may shed the interval at full leaf channels.
+  void push_interval(const std::vector<std::vector<Item>>& items_per_leaf);
+
+  /// Blocks until every pushed interval has been folded into the root's
+  /// Θ. Only meaningful under kBlock (lossless): with drops in play some
+  /// intervals never reach the root and stop() is the only full barrier.
+  void drain();
+
+  /// Closes the source channels and joins every node worker. All pushed
+  /// data still in flight is flushed through the tree first. Idempotent.
+  void stop();
+
+  /// drain()s (kBlock only — under kDropNewest a shed interval would make
+  /// a full drain wait forever, so the window closes over whatever has
+  /// reached the root), runs the window query over Θ, clears Θ.
+  core::ApproxResult close_window(double confidence = stats::kConfidence95);
+
+  /// Query without clearing. Safe while workers run (Θ is locked), but
+  /// the result is a snapshot of whatever has reached the root so far.
+  [[nodiscard]] core::ApproxResult run_query(
+      double confidence = stats::kConfidence95) const;
+
+  /// Root Θ. Call only when quiescent (after drain() or stop()).
+  [[nodiscard]] const core::ThetaStore& theta() const noexcept {
+    return theta_;
+  }
+
+  struct TreeMetrics {
+    std::uint64_t items_ingested{0};
+    std::uint64_t items_at_root{0};
+    std::uint64_t intervals_pushed{0};
+    std::uint64_t intervals_completed{0};  // by the root
+    std::uint64_t messages_dropped{0};     // kDropNewest sheds, all edges
+    std::vector<std::uint64_t> items_forwarded_per_layer;
+  };
+  /// Interval/ingest counters are always consistent (taken under lock);
+  /// items_forwarded_per_layer reads the node stages' plain counters, so
+  /// like theta() it is exact only when quiescent (after drain()/stop()).
+  /// Polling it mid-flight races with the node workers.
+  [[nodiscard]] TreeMetrics metrics() const;
+
+  [[nodiscard]] core::EngineKind engine() const noexcept {
+    return config_.tree.engine;
+  }
+
+ private:
+  struct NodeRuntime {
+    std::unique_ptr<core::PipelineStage> stage;
+    std::vector<BoundedChannel<IntervalMessage>*> inputs;
+    BoundedChannel<IntervalMessage>* output{nullptr};  // null at the root
+    std::size_t layer{0};
+  };
+
+  void node_loop(NodeRuntime& node);
+  void complete_root_interval(std::int64_t interval);
+
+  ConcurrentTreeConfig config_;
+  MetricsRegistry* metrics_{nullptr};
+
+  std::vector<std::unique_ptr<BoundedChannel<IntervalMessage>>> channels_;
+  std::vector<BoundedChannel<IntervalMessage>*> leaf_inputs_;
+  // nodes_[layer][index]; the root is the single node of the last layer.
+  std::vector<std::vector<NodeRuntime>> nodes_;
+
+  core::ThetaStore theta_;
+  mutable std::mutex theta_mutex_;
+
+  /// Serialises whole push_interval calls: interval seqs must reach the
+  /// leaf channels in assignment order or receivers would mistake a
+  /// reordered interval for a dropped one. Separate from state_mutex_ so
+  /// a producer blocked on a full leaf channel does not stall the root's
+  /// completion bookkeeping.
+  std::mutex push_mutex_;
+  mutable std::mutex state_mutex_;
+  std::condition_variable drained_cv_;
+  std::int64_t next_interval_{0};
+  std::uint64_t items_ingested_{0};
+  std::uint64_t items_at_root_{0};
+  std::uint64_t intervals_completed_{0};
+  std::map<std::int64_t, std::int64_t> push_times_us_;
+  bool stopped_{false};
+
+  // Last member: joins in ~ThreadPool before channels/stages die.
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace approxiot::runtime

@@ -1,0 +1,171 @@
+#include "runtime/flowqueue_bridge.hpp"
+
+#include <algorithm>
+#include <iterator>
+#include <utility>
+
+#include "core/wire.hpp"
+#include "workload/substream.hpp"
+
+namespace approxiot::runtime {
+
+FlowQueueSource::FlowQueueSource(flowqueue::Broker& broker,
+                                 ConcurrentEdgeTree& tree,
+                                 FlowQueueSourceConfig config,
+                                 MetricsRegistry* metrics)
+    : tree_(&tree),
+      config_(std::move(config)),
+      metrics_(metrics),
+      consumer_(broker, config_.group + "-consumer"),
+      clock_(config_.interval) {}
+
+Status FlowQueueSource::start() {
+  return consumer_.subscribe(config_.group, {config_.topic});
+}
+
+Result<std::size_t> FlowQueueSource::run_until_idle(std::size_t max_cycles) {
+  std::size_t pushed = 0;
+  for (std::size_t cycle = 0; cycle < max_cycles; ++cycle) {
+    auto batch = consumer_.poll(config_.poll_batch);
+    if (!batch.is_ok()) return batch.status();
+    if (batch.value().empty()) {
+      // Idle: every assigned partition is read to its end, so no record
+      // below max_seen can still arrive — flushing the completed
+      // intervals is now safe even with partitions of unequal depth.
+      pushed += flush_through(max_seen_interval_ - 1);
+      return pushed;
+    }
+
+    for (const flowqueue::Record& record : batch.value()) {
+      auto bundle = core::decode_bundle(record.value);
+      if (!bundle.is_ok()) {
+        ++decode_errors_;
+        if (metrics_ != nullptr) {
+          metrics_->counter("bridge.decode_errors").increment();
+        }
+        continue;
+      }
+      const std::int64_t seq = clock_.interval_of(record.timestamp).seq;
+      max_seen_interval_ = std::max(max_seen_interval_, seq);
+      if (seq < next_interval_) {
+        // Its tick already fired (possible only after a force-flush).
+        ++late_records_;
+        if (metrics_ != nullptr) {
+          metrics_->counter("bridge.late_records").increment();
+        }
+        continue;
+      }
+
+      auto [it, inserted] = buffered_.try_emplace(
+          seq, std::vector<std::vector<Item>>(tree_->leaf_count()));
+      auto& per_leaf = it->second;
+      // Same sub-stream-affinity sharding the sequential drivers use —
+      // shared helper, so the policies cannot drift apart.
+      auto sharded = workload::shard_by_substream(bundle.value().items,
+                                                  tree_->leaf_count());
+      for (std::size_t leaf = 0; leaf < sharded.size(); ++leaf) {
+        per_leaf[leaf].insert(per_leaf[leaf].end(),
+                              std::make_move_iterator(sharded[leaf].begin()),
+                              std::make_move_iterator(sharded[leaf].end()));
+      }
+      ++records_bridged_;
+      if (metrics_ != nullptr) {
+        metrics_->counter("bridge.records_bridged").increment();
+        metrics_->counter("bridge.bytes_bridged")
+            .increment(record.value.size());
+      }
+    }
+    // Safety valve for topics that never go idle: bound the buffer by
+    // force-flushing the oldest intervals. A lagging partition may then
+    // deliver records for an already-fired tick; they are counted above.
+    while (buffered_.size() > config_.max_buffered_intervals) {
+      pushed += flush_through(buffered_.begin()->first);
+    }
+  }
+  return pushed;
+}
+
+std::size_t FlowQueueSource::flush() {
+  return flush_through(max_seen_interval_);
+}
+
+std::size_t FlowQueueSource::flush_through(std::int64_t last_interval) {
+  std::size_t pushed = 0;
+  std::size_t gap_budget = config_.max_gap_intervals;
+  std::uint64_t skipped = 0;
+  while (next_interval_ <= last_interval) {
+    auto it = buffered_.find(next_interval_);
+    if (it != buffered_.end()) {
+      tree_->push_interval(it->second);
+      buffered_.erase(it);
+      ++pushed;
+      ++next_interval_;
+    } else if (gap_budget > 0) {
+      // A quiet interval: push an empty tick so window alignment is
+      // preserved.
+      tree_->push_interval(
+          std::vector<std::vector<Item>>(tree_->leaf_count()));
+      --gap_budget;
+      ++pushed;
+      ++next_interval_;
+    } else {
+      // Gap budget exhausted (one corrupt far-future timestamp could
+      // imply millions of empty ticks): bulk-skip to the next interval
+      // that actually has data, counting what was elided.
+      const auto next_data = buffered_.lower_bound(next_interval_);
+      const std::int64_t jump_to =
+          next_data != buffered_.end() && next_data->first <= last_interval
+              ? next_data->first
+              : last_interval + 1;
+      skipped += static_cast<std::uint64_t>(jump_to - next_interval_);
+      next_interval_ = jump_to;
+    }
+  }
+  if (skipped > 0) {
+    gap_intervals_skipped_ += skipped;
+    if (metrics_ != nullptr) {
+      metrics_->counter("bridge.gap_intervals_skipped").increment(skipped);
+    }
+  }
+  return pushed;
+}
+
+FlowQueueSink::FlowQueueSink(flowqueue::Broker& broker, std::string topic,
+                             MetricsRegistry* metrics)
+    : producer_(broker), topic_(std::move(topic)), metrics_(metrics) {
+  broker.ensure_topic(topic_, 1);
+}
+
+void FlowQueueSink::publish(const core::SampledBundle& bundle) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Stamp with the newest item time so a downstream FlowQueueSource can
+  // bucket the record into the interval it belongs to; an all-zero stamp
+  // would collapse every window into interval 0.
+  SimTime timestamp = SimTime::zero();
+  for (const auto& [_, items] : bundle.sample) {
+    for (const Item& item : items) {
+      timestamp.us = std::max(timestamp.us, item.created_at_us);
+    }
+  }
+  auto payload = core::encode_bundle(bundle);
+  const std::size_t bytes = payload.size();
+  auto sent = producer_.send(topic_, "root", std::move(payload), timestamp);
+  if (!sent.is_ok()) {
+    ++publish_errors_;
+    if (metrics_ != nullptr) {
+      metrics_->counter("bridge.publish_errors").increment();
+    }
+    return;
+  }
+  ++bundles_published_;
+  if (metrics_ != nullptr) {
+    metrics_->counter("bridge.bundles_published").increment();
+    metrics_->counter("bridge.bytes_published").increment(bytes);
+  }
+}
+
+std::function<void(const core::SampledBundle&)> FlowQueueSink::as_root_tap() {
+  return [this](const core::SampledBundle& bundle) { publish(bundle); };
+}
+
+}  // namespace approxiot::runtime

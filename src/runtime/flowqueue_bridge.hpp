@@ -1,0 +1,136 @@
+// Bridges between the flowqueue (Kafka-style) pipeline and the concurrent
+// runtime, so the two transports compose instead of competing:
+//
+//   FlowQueueSource — consumes wire-encoded bundles from a topic, groups
+//   them into intervals by record timestamp, and feeds them to a
+//   ConcurrentEdgeTree as if they came from local sensors. Items are
+//   sharded over the leaves by sub-stream id, the same sharding the
+//   sequential drivers use.
+//
+//   FlowQueueSink — publishes the root's sampled output bundles back into
+//   a topic (hook it up via ConcurrentTreeConfig::root_tap), closing the
+//   loop for downstream analytics consumers.
+//
+// Both report through the MetricsRegistry (records bridged, bytes,
+// decode errors, bundles published).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/time.hpp"
+#include "flowqueue/broker.hpp"
+#include "flowqueue/consumer.hpp"
+#include "flowqueue/producer.hpp"
+#include "runtime/concurrent_tree.hpp"
+#include "runtime/metrics.hpp"
+
+namespace approxiot::runtime {
+
+struct FlowQueueSourceConfig {
+  std::string topic;
+  std::string group{"runtime-bridge"};
+  /// Interval length used to bucket record timestamps into tree ticks.
+  SimTime interval{SimTime::from_seconds(1.0)};
+  std::size_t poll_batch{512};
+  /// Safety valve: when more than this many intervals are buffered (the
+  /// topic never goes idle), the oldest are force-flushed. Records for a
+  /// force-flushed interval that arrive later are counted as late and
+  /// discarded, so size this above the consumer's worst poll lag.
+  std::size_t max_buffered_intervals{1024};
+  /// Sanity bound on quiet gaps: at most this many *empty* ticks are
+  /// pushed per flush; a larger gap (e.g. one corrupt far-future
+  /// timestamp) is skipped and counted instead of flooding the tree
+  /// with empty intervals for hours.
+  std::size_t max_gap_intervals{1000};
+};
+
+class FlowQueueSource {
+ public:
+  FlowQueueSource(flowqueue::Broker& broker, ConcurrentEdgeTree& tree,
+                  FlowQueueSourceConfig config,
+                  MetricsRegistry* metrics = nullptr);
+
+  /// Joins the consumer group; call once before pumping.
+  Status start();
+
+  /// Polls until the topic is drained. Completed intervals flush when a
+  /// poll comes back empty — only then is every partition provably read
+  /// past them (poll round-robins partitions, so a mid-stream timestamp
+  /// watermark could outrun a lagging partition and lose its records).
+  /// Returns the number of intervals pushed. Call flush() afterwards to
+  /// release the trailing interval.
+  Result<std::size_t> run_until_idle(std::size_t max_cycles = 1'000'000);
+
+  /// Pushes everything still buffered (including gaps, as empty
+  /// intervals, so window alignment survives quiet periods).
+  std::size_t flush();
+
+  [[nodiscard]] std::uint64_t records_bridged() const noexcept {
+    return records_bridged_;
+  }
+  [[nodiscard]] std::uint64_t decode_errors() const noexcept {
+    return decode_errors_;
+  }
+  /// Records discarded because their interval was already flushed (only
+  /// possible after a max_buffered_intervals force-flush).
+  [[nodiscard]] std::uint64_t late_records() const noexcept {
+    return late_records_;
+  }
+  /// Empty gap ticks elided by the max_gap_intervals bound.
+  [[nodiscard]] std::uint64_t gap_intervals_skipped() const noexcept {
+    return gap_intervals_skipped_;
+  }
+
+ private:
+  std::size_t flush_through(std::int64_t last_interval);
+
+  ConcurrentEdgeTree* tree_;
+  FlowQueueSourceConfig config_;
+  MetricsRegistry* metrics_{nullptr};
+  flowqueue::Consumer consumer_;
+  IntervalClock clock_;
+
+  /// interval seq -> per-leaf item buffers.
+  std::map<std::int64_t, std::vector<std::vector<Item>>> buffered_;
+  std::int64_t next_interval_{0};
+  std::int64_t max_seen_interval_{-1};
+  std::uint64_t records_bridged_{0};
+  std::uint64_t decode_errors_{0};
+  std::uint64_t late_records_{0};
+  std::uint64_t gap_intervals_skipped_{0};
+};
+
+class FlowQueueSink {
+ public:
+  /// Publishes to `topic` (created with one partition if absent).
+  FlowQueueSink(flowqueue::Broker& broker, std::string topic,
+                MetricsRegistry* metrics = nullptr);
+
+  /// Thread-safe: callable from the runtime's root worker.
+  void publish(const core::SampledBundle& bundle);
+
+  /// Adapter for ConcurrentTreeConfig::root_tap.
+  [[nodiscard]] std::function<void(const core::SampledBundle&)> as_root_tap();
+
+  [[nodiscard]] std::uint64_t bundles_published() const noexcept {
+    return bundles_published_;
+  }
+  [[nodiscard]] std::uint64_t publish_errors() const noexcept {
+    return publish_errors_;
+  }
+
+ private:
+  flowqueue::Producer producer_;
+  std::string topic_;
+  MetricsRegistry* metrics_{nullptr};
+  std::mutex mutex_;
+  std::uint64_t bundles_published_{0};
+  std::uint64_t publish_errors_{0};
+};
+
+}  // namespace approxiot::runtime

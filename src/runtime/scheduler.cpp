@@ -1,0 +1,62 @@
+#include "runtime/scheduler.hpp"
+
+#include <chrono>
+#include <stdexcept>
+#include <utility>
+
+namespace approxiot::runtime {
+
+IntervalScheduler::IntervalScheduler(ConcurrentEdgeTree& tree,
+                                     SchedulerConfig config,
+                                     LeafSourceFn source)
+    : tree_(&tree), config_(config), source_(std::move(source)) {}
+
+IntervalScheduler::~IntervalScheduler() {
+  request_stop();
+  join();
+}
+
+void IntervalScheduler::run() {
+  const auto wall_start = std::chrono::steady_clock::now();
+  const std::size_t leaves = tree_->leaf_count();
+
+  for (std::size_t k = 0; k < config_.ticks; ++k) {
+    if (stop_requested_.load()) break;
+
+    if (config_.pace == SchedulerConfig::Pace::kWallClock) {
+      std::this_thread::sleep_until(
+          wall_start + std::chrono::microseconds(
+                           static_cast<std::int64_t>(k) * config_.tick.us));
+    }
+
+    const SimTime now{static_cast<std::int64_t>(k) * config_.tick.us};
+    now_us_.store(now.us);
+
+    std::vector<std::vector<Item>> items_per_leaf(leaves);
+    for (std::size_t leaf = 0; leaf < leaves; ++leaf) {
+      items_per_leaf[leaf] = source_(leaf, now, config_.tick);
+    }
+    try {
+      tree_->push_interval(items_per_leaf);
+    } catch (const std::logic_error&) {
+      // The tree was stopped out from under us (nothing ties the two
+      // lifecycles together); treat it as a stop request rather than
+      // letting the throw terminate the background thread's process.
+      break;
+    }
+    ticks_fired_.fetch_add(1);
+  }
+  now_us_.store(
+      static_cast<std::int64_t>(ticks_fired_.load()) * config_.tick.us);
+}
+
+void IntervalScheduler::start() {
+  if (thread_.joinable()) return;
+  thread_ = std::thread([this] { run(); });
+}
+
+void IntervalScheduler::join() {
+  if (thread_.joinable()) thread_.join();
+}
+
+}  // namespace approxiot::runtime

@@ -1,0 +1,72 @@
+// IntervalScheduler: drives a ConcurrentEdgeTree's sources tick by tick.
+//
+// Two pacing modes:
+//   kVirtual   — ticks fire back-to-back as fast as the tree absorbs them
+//                (benchmarks, deterministic tests);
+//   kWallClock — tick k fires no earlier than start + k * tick real time
+//                (live deployments; a slow tree skips the sleep and the
+//                leaf channels' backpressure takes over).
+// Either way the *logical* clock advances exactly one `tick` per interval,
+// so SimTime-stamped items and windowing stay identical across modes.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <thread>
+
+#include "common/time.hpp"
+#include "common/types.hpp"
+#include "runtime/concurrent_tree.hpp"
+
+namespace approxiot::runtime {
+
+/// Produces one leaf's items for the tick covering [now, now + dt).
+using LeafSourceFn =
+    std::function<std::vector<Item>(std::size_t leaf, SimTime now, SimTime dt)>;
+
+struct SchedulerConfig {
+  SimTime tick{SimTime::from_millis(100)};
+  /// Total ticks to run; run() returns after the last one.
+  std::size_t ticks{0};
+  enum class Pace { kVirtual, kWallClock } pace{Pace::kVirtual};
+};
+
+class IntervalScheduler {
+ public:
+  IntervalScheduler(ConcurrentEdgeTree& tree, SchedulerConfig config,
+                    LeafSourceFn source);
+
+  IntervalScheduler(const IntervalScheduler&) = delete;
+  IntervalScheduler& operator=(const IntervalScheduler&) = delete;
+  ~IntervalScheduler();
+
+  /// Runs every tick on the calling thread (blocking).
+  void run();
+
+  /// Runs the ticks on a background thread; join() waits for the last.
+  void start();
+  void join();
+
+  /// Asks a running scheduler to stop after the current tick.
+  void request_stop() noexcept { stop_requested_.store(true); }
+
+  /// Logical time of the next tick's interval start.
+  [[nodiscard]] SimTime now() const noexcept {
+    return SimTime{now_us_.load()};
+  }
+  [[nodiscard]] std::size_t ticks_fired() const noexcept {
+    return ticks_fired_.load();
+  }
+
+ private:
+  ConcurrentEdgeTree* tree_;
+  SchedulerConfig config_;
+  LeafSourceFn source_;
+  std::thread thread_;
+  std::atomic<std::int64_t> now_us_{0};
+  std::atomic<std::size_t> ticks_fired_{0};
+  std::atomic<bool> stop_requested_{false};
+};
+
+}  // namespace approxiot::runtime

@@ -1,0 +1,91 @@
+#include "runtime/thread_pool.hpp"
+
+#include <utility>
+
+#include "common/logging.hpp"
+
+namespace approxiot::runtime {
+
+namespace {
+// Deep enough that submitters rarely block, bounded so a runaway producer
+// exerts backpressure instead of growing the heap.
+constexpr std::size_t kQueueDepth = 1024;
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t threads, std::uint64_t seed)
+    : queue_(kQueueDepth, BackpressurePolicy::kBlock) {
+  if (threads == 0) threads = 1;
+  Rng base(seed);
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    WorkerContext context{WorkerId{i}, base};
+    base.jump();
+    workers_.emplace_back(
+        [this, context = std::move(context)]() mutable {
+          worker_loop(std::move(context));
+        });
+  }
+}
+
+ThreadPool::~ThreadPool() { shutdown(); }
+
+bool ThreadPool::submit(std::function<void(WorkerContext&)> task) {
+  {
+    std::lock_guard<std::mutex> lock(idle_mutex_);
+    if (shut_down_) return false;
+    ++submitted_;
+  }
+  if (!queue_.push(std::move(task))) {
+    std::lock_guard<std::mutex> lock(idle_mutex_);
+    --submitted_;
+    return false;
+  }
+  return true;
+}
+
+bool ThreadPool::submit(std::function<void()> task) {
+  return submit([task = std::move(task)](WorkerContext&) { task(); });
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(idle_mutex_);
+  idle_cv_.wait(lock, [this] { return completed_ == submitted_; });
+}
+
+void ThreadPool::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(idle_mutex_);
+    shut_down_ = true;
+  }
+  queue_.close();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+void ThreadPool::worker_loop(WorkerContext context) {
+  while (auto task = queue_.pop()) {
+    try {
+      (*task)(context);
+    } catch (const std::exception& e) {
+      // A throwing task must not take the whole process down with
+      // std::terminate; record it and keep the worker alive.
+      AIOT_LOG(kError, "runtime.pool")
+          << "task on worker " << context.id << " threw: " << e.what();
+      std::lock_guard<std::mutex> lock(idle_mutex_);
+      ++failed_;
+    } catch (...) {
+      AIOT_LOG(kError, "runtime.pool")
+          << "task on worker " << context.id << " threw non-std exception";
+      std::lock_guard<std::mutex> lock(idle_mutex_);
+      ++failed_;
+    }
+    {
+      std::lock_guard<std::mutex> lock(idle_mutex_);
+      ++completed_;
+    }
+    idle_cv_.notify_all();
+  }
+}
+
+}  // namespace approxiot::runtime

@@ -1,0 +1,118 @@
+// BoundedChannel: FIFO order, capacity blocking, close semantics, the
+// drop-with-count policy, and a multi-producer stress run.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "runtime/bounded_channel.hpp"
+
+namespace approxiot::runtime {
+namespace {
+
+TEST(BoundedChannelTest, FifoOrder) {
+  BoundedChannel<int> channel(4);
+  EXPECT_TRUE(channel.push(1));
+  EXPECT_TRUE(channel.push(2));
+  EXPECT_TRUE(channel.push(3));
+  EXPECT_EQ(channel.size(), 3u);
+  EXPECT_EQ(channel.pop().value(), 1);
+  EXPECT_EQ(channel.pop().value(), 2);
+  EXPECT_EQ(channel.pop().value(), 3);
+  EXPECT_EQ(channel.try_pop(), std::nullopt);
+}
+
+TEST(BoundedChannelTest, TryPushFailsWhenFullWithoutCountingDrops) {
+  BoundedChannel<int> channel(2);
+  EXPECT_TRUE(channel.try_push(1));
+  EXPECT_TRUE(channel.try_push(2));
+  EXPECT_FALSE(channel.try_push(3));
+  EXPECT_EQ(channel.dropped(), 0u);
+}
+
+TEST(BoundedChannelTest, DropNewestCountsSheddedValues) {
+  BoundedChannel<int> channel(2, BackpressurePolicy::kDropNewest);
+  EXPECT_TRUE(channel.push(1));
+  EXPECT_TRUE(channel.push(2));
+  EXPECT_FALSE(channel.push(3));  // shed
+  EXPECT_FALSE(channel.push(4));  // shed
+  EXPECT_EQ(channel.dropped(), 2u);
+  EXPECT_EQ(channel.pop().value(), 1);
+  EXPECT_TRUE(channel.push(5));  // space again
+  EXPECT_EQ(channel.dropped(), 2u);
+}
+
+TEST(BoundedChannelTest, BlockingPushWaitsForSpace) {
+  BoundedChannel<int> channel(1);
+  ASSERT_TRUE(channel.push(1));
+
+  std::atomic<bool> second_pushed{false};
+  std::thread producer([&] {
+    channel.push(2);  // blocks until the consumer pops
+    second_pushed.store(true);
+  });
+
+  // The producer must not complete while the channel is full.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(second_pushed.load());
+
+  EXPECT_EQ(channel.pop().value(), 1);
+  producer.join();
+  EXPECT_TRUE(second_pushed.load());
+  EXPECT_EQ(channel.pop().value(), 2);
+}
+
+TEST(BoundedChannelTest, CloseDrainsPendingThenSignalsEnd) {
+  BoundedChannel<int> channel(4);
+  channel.push(7);
+  channel.push(8);
+  channel.close();
+  EXPECT_FALSE(channel.push(9));  // rejected after close
+  EXPECT_EQ(channel.pop().value(), 7);
+  EXPECT_EQ(channel.pop().value(), 8);
+  EXPECT_EQ(channel.pop(), std::nullopt);  // closed and drained
+}
+
+TEST(BoundedChannelTest, CloseWakesBlockedConsumer) {
+  BoundedChannel<int> channel(1);
+  std::thread consumer([&] { EXPECT_EQ(channel.pop(), std::nullopt); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  channel.close();
+  consumer.join();
+}
+
+TEST(BoundedChannelTest, MultiProducerStressDeliversEveryValue) {
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 500;
+  BoundedChannel<int> channel(8);
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&channel, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(channel.push(p * kPerProducer + i));
+      }
+    });
+  }
+
+  std::set<int> received;
+  std::thread consumer([&] {
+    while (auto v = channel.pop()) received.insert(*v);
+  });
+
+  for (auto& t : producers) t.join();
+  channel.close();
+  consumer.join();
+
+  EXPECT_EQ(received.size(),
+            static_cast<std::size_t>(kProducers * kPerProducer));
+  EXPECT_EQ(channel.pushed(), static_cast<std::uint64_t>(kProducers *
+                                                         kPerProducer));
+  EXPECT_EQ(channel.popped(), channel.pushed());
+  EXPECT_EQ(channel.dropped(), 0u);
+}
+
+}  // namespace
+}  // namespace approxiot::runtime

@@ -1,0 +1,93 @@
+// MetricsRegistry: counters/gauges/histograms, concurrent updates, and
+// the snapshot/JSON surface the bench harness consumes.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "runtime/metrics.hpp"
+
+namespace approxiot::runtime {
+namespace {
+
+TEST(MetricsTest, CounterAndGaugeBasics) {
+  MetricsRegistry registry;
+  registry.counter("a").increment();
+  registry.counter("a").increment(9);
+  registry.gauge("g").set(2.5);
+  EXPECT_EQ(registry.counter("a").value(), 10u);
+  EXPECT_DOUBLE_EQ(registry.gauge("g").value(), 2.5);
+}
+
+TEST(MetricsTest, RegistryReturnsStableReferences) {
+  MetricsRegistry registry;
+  Counter& first = registry.counter("x");
+  Counter& again = registry.counter("x");
+  EXPECT_EQ(&first, &again);
+}
+
+TEST(MetricsTest, ConcurrentCounterIncrementsAreLossless) {
+  MetricsRegistry registry;
+  Counter& counter = registry.counter("hits");
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < 10000; ++i) counter.increment();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter.value(), 40000u);
+}
+
+TEST(MetricsTest, HistogramTracksCountSumMeanMax) {
+  Histogram h;
+  for (double v : {1.0, 2.0, 3.0, 4.0, 10.0}) h.record(v);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.sum(), 20.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(h.max_value(), 10.0);
+}
+
+TEST(MetricsTest, HistogramPercentilesAreOrderedAndBounded) {
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.record(static_cast<double>(i));
+  const double p50 = h.percentile(0.50);
+  const double p99 = h.percentile(0.99);
+  EXPECT_LE(p50, p99);
+  EXPECT_LE(p99, h.max_value());
+  // Exponential buckets give ~2x resolution; p50 of U[1,1000] is ~500.
+  EXPECT_GT(p50, 250.0);
+  EXPECT_LT(p50, 1024.0);
+  EXPECT_GT(p99, 500.0);
+  EXPECT_EQ(h.percentile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), h.max_value());
+}
+
+TEST(MetricsTest, EmptyHistogramIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.99), 0.0);
+}
+
+TEST(MetricsTest, SnapshotAndJsonIncludeEveryMetric) {
+  MetricsRegistry registry;
+  registry.counter("items").increment(3);
+  registry.gauge("fraction").set(0.4);
+  registry.histogram("latency_us").record(100.0);
+
+  const MetricsSnapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.counters.at("items"), 3u);
+  EXPECT_DOUBLE_EQ(snap.gauges.at("fraction"), 0.4);
+  EXPECT_EQ(snap.histograms.at("latency_us").count, 1u);
+
+  const std::string json = snap.to_json();
+  EXPECT_NE(json.find("\"items\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"fraction\":0.4"), std::string::npos);
+  EXPECT_NE(json.find("\"latency_us\""), std::string::npos);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+}  // namespace
+}  // namespace approxiot::runtime

@@ -1,0 +1,95 @@
+// IntervalScheduler: virtual pacing determinism, wall-clock pacing, and
+// cooperative stop.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "runtime/scheduler.hpp"
+
+namespace approxiot::runtime {
+namespace {
+
+ConcurrentTreeConfig small_tree_config() {
+  ConcurrentTreeConfig config;
+  config.tree.layer_widths = {2};
+  config.tree.engine = core::EngineKind::kNative;
+  return config;
+}
+
+TEST(IntervalSchedulerTest, VirtualPaceDrivesEveryTick) {
+  ConcurrentEdgeTree tree(small_tree_config());
+  SchedulerConfig config;
+  config.tick = SimTime::from_millis(100);
+  config.ticks = 25;
+
+  std::vector<SimTime> seen_times;
+  IntervalScheduler scheduler(
+      tree, config,
+      [&seen_times](std::size_t leaf, SimTime now, SimTime dt) {
+        if (leaf == 0) seen_times.push_back(now);
+        EXPECT_EQ(dt.us, SimTime::from_millis(100).us);
+        return std::vector<Item>{Item{SubStreamId{leaf + 1}, 1.0, now.us}};
+      });
+  scheduler.run();
+  tree.drain();
+  tree.stop();
+
+  EXPECT_EQ(scheduler.ticks_fired(), 25u);
+  ASSERT_EQ(seen_times.size(), 25u);
+  for (std::size_t k = 0; k < seen_times.size(); ++k) {
+    EXPECT_EQ(seen_times[k].us,
+              static_cast<std::int64_t>(k) * SimTime::from_millis(100).us);
+  }
+  EXPECT_EQ(tree.metrics().intervals_completed, 25u);
+  EXPECT_EQ(tree.metrics().items_at_root, 50u);  // 2 leaves x 25 ticks
+}
+
+TEST(IntervalSchedulerTest, WallClockPaceTakesAtLeastTheScheduledTime) {
+  ConcurrentEdgeTree tree(small_tree_config());
+  SchedulerConfig config;
+  config.tick = SimTime::from_millis(5);
+  config.ticks = 6;
+  config.pace = SchedulerConfig::Pace::kWallClock;
+
+  IntervalScheduler scheduler(
+      tree, config, [](std::size_t, SimTime, SimTime) {
+        return std::vector<Item>{};
+      });
+  const auto start = std::chrono::steady_clock::now();
+  scheduler.run();
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  tree.stop();
+
+  // Tick k fires at >= k * 5 ms, so 6 ticks take at least 25 ms.
+  EXPECT_GE(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            25);
+  EXPECT_EQ(scheduler.ticks_fired(), 6u);
+}
+
+TEST(IntervalSchedulerTest, BackgroundStartAndRequestStop) {
+  ConcurrentEdgeTree tree(small_tree_config());
+  SchedulerConfig config;
+  config.tick = SimTime::from_millis(1);
+  config.ticks = 1'000'000;  // far more than we let it run
+  config.pace = SchedulerConfig::Pace::kWallClock;
+
+  IntervalScheduler scheduler(
+      tree, config, [](std::size_t, SimTime, SimTime) {
+        return std::vector<Item>{};
+      });
+  scheduler.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  scheduler.request_stop();
+  scheduler.join();
+  tree.stop();
+
+  EXPECT_GT(scheduler.ticks_fired(), 0u);
+  EXPECT_LT(scheduler.ticks_fired(), 1'000'000u);
+  EXPECT_EQ(tree.metrics().intervals_pushed, scheduler.ticks_fired());
+}
+
+}  // namespace
+}  // namespace approxiot::runtime
