@@ -3,16 +3,26 @@
 // (ApproxIoT) and SRS engines on the paper's 4-2-1 testbed shape.
 //
 // Two effects stack here: layers always pipeline (one thread per node),
-// and workers_per_node shards each WHS node's reservoirs across threads
-// (§III-E, no coordination while items flow). SRS ignores the per-node
-// worker count, so its row doubles as the pipelining-only baseline.
+// and workers_per_node shards each WHS node's reservoirs (§III-E, no
+// coordination while items flow) on one shared PooledSamplingExecutor.
+// SRS ignores the per-node worker count, so its row doubles as the
+// pipelining-only baseline.
 //
-// Caveat: ParallelSampler currently spawns and joins OS threads per
-// sub-stream per interval, so sharding only pays off with large strata
-// on real multi-core hardware; on few cores the spawn cost dominates and
-// the WHS curve *degrades* with workers. This bench exists to measure
-// exactly that trade-off (a persistent per-node worker pool is the
-// planned fix — see ROADMAP).
+// The executor's shard workers are created once, with the tree: the
+// per-interval path never constructs a thread, and the sharded lane
+// skips the sequential path's stratify copy and merges by moving one
+// contiguous buffer. Multi-worker throughput must therefore be >= the
+// 1-worker row even on a single core (the old per-interval spawn/join
+// regression this bench was built to expose — ROADMAP item, now fixed);
+// on multi-core hardware the shards additionally run in parallel.
+//
+// Each configuration runs `reps` times and the best-throughput rep is
+// reported (with its latency snapshot): background activity only ever
+// slows a rep down, so best-of-N strips scheduler noise without biasing
+// the comparison between worker counts. Reps are interleaved across the
+// worker counts (1,2,4,8, 1,2,4,8, ...) so slow machine windows —
+// frequency scaling, noisy neighbours — hit every configuration alike
+// instead of whichever one happened to be running.
 //
 // Output: the human-readable table plus one JSON line per engine in the
 // shared bench_util shape. `--smoke` shrinks the run for CI.
@@ -93,6 +103,7 @@ int main(int argc, char** argv) {
   }
   const std::size_t intervals = smoke ? 5 : 40;
   const std::size_t items_per_leaf = smoke ? 2000 : 25000;
+  const int reps = smoke ? 2 : 3;
   const std::vector<int> worker_counts = {1, 2, 4, 8};
 
   bench::print_header("runtime scaling: ConcurrentEdgeTree",
@@ -104,10 +115,19 @@ int main(int argc, char** argv) {
 
   for (core::EngineKind engine :
        {core::EngineKind::kApproxIoT, core::EngineKind::kSrs}) {
+    std::vector<RunResult> best(worker_counts.size());
+    for (int rep = 0; rep < reps; ++rep) {
+      for (std::size_t w = 0; w < worker_counts.size(); ++w) {
+        const RunResult r = run_once(
+            engine, static_cast<std::size_t>(worker_counts[w]), intervals,
+            items_per_leaf);
+        if (r.throughput_items_per_s > best[w].throughput_items_per_s) {
+          best[w] = r;
+        }
+      }
+    }
     std::vector<double> throughput, p50, p99;
-    for (int workers : worker_counts) {
-      const RunResult r = run_once(engine, static_cast<std::size_t>(workers),
-                                   intervals, items_per_leaf);
+    for (const RunResult& r : best) {
       throughput.push_back(r.throughput_items_per_s);
       p50.push_back(r.p50_us);
       p99.push_back(r.p99_us);

@@ -21,7 +21,9 @@ int main() {
   config.tree.rng_seed = 42;
   config.channel_capacity = 8;             // intervals in flight per edge
   config.backpressure = runtime::BackpressurePolicy::kBlock;
-  config.workers_per_node = 2;             // §III-E reservoir sharding
+  // §III-E reservoir sharding: all nodes share one persistent
+  // PooledSamplingExecutor (workers created once, with the tree).
+  config.workers_per_node = 2;
   runtime::ConcurrentEdgeTree tree(config, &registry);
 
   std::printf("concurrent tree: %zu nodes on %zu threads\n",

@@ -1,0 +1,488 @@
+#include "core/executor.hpp"
+
+#include <algorithm>
+#include <latch>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "runtime/thread_pool.hpp"
+#include "sampling/allocation.hpp"
+
+namespace approxiot::core {
+
+// ---------------------------------------------------------------------------
+// SubStreamWorker
+
+SubStreamWorker::SubStreamWorker(std::size_t capacity, Rng rng,
+                                 sampling::ReservoirAlgorithm algorithm)
+    : reservoir_(capacity, rng, algorithm) {}
+
+void SubStreamWorker::offer(const Item& item) { reservoir_.offer(item); }
+
+void SubStreamWorker::rearm(std::size_t capacity, const Rng& rng) {
+  reservoir_.rearm(capacity, rng);
+}
+
+void SubStreamWorker::collect_into(std::vector<Item>& out) {
+  const auto& kept = reservoir_.contents();
+  out.insert(out.end(), kept.begin(), kept.end());
+  reservoir_.reset();
+}
+
+// ---------------------------------------------------------------------------
+// WorkerGroup
+
+WorkerGroup::WorkerGroup(std::size_t workers, std::size_t total_capacity,
+                         Rng rng, sampling::ReservoirAlgorithm algorithm)
+    : algorithm_(algorithm) {
+  rearm(workers, total_capacity, rng);
+}
+
+void WorkerGroup::rearm(std::size_t workers, std::size_t total_capacity,
+                        const Rng& rng) {
+  if (workers == 0) workers = 1;
+  // Clamp: never more workers than reservoir slots, so every active
+  // worker holds >= 1 slot and a sub-stream with any capacity cannot
+  // merge to c̃ = 0 while c > 0 under round-robin sharding.
+  active_ = std::max<std::size_t>(
+      1, std::min(workers, std::max<std::size_t>(total_capacity, 1)));
+  overflow_seen_.assign(workers, 0);
+  next_worker_ = 0;
+
+  const std::size_t base = total_capacity / active_;
+  const std::size_t remainder = total_capacity % active_;
+
+  // Worker 0 continues the exact stream WHSampler's single reservoir
+  // would use; further workers reseed from values drawn off a copy of it
+  // (cheap SplitMix expansion, independent streams).
+  Rng stream = rng.split();
+  Rng seeder = stream;
+  for (std::size_t i = 0; i < active_; ++i) {
+    const std::size_t cap = base + (i < remainder ? 1 : 0);
+    const Rng worker_rng = i == 0 ? stream : Rng(seeder.next());
+    if (i < workers_.size()) {
+      workers_[i].rearm(cap, worker_rng);
+    } else {
+      workers_.emplace_back(cap, worker_rng, algorithm_);
+    }
+  }
+}
+
+void WorkerGroup::shard(const std::vector<Item>& items) {
+  for (const Item& item : items) {
+    workers_[next_worker_].offer(item);
+    next_worker_ = (next_worker_ + 1) % active_;
+  }
+}
+
+void WorkerGroup::offer_to(std::size_t worker, const Item& item) {
+  workers_.at(worker).offer(item);
+}
+
+void WorkerGroup::offer_routed(std::size_t shard, const Item& item) {
+  if (shard < active_) {
+    workers_[shard].offer(item);
+  } else {
+    ++overflow_seen_[shard];
+  }
+}
+
+WorkerGroup::MergeResult WorkerGroup::merge() {
+  MergeResult result;
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < active_; ++i) {
+    result.total_count += workers_[i].local_count();
+    kept += workers_[i].sample_size();
+  }
+  for (std::uint64_t& seen : overflow_seen_) {
+    result.total_count += seen;
+    seen = 0;
+  }
+  // Worker 0's reservoir is moved out wholesale (at one worker this is
+  // exactly WHSampler's drain — zero copies); only workers beyond it are
+  // copied in, so their buffers persist. Worker 0's buffer regrows next
+  // interval with a single up-front reserve.
+  result.sample = workers_[0].drain();
+  if (active_ > 1) {
+    result.sample.reserve(kept);
+    for (std::size_t i = 1; i < active_; ++i) {
+      workers_[i].collect_into(result.sample);
+    }
+  }
+  if (result.total_count > kept && kept > 0) {
+    result.weight_multiplier = static_cast<double>(result.total_count) /
+                               static_cast<double>(kept);
+  }
+  next_worker_ = 0;
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Sequential executor
+
+namespace {
+
+class SequentialLane final : public SamplingLane {
+ public:
+  SequentialLane(Rng rng, WHSampConfig config)
+      : sampler_(rng, std::move(config)) {}
+
+  SampledBundle sample(const std::vector<Item>& items, std::size_t sample_size,
+                       const WeightMap& w_in) override {
+    return sampler_.sample(items, sample_size, w_in);
+  }
+
+  std::size_t workers() const noexcept override { return 1; }
+
+ private:
+  WHSampler sampler_;
+};
+
+}  // namespace
+
+std::unique_ptr<SamplingLane> SequentialSamplingExecutor::create_lane(
+    Rng rng, WHSampConfig config) {
+  return std::make_unique<SequentialLane>(rng, std::move(config));
+}
+
+SamplingExecutor& sequential_executor() noexcept {
+  static SequentialSamplingExecutor instance;
+  return instance;
+}
+
+// ---------------------------------------------------------------------------
+// Pooled executor
+
+namespace {
+
+/// The pool-tuned variant of the WorkerGroup protocol: all of a
+/// sub-stream's shard reservoirs live as disjoint slices of ONE
+/// contiguous buffer, each running Algorithm R on its slice with its own
+/// RNG and counters. Shard t touches only slice t and its own (padded)
+/// state while items flow, so shards are trivially data-race free; the
+/// merge compacts in place and moves the buffer out — zero item copies
+/// when the sub-stream overflowed (every slice full), a short downward
+/// shift otherwise.
+class ShardGroup {
+ public:
+  void rearm(std::size_t workers, std::size_t total_capacity, const Rng& rng) {
+    if (workers == 0) workers = 1;
+    // Same clamp as WorkerGroup: every active shard holds >= 1 slot, so
+    // c̃ cannot merge to 0 while c > 0 unless the capacity itself is 0.
+    const std::size_t active = std::max<std::size_t>(
+        1, std::min(workers, std::max<std::size_t>(total_capacity, 1)));
+    shards_.resize(workers);
+    total_capacity_ = total_capacity;
+
+    const std::size_t base = total_capacity / active;
+    const std::size_t remainder = total_capacity % active;
+    // Shard 0 continues the exact stream WHSampler's single reservoir
+    // would use; further shards reseed from values drawn off a copy.
+    Rng stream = rng.split();
+    Rng seeder = stream;
+    std::size_t offset = 0;
+    for (std::size_t t = 0; t < workers; ++t) {
+      Shard& shard = shards_[t];
+      shard.offset = offset;
+      shard.capacity = t < active ? base + (t < remainder ? 1 : 0) : 0;
+      shard.kept = 0;
+      shard.seen = 0;
+      shard.rng = t == 0 ? stream : Rng(seeder.next());
+      offset += shard.capacity;
+    }
+    // The buffer persists across intervals and only ever grows: steady
+    // state pays no allocation and no re-initialisation here (slots are
+    // written by the fill phase and never read beyond each shard's kept
+    // count).
+    if (buffer_.size() < total_capacity) buffer_.resize(total_capacity);
+  }
+
+  /// Algorithm R on shard `t`'s slice. Shards with no capacity (clamped
+  /// away, or a zero-capacity sub-stream) only count the arrival.
+  void offer(std::size_t t, const Item& item) {
+    Shard& shard = shards_[t];
+    ++shard.seen;
+    if (shard.kept < shard.capacity) {
+      buffer_[shard.offset + shard.kept++] = item;
+      return;
+    }
+    if (shard.capacity == 0) return;
+    const std::uint64_t j = shard.rng.next_below(shard.seen);
+    if (j < shard.capacity) {
+      buffer_[shard.offset + static_cast<std::size_t>(j)] = item;
+    }
+  }
+
+  struct MergeResult {
+    std::vector<Item> sample;
+    std::uint64_t total_count{0};
+    double weight_multiplier{1.0};
+  };
+
+  [[nodiscard]] MergeResult merge() {
+    MergeResult result;
+    std::size_t kept = 0;
+    for (const Shard& shard : shards_) {
+      result.total_count += shard.seen;
+      kept += shard.kept;
+    }
+    if (kept < total_capacity_) {
+      // Underfull slices leave holes; shift each slice's kept prefix
+      // down so the kept items are dense. Destinations never overrun
+      // sources (offsets only shrink), so in-place moves are safe.
+      std::size_t write = 0;
+      for (const Shard& shard : shards_) {
+        if (shard.kept == 0) continue;
+        if (write != shard.offset) {
+          std::move(buffer_.begin() + static_cast<std::ptrdiff_t>(shard.offset),
+                    buffer_.begin() +
+                        static_cast<std::ptrdiff_t>(shard.offset + shard.kept),
+                    buffer_.begin() + static_cast<std::ptrdiff_t>(write));
+        }
+        write += shard.kept;
+      }
+    }
+    // Range-construct the output (single memcpy-able copy for the POD
+    // Item); the buffer itself persists for the next interval.
+    result.sample.assign(buffer_.begin(),
+                         buffer_.begin() + static_cast<std::ptrdiff_t>(kept));
+    if (result.total_count > kept && kept > 0) {
+      result.weight_multiplier = static_cast<double>(result.total_count) /
+                                 static_cast<double>(kept);
+    }
+    return result;
+  }
+
+ private:
+  // Padded so concurrently updated shard states never share a line.
+  struct alignas(64) Shard {
+    std::size_t offset{0};
+    std::size_t capacity{0};
+    std::size_t kept{0};
+    std::uint64_t seen{0};
+    Rng rng;
+  };
+  std::vector<Shard> shards_;
+  std::vector<Item> buffer_;
+  std::size_t total_capacity_{0};
+};
+
+/// One node's pooled session: Algorithm 1 with the per-sub-stream
+/// reservoir sharded over `workers_` shards. Shard assignment is the
+/// item's within-stratum position modulo the worker count — a pure
+/// function of the input — so inline and pool-dispatched execution are
+/// interchangeable.
+class PooledLane final : public SamplingLane {
+ public:
+  PooledLane(Rng rng, WHSampConfig config, std::size_t workers,
+             runtime::ThreadPool* pool, std::size_t min_items_to_dispatch)
+      : rng_(rng),
+        config_(std::move(config)),
+        policy_(sampling::make_allocation_policy(config_.allocation_policy)),
+        workers_(workers == 0 ? 1 : workers),
+        pool_(pool),
+        min_items_to_dispatch_(min_items_to_dispatch) {
+    if (workers_ > 1 &&
+        config_.reservoir_algorithm !=
+            sampling::ReservoirAlgorithm::kAlgorithmR) {
+      // The sharded slices run Algorithm R; refuse rather than silently
+      // substitute it for a configured alternative.
+      throw std::invalid_argument(
+          "sharded sampling (>1 worker) supports only the Algorithm R "
+          "reservoir");
+    }
+  }
+
+  SampledBundle sample(const std::vector<Item>& items, std::size_t sample_size,
+                       const WeightMap& w_in) override {
+    SampledBundle out;
+    if (items.empty()) return out;
+
+    // Line 5 of Algorithm 1 without copying items: one pass stratifies
+    // by INDEX — each sub-stream gets a list of its items' positions —
+    // so the offer pass can walk every stratum in arrival order with a
+    // register-resident round-robin shard counter (the same per-stratum
+    // round-robin WorkerGroup::shard uses; sharding by global position
+    // would let a periodically interleaved input concentrate one
+    // sub-stream onto few shards and starve its capacity). The index
+    // lists are members and keep their buffers: the steady-state
+    // interval allocates nothing here.
+    for (auto& list : slot_items_) list.clear();
+    strata_.clear();
+    std::size_t used_slots = 0;
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      const SubStreamId id = items[i].source;
+      auto it = std::lower_bound(
+          strata_.begin(), strata_.end(), id,
+          [](const auto& entry, SubStreamId v) { return entry.first < v; });
+      if (it == strata_.end() || it->first != id) {
+        it = strata_.insert(
+            it, {id, static_cast<std::uint32_t>(used_slots)});
+        if (used_slots == slot_items_.size()) slot_items_.emplace_back();
+        ++used_slots;
+      }
+      slot_items_[it->second].push_back(static_cast<std::uint32_t>(i));
+    }
+
+    // Line 7: per-sub-stream reservoir sizes N_i. strata_ is sorted by
+    // id, so infos (and every later per-stratum step) see the exact
+    // order WHSampler's stratify() map produces.
+    std::vector<sampling::SubStreamInfo> infos;
+    infos.reserve(strata_.size());
+    for (const auto& [id, slot] : strata_) {
+      infos.push_back(
+          sampling::SubStreamInfo{id, slot_items_[slot].size(), 0.0});
+    }
+    const sampling::SizeMap sizes = policy_->allocate(sample_size, infos);
+
+    // Rearm the long-lived shard group of every sub-stream present, in
+    // sorted id order; the RNG consumption (split per stratum, then one
+    // jump) matches WHSampler draw for draw — the same scheme the
+    // 1-worker sequential lane uses.
+    ++calls_;
+    route_groups_.assign(used_slots, nullptr);
+    for (const auto& [id, slot] : strata_) {
+      auto size_it = sizes.find(id);
+      const std::size_t n_i = size_it == sizes.end() ? 0 : size_it->second;
+      GroupEntry& entry = groups_[id];
+      entry.last_used = calls_;
+      entry.group.rearm(workers_, n_i, rng_);
+      rng_.jump();
+      route_groups_[slot] = &entry.group;
+    }
+
+    // Lines 8-19: offer every item to its (sub-stream, shard) reservoir.
+    // The shard is the item's position modulo the worker count — a pure
+    // function of the input, so inline and pooled execution agree — and
+    // while items flow, shard t touches only slot t of each group: the
+    // §III-E no-coordination hot path.
+    const bool dispatch = pool_ != nullptr && workers_ > 1 &&
+                          items.size() >= min_items_to_dispatch_;
+    if (!dispatch) {
+      for (const auto& [id, slot] : strata_) {
+        ShardGroup* group = route_groups_[slot];
+        std::size_t shard = 0;
+        for (const std::uint32_t idx : slot_items_[slot]) {
+          group->offer(shard, items[idx]);
+          if (++shard == workers_) shard = 0;
+        }
+      }
+    } else {
+      // Task t walks every stratum's index list with stride w starting
+      // at t — the same assignment the inline round-robin makes — so
+      // each (stratum, shard) reservoir is touched by exactly one task,
+      // in arrival order.
+      std::latch done(static_cast<std::ptrdiff_t>(workers_));
+      for (std::size_t t = 0; t < workers_; ++t) {
+        auto run_shard = [this, &items, &done, t, stride = workers_]() {
+          struct Signal {
+            std::latch* latch;
+            ~Signal() { latch->count_down(); }
+          } signal{&done};
+          for (const auto& [id, slot] : strata_) {
+            ShardGroup* group = route_groups_[slot];
+            const auto& list = slot_items_[slot];
+            for (std::size_t k = t; k < list.size(); k += stride) {
+              group->offer(t, items[list[k]]);
+            }
+          }
+        };
+        if (!pool_->submit(std::function<void()>(run_shard))) {
+          run_shard();  // pool shut down: degrade to inline
+        }
+      }
+      done.wait();
+    }
+
+    // Merge and reweight (Eq. 8), sub-streams in sorted order as always.
+    for (const auto& [id, slot] : strata_) {
+      ShardGroup::MergeResult merged = route_groups_[slot]->merge();
+      const double w_in_i = w_in.get(id);
+      out.w_out.set(id, w_in_i * merged.weight_multiplier);
+      out.sample.emplace(id, std::move(merged.sample));
+    }
+
+    // Keep the cache bounded under churning sub-stream ids (ephemeral
+    // device/session ids would otherwise grow it for the process
+    // lifetime): periodically drop groups idle for a full sweep period.
+    if (calls_ % kEvictSweepPeriod == 0) {
+      for (auto it = groups_.begin(); it != groups_.end();) {
+        if (it->second.last_used + kEvictSweepPeriod <= calls_) {
+          it = groups_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+    return out;
+  }
+
+  std::size_t workers() const noexcept override { return workers_; }
+
+ private:
+  Rng rng_;
+  WHSampConfig config_;
+  std::unique_ptr<sampling::AllocationPolicy> policy_;
+  std::size_t workers_;
+  runtime::ThreadPool* pool_;
+  std::size_t min_items_to_dispatch_;
+  /// Long-lived shard groups, one per recently seen sub-stream;
+  /// per-shard state and buffers persist across intervals so the
+  /// steady-state hot path allocates only each interval's output
+  /// vector. Groups idle for kEvictSweepPeriod calls are evicted.
+  static constexpr std::uint64_t kEvictSweepPeriod = 256;
+  struct GroupEntry {
+    ShardGroup group;
+    std::uint64_t last_used{0};
+  };
+  std::map<SubStreamId, GroupEntry> groups_;
+  std::uint64_t calls_{0};
+  /// Per-call scratch, kept as members so buffers persist: strata_ maps
+  /// sorted sub-stream ids to dense slots, slot_items_ holds each slot's
+  /// item indices (stratification by index, no item copies), and
+  /// route_groups_ the per-slot shard group. All are read-only while
+  /// shard tasks run.
+  std::vector<std::pair<SubStreamId, std::uint32_t>> strata_;
+  std::vector<std::vector<std::uint32_t>> slot_items_;
+  std::vector<ShardGroup*> route_groups_;
+};
+
+}  // namespace
+
+PooledSamplingExecutor::PooledSamplingExecutor(Options options)
+    : options_(options) {
+  if (options_.workers_per_lane == 0) options_.workers_per_lane = 1;
+  std::size_t threads = options_.pool_threads;
+  if (threads == 0 && std::thread::hardware_concurrency() > 1) {
+    threads = options_.workers_per_lane;
+  }
+  if (options_.workers_per_lane > 1 && threads > 0) {
+    pool_ = std::make_unique<runtime::ThreadPool>(threads, options_.pool_seed);
+  }
+}
+
+PooledSamplingExecutor::~PooledSamplingExecutor() = default;
+
+std::shared_ptr<PooledSamplingExecutor> PooledSamplingExecutor::for_seed(
+    std::size_t workers, std::uint64_t seed) {
+  Options options;
+  options.workers_per_lane = workers;
+  options.pool_seed = seed ^ 0x9e3779b97f4a7c15ULL;
+  return std::make_shared<PooledSamplingExecutor>(options);
+}
+
+std::unique_ptr<SamplingLane> PooledSamplingExecutor::create_lane(
+    Rng rng, WHSampConfig config) {
+  if (options_.workers_per_lane == 1) {
+    // One shard == the sequential path; hand out a WHSampler lane so the
+    // bit-identical guarantee is true by construction (and the lane
+    // supports every allocation policy and reservoir algorithm).
+    return std::make_unique<SequentialLane>(rng, std::move(config));
+  }
+  return std::make_unique<PooledLane>(rng, std::move(config),
+                                      options_.workers_per_lane, pool_.get(),
+                                      options_.min_items_to_dispatch);
+}
+
+}  // namespace approxiot::core

@@ -10,26 +10,20 @@ namespace approxiot::core {
 
 SamplingNode::SamplingNode(NodeConfig config)
     : config_(std::move(config)),
-      sampler_(Rng(config_.rng_seed), config_.whsamp),
       cost_function_(make_cost_function(config_.cost_function)) {
-  if (config_.parallel_workers > 1) {
-    // ParallelSampler hard-codes equal allocation and Algorithm R
-    // reservoirs (§III-E); refuse rather than silently ignore a
-    // configured alternative.
-    if (config_.whsamp.allocation_policy != "equal") {
-      throw std::invalid_argument(
-          "parallel_workers > 1 supports only the 'equal' allocation "
-          "policy, got '" +
-          config_.whsamp.allocation_policy + "'");
-    }
-    if (config_.whsamp.reservoir_algorithm !=
-        sampling::ReservoirAlgorithm::kAlgorithmR) {
-      throw std::invalid_argument(
-          "parallel_workers > 1 supports only the Algorithm R reservoir");
-    }
-    parallel_ = std::make_unique<ParallelSampler>(config_.parallel_workers,
-                                                  Rng(config_.rng_seed));
+  SamplingExecutor* executor = config_.executor.get();
+  if (executor == nullptr && config_.parallel_workers > 1) {
+    // No shared runtime to ride on: the node owns a private pool.
+    owned_executor_ = PooledSamplingExecutor::for_seed(
+        config_.parallel_workers, config_.rng_seed);
+    executor = owned_executor_.get();
   }
+  if (executor == nullptr) executor = &sequential_executor();
+  // Constraint checking is the executor's job (e.g. the pooled lane
+  // rejects Algorithm L with >1 worker at create_lane time) — it cannot
+  // be bypassed there, and the node stays agnostic to which constraints
+  // a given execution substrate has.
+  lane_ = executor->create_lane(Rng(config_.rng_seed), config_.whsamp);
 }
 
 std::vector<SampledBundle> SamplingNode::process_interval(
@@ -81,9 +75,7 @@ std::vector<SampledBundle> SamplingNode::process_interval(
     WeightMap effective = remembered_weights_;
     effective.update_from(bundle.w_in);
 
-    SampledBundle out =
-        parallel_ ? parallel_->sample(bundle.items, pair_budget, effective)
-                  : sampler_.sample(bundle.items, pair_budget, effective);
+    SampledBundle out = lane_->sample(bundle.items, pair_budget, effective);
 
     // Remember the *input* weights for sub-streams whose weight arrived
     // with this bundle, so later intervals can resolve weight-less items.

@@ -24,7 +24,7 @@
 #include "core/batch.hpp"
 #include "core/cost_function.hpp"
 #include "core/error.hpp"
-#include "core/parallel.hpp"
+#include "core/executor.hpp"
 #include "core/theta_store.hpp"
 #include "core/whsamp.hpp"
 
@@ -37,10 +37,17 @@ struct NodeConfig {
   std::string cost_function{"fraction"};
   WHSampConfig whsamp{};
   std::uint64_t rng_seed{0x5eed5eedULL};
-  /// Workers sharding each sub-stream's reservoir (§III-E). 1 keeps the
-  /// single-reservoir WHSampler path; >1 switches the node to the
-  /// no-coordination ParallelSampler (equal allocation only).
+  /// Workers sharding each sub-stream's reservoir (§III-E) when no
+  /// `executor` handle is given: 1 keeps the sequential WHSampler path;
+  /// >1 makes the node own a private PooledSamplingExecutor (any
+  /// allocation policy; Algorithm R reservoirs only). Ignored when
+  /// `executor` is set.
   std::size_t parallel_workers{1};
+  /// Execution substrate for the node's sampling. Null -> sequential (or
+  /// a private pool, see parallel_workers). Runtimes that host many
+  /// nodes (ConcurrentEdgeTree, streams topologies) share one executor
+  /// here so every node's shards run on the same persistent worker pool.
+  std::shared_ptr<SamplingExecutor> executor{};
 };
 
 /// Counters a node exposes for the throughput/bandwidth benches.
@@ -76,6 +83,12 @@ class SamplingNode {
   [[nodiscard]] const NodeMetrics& metrics() const noexcept { return metrics_; }
   void reset_metrics() noexcept { metrics_ = NodeMetrics{}; }
 
+  /// Reservoir shards per sub-stream this node samples with (1 == the
+  /// sequential WHSampler path).
+  [[nodiscard]] std::size_t sampling_workers() const noexcept {
+    return lane_->workers();
+  }
+
   /// Last known weight per sub-stream (exposed for tests of the Fig. 3
   /// carry-over rule).
   [[nodiscard]] const WeightMap& remembered_weights() const noexcept {
@@ -84,8 +97,9 @@ class SamplingNode {
 
  private:
   NodeConfig config_;
-  WHSampler sampler_;
-  std::unique_ptr<ParallelSampler> parallel_;
+  // owned_executor_ must outlive lane_ (declaration order matters).
+  std::shared_ptr<SamplingExecutor> owned_executor_;
+  std::unique_ptr<SamplingLane> lane_;
   std::unique_ptr<CostFunction> cost_function_;
   WeightMap remembered_weights_;
   std::uint64_t last_interval_items_{0};

@@ -1,109 +1,18 @@
 #include "core/parallel.hpp"
 
-#include <thread>
-
-#include "core/whsamp.hpp"
-#include "sampling/allocation.hpp"
-
 namespace approxiot::core {
 
-SubStreamWorker::SubStreamWorker(std::size_t capacity, Rng rng)
-    : reservoir_(capacity, rng) {}
-
-void SubStreamWorker::offer(const Item& item) { reservoir_.offer(item); }
-
-WorkerGroup::WorkerGroup(std::size_t workers, std::size_t total_capacity,
-                         Rng rng) {
-  if (workers == 0) workers = 1;
-  workers_.reserve(workers);
-  const std::size_t base = total_capacity / workers;
-  const std::size_t remainder = total_capacity % workers;
-  for (std::size_t i = 0; i < workers; ++i) {
-    const std::size_t cap = base + (i < remainder ? 1 : 0);
-    workers_.emplace_back(cap, rng.split(static_cast<unsigned>(i)));
-  }
+ParallelSampler::ParallelSampler(std::size_t threads, Rng rng) {
+  PooledSamplingExecutor::Options options;
+  options.workers_per_lane = threads == 0 ? 1 : threads;
+  executor_ = std::make_shared<PooledSamplingExecutor>(options);
+  lane_ = executor_->create_lane(rng, WHSampConfig{});
 }
-
-void WorkerGroup::shard(const std::vector<Item>& items) {
-  for (const Item& item : items) {
-    workers_[next_worker_].offer(item);
-    next_worker_ = (next_worker_ + 1) % workers_.size();
-  }
-}
-
-void WorkerGroup::offer_to(std::size_t worker, const Item& item) {
-  workers_.at(worker).offer(item);
-}
-
-WorkerGroup::MergeResult WorkerGroup::merge() {
-  MergeResult result;
-  std::uint64_t sampled = 0;
-  for (SubStreamWorker& worker : workers_) {
-    result.total_count += worker.local_count();
-    auto sample = worker.drain();
-    sampled += sample.size();
-    result.sample.insert(result.sample.end(),
-                         std::make_move_iterator(sample.begin()),
-                         std::make_move_iterator(sample.end()));
-  }
-  if (result.total_count > sampled && sampled > 0) {
-    result.weight_multiplier = static_cast<double>(result.total_count) /
-                               static_cast<double>(sampled);
-  }
-  next_worker_ = 0;
-  return result;
-}
-
-ParallelSampler::ParallelSampler(std::size_t threads, Rng rng)
-    : threads_(threads == 0 ? 1 : threads), rng_(rng) {}
 
 SampledBundle ParallelSampler::sample(const std::vector<Item>& items,
                                       std::size_t sample_size,
                                       const WeightMap& w_in) {
-  SampledBundle out;
-  if (items.empty()) return out;
-
-  auto strata = stratify(items);
-
-  // Equal allocation across the sub-streams present (Algorithm 1 line 7).
-  std::vector<sampling::SubStreamInfo> infos;
-  infos.reserve(strata.size());
-  for (const auto& [id, stratum] : strata) {
-    infos.push_back(sampling::SubStreamInfo{id, stratum.size(), 0.0});
-  }
-  const auto sizes = sampling::EqualAllocation{}.allocate(sample_size, infos);
-
-  // One worker group per sub-stream; shard each stratum over `threads_`
-  // OS threads. Workers share nothing — the §III-E design point.
-  for (auto& [id, stratum] : strata) {
-    auto size_it = sizes.find(id);
-    const std::size_t n_i = size_it == sizes.end() ? 0 : size_it->second;
-
-    WorkerGroup group(threads_, n_i, rng_.split());
-    rng_.jump();
-
-    if (threads_ == 1 || stratum.size() < 2 * threads_) {
-      group.shard(stratum);
-    } else {
-      std::vector<std::thread> pool;
-      pool.reserve(threads_);
-      for (std::size_t t = 0; t < threads_; ++t) {
-        pool.emplace_back([&group, &stratum, t, this]() {
-          // Strided sharding: worker t sees items t, t+w, t+2w, ...
-          for (std::size_t k = t; k < stratum.size(); k += threads_) {
-            group.offer_to(t, stratum[k]);
-          }
-        });
-      }
-      for (auto& th : pool) th.join();
-    }
-
-    auto merged = group.merge();
-    const double w_in_i = w_in.get(id);
-    out.w_out.set(id, w_in_i * merged.weight_multiplier);
-    out.sample.emplace(id, std::move(merged.sample));
-  }
-  return out;
+  return lane_->sample(items, sample_size, w_in);
 }
 
 }  // namespace approxiot::core

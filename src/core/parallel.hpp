@@ -1,17 +1,11 @@
-// Distributed execution within a node (§III-E).
+// Distributed execution within a node (§III-E) — convenience front-end.
 //
-// A sub-stream is handled by w workers; each samples its share of the
-// arriving items into a local reservoir of size at most N_i / w and keeps
-// a local count of items it received. No synchronisation happens while
-// items flow; at interval end, the merged sample is the union of worker
-// reservoirs and the weight is computed from the summed counters:
-//     c_i = Σ_w c_{i,w},   c̃_i = Σ_w |reservoir_w|,
-//     W^out = W^in · c_i / c̃_i    when c_i > c̃_i.
-//
-// The weight invariant W^out · c̃ = W^in · c (Eq. 8) is preserved exactly,
-// so merged output is indistinguishable to the estimators from the
-// single-reservoir path. ParallelWhsStage runs the worker group with real
-// threads to demonstrate the no-coordination claim end to end.
+// The shard/offer/merge protocol itself (SubStreamWorker, WorkerGroup)
+// and the execution substrate live in core/executor.hpp; this header
+// keeps the standalone ParallelSampler used by the ablation bench and
+// the §III-E unit tests. It owns a private PooledSamplingExecutor, so
+// its worker threads are created once at construction and reused every
+// call — no thread spawn/join on the sampling hot path.
 #pragma once
 
 #include <cstdint>
@@ -21,85 +15,30 @@
 #include "common/rng.hpp"
 #include "common/types.hpp"
 #include "core/batch.hpp"
-#include "sampling/reservoir.hpp"
+#include "core/executor.hpp"
 
 namespace approxiot::core {
 
-/// One worker's state for one sub-stream: a reservoir of N_i/w plus the
-/// local arrival counter. Single-threaded by itself; the group shards
-/// items across workers.
-class SubStreamWorker {
- public:
-  SubStreamWorker(std::size_t capacity, Rng rng);
-
-  void offer(const Item& item);
-
-  [[nodiscard]] std::uint64_t local_count() const noexcept {
-    return reservoir_.seen();
-  }
-  [[nodiscard]] std::size_t sample_size() const noexcept {
-    return reservoir_.size();
-  }
-  [[nodiscard]] std::vector<Item> drain() { return reservoir_.drain(); }
-  void set_capacity(std::size_t capacity) { reservoir_.set_capacity(capacity); }
-
- private:
-  sampling::ReservoirSampler<Item> reservoir_;
-};
-
-/// The worker group for one sub-stream. `shard()` distributes items
-/// round-robin (the arrival order any per-worker partitioning would give);
-/// `merge()` combines reservoirs and computes the output weight.
-class WorkerGroup {
- public:
-  /// `total_capacity` is N_i; each worker gets floor(N_i/w) with the
-  /// remainder spread over the first workers so Σ capacities == N_i.
-  WorkerGroup(std::size_t workers, std::size_t total_capacity, Rng rng);
-
-  /// Offers items round-robin across workers (single-threaded sharding).
-  void shard(const std::vector<Item>& items);
-
-  /// Offers one item to a specific worker (callers doing their own
-  /// sharding, e.g. the threaded stage).
-  void offer_to(std::size_t worker, const Item& item);
-
-  struct MergeResult {
-    std::vector<Item> sample;
-    std::uint64_t total_count{0};   // c_i
-    double weight_multiplier{1.0};  // c_i / c̃_i when overflowed, else 1
-  };
-
-  /// Merges worker reservoirs, resets workers for the next interval.
-  [[nodiscard]] MergeResult merge();
-
-  [[nodiscard]] std::size_t worker_count() const noexcept {
-    return workers_.size();
-  }
-
- private:
-  std::vector<SubStreamWorker> workers_;
-  std::size_t next_worker_{0};
-};
-
-/// Multi-threaded WHSamp over one interval: stratifies items, spawns a
-/// WorkerGroup per sub-stream, shards each stratum across `threads` OS
-/// threads with zero cross-thread coordination, then merges. Used by the
-/// §III-E scalability ablation.
+/// Multi-worker WHSamp over one interval: stratifies items, shards each
+/// sub-stream's reservoir across `threads` persistent workers with zero
+/// cross-thread coordination, then merges under the Eq. 8 weight rule.
+/// Semantics match WHSampler::sample with equal allocation; at 1 worker
+/// the output is bit-identical to it.
 class ParallelSampler {
  public:
   ParallelSampler(std::size_t threads, Rng rng);
 
-  /// Runs one weighted-hierarchical-sampling pass. Semantics match
-  /// WHSampler::sample with equal allocation.
   [[nodiscard]] SampledBundle sample(const std::vector<Item>& items,
                                      std::size_t sample_size,
                                      const WeightMap& w_in);
 
-  [[nodiscard]] std::size_t threads() const noexcept { return threads_; }
+  [[nodiscard]] std::size_t threads() const noexcept {
+    return executor_->workers_per_lane();
+  }
 
  private:
-  std::size_t threads_;
-  Rng rng_;
+  std::shared_ptr<SamplingExecutor> executor_;
+  std::unique_ptr<SamplingLane> lane_;
 };
 
 }  // namespace approxiot::core

@@ -135,6 +135,7 @@ std::unique_ptr<PipelineStage> make_pipeline_stage(const StageConfig& config) {
       nc.whsamp.reservoir_algorithm = config.reservoir_algorithm;
       nc.rng_seed = config.rng_seed;
       nc.parallel_workers = config.parallel_workers;
+      nc.executor = config.executor;
       return std::make_unique<WhsStage>(std::move(nc));
     }
     case EngineKind::kSrs: {

@@ -130,6 +130,41 @@ Offset Consumer::position(const TopicPartition& tp) const {
   return it == positions_.end() ? 0 : it->second;
 }
 
+std::vector<PartitionWatermark> Consumer::partition_watermarks() const {
+  std::vector<PartitionWatermark> out;
+  out.reserve(assignment_.size());
+  for (const auto& tp : assignment_) {
+    PartitionWatermark mark;
+    mark.tp = tp;
+    auto it = positions_.find(tp);
+    mark.position = it == positions_.end() ? 0 : it->second;
+    auto topic = broker_->topic(tp.topic);
+    if (topic) {
+      mark.end_offset = topic.value()->partition(tp.partition).end_offset();
+    }
+    out.push_back(std::move(mark));
+  }
+  return out;
+}
+
+bool Consumer::caught_up() const {
+  if (assignment_.empty()) return false;
+  // A pending rebalance may have handed this consumer partitions it has
+  // not polled yet; until the next poll() refreshes the assignment,
+  // nothing is provably consumed — callers gating destructive flushes
+  // on this answer (FlowQueueSource) must get a conservative false.
+  if (in_group_ && broker_->group_generation(group_) != seen_generation_) {
+    return false;
+  }
+  // Not total_lag() == 0: a partition sought past its end would
+  // contribute negative lag and could cancel another's positive lag.
+  // The per-partition watermark predicate has no such failure mode.
+  for (const PartitionWatermark& mark : partition_watermarks()) {
+    if (!mark.caught_up()) return false;
+  }
+  return true;
+}
+
 std::int64_t Consumer::total_lag() const {
   std::int64_t lag = 0;
   for (const auto& tp : assignment_) {

@@ -13,6 +13,23 @@
 
 namespace approxiot::flowqueue {
 
+/// One assigned partition's read position against its log end — the
+/// consumer-side watermark. `caught_up()` means every record appended to
+/// the partition so far has been consumed; nothing older than what the
+/// consumer already saw can still arrive from it (until new appends).
+struct PartitionWatermark {
+  TopicPartition tp{};
+  Offset position{0};
+  Offset end_offset{0};
+
+  [[nodiscard]] bool caught_up() const noexcept {
+    return position >= end_offset;
+  }
+  [[nodiscard]] std::int64_t lag() const noexcept {
+    return end_offset - position;
+  }
+};
+
 class Consumer {
  public:
   /// Standalone consumer with an explicit partition assignment.
@@ -51,6 +68,16 @@ class Consumer {
 
   /// Records lag (end_offset - position) summed over the assignment.
   [[nodiscard]] std::int64_t total_lag() const;
+
+  /// Per-partition positions against log ends, one entry per assigned
+  /// partition. Lets callers flush mid-stream the moment every partition
+  /// is provably read past a point, instead of waiting for an idle poll
+  /// (see runtime::FlowQueueSource).
+  [[nodiscard]] std::vector<PartitionWatermark> partition_watermarks() const;
+
+  /// True when every assigned partition is read to its end offset.
+  /// False for an empty assignment (nothing is provably consumed).
+  [[nodiscard]] bool caught_up() const;
 
  private:
   void refresh_assignment_if_stale();

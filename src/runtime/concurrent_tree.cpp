@@ -22,6 +22,20 @@ ConcurrentEdgeTree::ConcurrentEdgeTree(ConcurrentTreeConfig config,
   core::validate_edge_tree_config(config_.tree);
   const auto& widths = config_.tree.layer_widths;
 
+  // One persistent shard-execution substrate shared by every node: its
+  // workers are created here, once, and per-interval sampling only
+  // enqueues work on them (the ROADMAP's "persistent per-node sampling
+  // workers"). An externally supplied executor wins, so callers can pool
+  // several runtimes on one worker set.
+  sampling_executor_ = config_.sampling_executor;
+  if (sampling_executor_ == nullptr && config_.workers_per_node > 1 &&
+      config_.tree.engine == core::EngineKind::kApproxIoT) {
+    // Only WHS stages consume the executor; building one for SRS/native
+    // trees would spawn pool threads nothing ever dispatches to.
+    sampling_executor_ = core::PooledSamplingExecutor::for_seed(
+        config_.workers_per_node, config_.tree.rng_seed);
+  }
+
   auto new_channel = [this]() {
     channels_.push_back(std::make_unique<BoundedChannel<IntervalMessage>>(
         config_.channel_capacity, config_.backpressure));
@@ -42,7 +56,7 @@ ConcurrentEdgeTree::ConcurrentEdgeTree(ConcurrentTreeConfig config,
     for (std::size_t i = 0; i < width; ++i) {
       core::StageConfig sc =
           core::edge_tree_stage_config(config_.tree, layer, i);
-      sc.parallel_workers = config_.workers_per_node;
+      sc.executor = sampling_executor_;
       NodeRuntime& node = nodes_[layer][i];
       node.stage = core::make_pipeline_stage(sc);
       node.layer = layer;

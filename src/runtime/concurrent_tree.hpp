@@ -13,8 +13,12 @@
 // kBlock backpressure (lossless) and workers_per_node == 1, the ConcurrentEdgeTree
 // produces bit-identical samples, weights and Θ to a sequential EdgeTree
 // fed the same input — the equivalence the runtime test suite pins down.
-// With workers_per_node > 1, nodes shard reservoirs across threads
-// (§III-E); samples differ but the Eq. 8 weight invariant still holds.
+// With workers_per_node > 1, every node shards its reservoirs over one
+// shared core::PooledSamplingExecutor (§III-E): the shard workers are
+// created once, with the tree, and per-interval sampling only dispatches
+// closures to them — no thread is spawned on the hot path. Samples then
+// differ from the sequential tree but the Eq. 8 weight invariant still
+// holds.
 //
 // Backpressure: kBlock propagates pressure source-wards and loses
 // nothing. kDropNewest sheds whole interval messages at full channels and
@@ -54,8 +58,15 @@ struct ConcurrentTreeConfig {
   /// Interval messages in flight per edge before backpressure kicks in.
   std::size_t channel_capacity{8};
   BackpressurePolicy backpressure{BackpressurePolicy::kBlock};
-  /// Reservoir-sharding workers inside each WHS node (§III-E).
+  /// Reservoir-sharding workers inside each WHS node (§III-E). With > 1
+  /// the tree builds one shared PooledSamplingExecutor for all nodes
+  /// (unless `sampling_executor` is supplied).
   std::size_t workers_per_node{1};
+  /// Optional externally owned execution substrate for within-node
+  /// sharded sampling; overrides workers_per_node-driven construction so
+  /// several trees (or a tree plus stream processors) can share one
+  /// persistent worker pool.
+  std::shared_ptr<core::SamplingExecutor> sampling_executor{};
   /// Optional: called from the root's thread for every sampled bundle the
   /// root adds to Θ (e.g. to republish results into a flowqueue topic).
   std::function<void(const core::SampledBundle&)> root_tap{};
@@ -136,6 +147,10 @@ class ConcurrentEdgeTree {
 
   ConcurrentTreeConfig config_;
   MetricsRegistry* metrics_{nullptr};
+
+  /// Shared shard-execution substrate for every node's sampling lane.
+  /// Declared before nodes_ so it outlives the lanes created from it.
+  std::shared_ptr<core::SamplingExecutor> sampling_executor_;
 
   std::vector<std::unique_ptr<BoundedChannel<IntervalMessage>>> channels_;
   std::vector<BoundedChannel<IntervalMessage>*> leaf_inputs_;

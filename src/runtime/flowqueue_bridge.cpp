@@ -48,7 +48,8 @@ Result<std::size_t> FlowQueueSource::run_until_idle(std::size_t max_cycles) {
       const std::int64_t seq = clock_.interval_of(record.timestamp).seq;
       max_seen_interval_ = std::max(max_seen_interval_, seq);
       if (seq < next_interval_) {
-        // Its tick already fired (possible only after a force-flush).
+        // Its tick already fired — a force-flush ran, or a watermark
+        // flush did and a producer then appended an older timestamp.
         ++late_records_;
         if (metrics_ != nullptr) {
           metrics_->counter("bridge.late_records").increment();
@@ -80,6 +81,23 @@ Result<std::size_t> FlowQueueSource::run_until_idle(std::size_t max_cycles) {
     // deliver records for an already-fired tick; they are counted above.
     while (buffered_.size() > config_.max_buffered_intervals) {
       pushed += flush_through(buffered_.begin()->first);
+    }
+
+    // Partition-aware mid-stream flush: when every assigned partition is
+    // read to its end offset, no record below max_seen can still be in
+    // flight — the same safety argument the idle flush makes, available
+    // *without* an empty poll. On a continuously hot topic (producers
+    // appending between every poll) this is the only path that flushes
+    // before the safety valve fills up.
+    if (consumer_.caught_up()) {
+      const std::size_t flushed = flush_through(max_seen_interval_ - 1);
+      if (flushed > 0) {
+        watermark_flushes_ += flushed;
+        if (metrics_ != nullptr) {
+          metrics_->counter("bridge.watermark_flushes").increment(flushed);
+        }
+      }
+      pushed += flushed;
     }
   }
   return pushed;

@@ -58,10 +58,14 @@ class FlowQueueSource {
   /// Joins the consumer group; call once before pumping.
   Status start();
 
-  /// Polls until the topic is drained. Completed intervals flush when a
-  /// poll comes back empty — only then is every partition provably read
-  /// past them (poll round-robins partitions, so a mid-stream timestamp
-  /// watermark could outrun a lagging partition and lose its records).
+  /// Polls until the topic is drained. Completed intervals flush as soon
+  /// as every assigned partition is provably read past them: either the
+  /// consumer's per-partition watermarks show all partitions caught up
+  /// to their end offsets (the mid-stream path — essential on
+  /// continuously hot topics that never poll empty), or a poll comes
+  /// back empty. A timestamp-only watermark would not be safe here (poll
+  /// round-robins partitions, so a mid-stream timestamp could outrun a
+  /// lagging partition and lose its records); the offset check is.
   /// Returns the number of intervals pushed. Call flush() afterwards to
   /// release the trailing interval.
   Result<std::size_t> run_until_idle(std::size_t max_cycles = 1'000'000);
@@ -85,6 +89,12 @@ class FlowQueueSource {
   [[nodiscard]] std::uint64_t gap_intervals_skipped() const noexcept {
     return gap_intervals_skipped_;
   }
+  /// Intervals flushed mid-stream because the consumer's per-partition
+  /// watermarks showed every partition read to its end (no idle poll
+  /// needed — the hot-topic path).
+  [[nodiscard]] std::uint64_t watermark_flushes() const noexcept {
+    return watermark_flushes_;
+  }
 
  private:
   std::size_t flush_through(std::int64_t last_interval);
@@ -103,6 +113,7 @@ class FlowQueueSource {
   std::uint64_t decode_errors_{0};
   std::uint64_t late_records_{0};
   std::uint64_t gap_intervals_skipped_{0};
+  std::uint64_t watermark_flushes_{0};
 };
 
 class FlowQueueSink {

@@ -99,6 +99,16 @@ class ReservoirSampler {
     skip_ = 0;
   }
 
+  /// Re-seeds and re-sizes for a new interval in one step, keeping the
+  /// heap buffer — the long-lived-worker fast path (no allocation when
+  /// the new capacity fits what the buffer already grew to).
+  void rearm(std::size_t capacity, const Rng& rng) {
+    capacity_ = capacity;
+    rng_ = rng;
+    reset();
+    reserve_bounded();
+  }
+
   /// Changes the capacity for subsequent intervals. If the reservoir
   /// currently holds more than `capacity` items, excess items are evicted
   /// uniformly at random so the remaining set is still a uniform sample.

@@ -49,6 +49,61 @@ TEST(WorkerGroupTest, UnderfullKeepsWeightOne) {
   EXPECT_DOUBLE_EQ(merged.weight_multiplier, 1.0);
 }
 
+TEST(WorkerGroupTest, ClampsWorkersToCapacity) {
+  // More workers than reservoir slots would leave some workers with a
+  // zero-capacity reservoir — a sub-stream could then merge to c̃ = 0
+  // while c > 0. The group clamps instead: every active worker holds at
+  // least one slot.
+  WorkerGroup group(8, 3, Rng(5));
+  EXPECT_EQ(group.worker_count(), 3u);
+  group.shard(n_items(SubStreamId{1}, 90));
+  auto merged = group.merge();
+  EXPECT_EQ(merged.sample.size(), 3u);
+  EXPECT_EQ(merged.total_count, 90u);
+  EXPECT_DOUBLE_EQ(merged.weight_multiplier, 30.0);
+}
+
+TEST(WorkerGroupTest, ZeroCapacityCountsWithoutKeepingOrDividing) {
+  // Capacity 0 (a starved sub-stream): one active worker that only
+  // counts; the multiplier stays 1 instead of dividing by c̃ = 0.
+  WorkerGroup group(4, 0, Rng(6));
+  EXPECT_EQ(group.worker_count(), 1u);
+  group.shard(n_items(SubStreamId{1}, 10));
+  auto merged = group.merge();
+  EXPECT_TRUE(merged.sample.empty());
+  EXPECT_EQ(merged.total_count, 10u);
+  EXPECT_DOUBLE_EQ(merged.weight_multiplier, 1.0);
+}
+
+TEST(WorkerGroupTest, RoutedShardsBeyondActiveWorkersStillCount) {
+  // offer_routed accepts the full requested shard width; shards beyond
+  // the clamped worker count contribute to c_i without keeping items, so
+  // the Eq. 8 counters stay exact under position-based sharding.
+  WorkerGroup group(4, 2, Rng(7));
+  EXPECT_EQ(group.worker_count(), 2u);
+  EXPECT_EQ(group.shard_width(), 4u);
+  const auto items = n_items(SubStreamId{1}, 8);
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    group.offer_routed(i % 4, items[i]);
+  }
+  auto merged = group.merge();
+  EXPECT_EQ(merged.total_count, 8u);
+  EXPECT_EQ(merged.sample.size(), 2u);  // workers 0 and 1 kept one each
+  EXPECT_DOUBLE_EQ(merged.weight_multiplier, 4.0);
+}
+
+TEST(WorkerGroupTest, RearmKeepsGroupReusableAcrossIntervals) {
+  WorkerGroup group(2, 6, Rng(8));
+  group.shard(n_items(SubStreamId{1}, 100));
+  (void)group.merge();
+  group.rearm(2, 4, Rng(9));
+  group.shard(n_items(SubStreamId{1}, 50));
+  auto merged = group.merge();
+  EXPECT_EQ(merged.total_count, 50u);
+  EXPECT_EQ(merged.sample.size(), 4u);
+  EXPECT_DOUBLE_EQ(merged.weight_multiplier, 12.5);
+}
+
 TEST(WorkerGroupTest, MergeResetsForNextInterval) {
   WorkerGroup group(2, 4, Rng(4));
   group.shard(n_items(SubStreamId{1}, 100));

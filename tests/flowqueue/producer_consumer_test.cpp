@@ -36,6 +36,56 @@ TEST_F(ProducerConsumerTest, SendAndPollRoundTrip) {
             "hello");
 }
 
+TEST_F(ProducerConsumerTest, PartitionWatermarksTrackPositionsAndEnds) {
+  Producer producer(broker_);
+  // Pin records to known partitions: 3 in partition 0, 1 in partition 1.
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(producer.send_to_partition("t", 0, "a", payload("x")).is_ok());
+  }
+  ASSERT_TRUE(producer.send_to_partition("t", 1, "b", payload("y")).is_ok());
+
+  Consumer consumer(broker_, "c1");
+  ASSERT_TRUE(consumer.subscribe("g", {"t"}).is_ok());
+
+  auto marks = consumer.partition_watermarks();
+  ASSERT_EQ(marks.size(), 2u);
+  std::int64_t total_lag = 0;
+  for (const auto& mark : marks) {
+    EXPECT_EQ(mark.position, 0);
+    EXPECT_FALSE(mark.caught_up());
+    total_lag += mark.lag();
+  }
+  EXPECT_EQ(total_lag, 4);
+  EXPECT_FALSE(consumer.caught_up());
+
+  // A partial poll advances some positions but cannot prove catch-up.
+  auto batch = consumer.poll(2);
+  ASSERT_TRUE(batch.is_ok());
+  EXPECT_FALSE(consumer.caught_up());
+
+  // Draining everything flips every watermark.
+  while (true) {
+    auto more = consumer.poll(10);
+    ASSERT_TRUE(more.is_ok());
+    if (more.value().empty()) break;
+  }
+  for (const auto& mark : consumer.partition_watermarks()) {
+    EXPECT_TRUE(mark.caught_up()) << mark.tp.topic << "/" << mark.tp.partition;
+    EXPECT_EQ(mark.lag(), 0);
+  }
+  EXPECT_TRUE(consumer.caught_up());
+
+  // New appends immediately un-catch the consumer.
+  ASSERT_TRUE(producer.send_to_partition("t", 1, "b", payload("z")).is_ok());
+  EXPECT_FALSE(consumer.caught_up());
+}
+
+TEST_F(ProducerConsumerTest, EmptyAssignmentIsNeverCaughtUp) {
+  Consumer consumer(broker_, "c1");
+  EXPECT_TRUE(consumer.partition_watermarks().empty());
+  EXPECT_FALSE(consumer.caught_up());
+}
+
 TEST_F(ProducerConsumerTest, SendToUnknownTopicFails) {
   Producer producer(broker_);
   EXPECT_FALSE(producer.send("ghost", "k", payload("x")).is_ok());
