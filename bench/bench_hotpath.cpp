@@ -1,0 +1,259 @@
+// Hot-path microbench: items/sec through one node's full interval step —
+// stratify → sample (Algorithm 1) → forward (flatten for the parent) →
+// encode (wire bytes) — comparing the flat zero-copy data plane against
+// the seed's map-based one.
+//
+// The two modes compute the SAME function (the bench asserts bit-identical
+// output before timing anything); they differ only in representation:
+//
+//   flat    StratifiedBatch::assign (counting build into a reused arena),
+//           WHSampler::sample_strata over arena spans with offer_span,
+//           to_bundle() && (arena move), encode straight from the sample.
+//   legacy  std::map<SubStreamId, std::vector<Item>> stratify() rebuilt
+//           node-by-node per interval, a fresh per-item reservoir per
+//           stratum, a map-of-vectors bundle, to_bundle() copy, encode
+//           from the flattened copy — the seed data plane, kept here as
+//           the comparison baseline.
+//
+// Each (interval size, mode) cell runs `reps` times interleaved and the
+// best rep is reported, same methodology as bench_runtime_scaling.
+// Output: human table + one bench_util JSON line. `--smoke` shrinks the
+// run for CI.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "core/stratified.hpp"
+#include "core/whsamp.hpp"
+#include "core/wire.hpp"
+#include "sampling/allocation.hpp"
+#include "sampling/reservoir.hpp"
+
+namespace {
+
+using namespace approxiot;
+
+constexpr std::uint64_t kSeed = 20180701;
+constexpr std::uint64_t kStreams = 16;
+
+std::vector<Item> make_interval(std::size_t n) {
+  Rng rng(7);
+  std::vector<Item> items;
+  items.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    items.push_back(Item{SubStreamId{1 + rng.next_below(kStreams)},
+                         rng.next_double(),
+                         static_cast<std::int64_t>(i)});
+  }
+  return items;
+}
+
+// --- Legacy data plane ------------------------------------------------------
+// A faithful replica of the seed WHSampler + SampledBundle: identical RNG
+// consumption (split per stratum in map order, then jump), map-of-vectors
+// everywhere, flatten-then-encode. Kept inside the bench so the library
+// itself carries no dead code.
+
+struct LegacyBundle {
+  std::map<SubStreamId, double> w_out;
+  std::map<SubStreamId, std::vector<Item>> sample;
+};
+
+class LegacySampler {
+ public:
+  explicit LegacySampler(Rng rng)
+      : rng_(rng), policy_(sampling::make_allocation_policy("equal")) {}
+
+  LegacyBundle sample(const std::vector<Item>& items, std::size_t sample_size,
+                      const std::map<SubStreamId, double>& w_in) {
+    LegacyBundle out;
+    if (items.empty()) return out;
+    auto strata = core::stratify(items);
+
+    std::vector<sampling::SubStreamInfo> infos;
+    infos.reserve(strata.size());
+    for (const auto& [id, stratum] : strata) {
+      infos.push_back(sampling::SubStreamInfo{id, stratum.size(), 0.0, 1.0});
+    }
+    const sampling::SizeMap sizes = policy_->allocate(sample_size, infos);
+
+    for (auto& [id, stratum] : strata) {
+      const std::uint64_t c_i = stratum.size();
+      auto size_it = sizes.find(id);
+      const std::size_t n_i = size_it == sizes.end() ? 0 : size_it->second;
+
+      sampling::ReservoirSampler<Item> reservoir(n_i, rng_.split());
+      rng_.jump();
+      for (Item& item : stratum) reservoir.offer(std::move(item));
+
+      auto w_it = w_in.find(id);
+      const double w_in_i = w_it == w_in.end() ? 1.0 : w_it->second;
+      if (c_i > n_i) {
+        const double w_i =
+            n_i > 0 ? static_cast<double>(c_i) / static_cast<double>(n_i)
+                    : 1.0;
+        out.w_out[id] = w_in_i * w_i;
+      } else {
+        out.w_out[id] = w_in_i;
+      }
+      out.sample.emplace(id, reservoir.drain());
+    }
+    return out;
+  }
+
+ private:
+  Rng rng_;
+  std::unique_ptr<sampling::AllocationPolicy> policy_;
+};
+
+core::ItemBundle legacy_to_bundle(const LegacyBundle& bundle) {
+  core::ItemBundle out;
+  for (const auto& [id, w] : bundle.w_out) out.w_in.set(id, w);
+  std::size_t n = 0;
+  for (const auto& [_, items] : bundle.sample) n += items.size();
+  out.items.reserve(n);
+  for (const auto& [_, items] : bundle.sample) {
+    out.items.insert(out.items.end(), items.begin(), items.end());
+  }
+  return out;
+}
+
+// --- One interval step per mode --------------------------------------------
+// Returns a checksum so the compiler cannot drop the work.
+
+std::size_t run_flat(core::WHSampler& sampler, core::StratifiedBatch& scratch,
+                     const std::vector<Item>& items, std::size_t budget) {
+  scratch.assign(items);
+  core::SampledBundle bundle =
+      sampler.sample_strata(scratch, budget, core::WeightMap{});
+  const std::vector<std::uint8_t> payload = core::encode_bundle(bundle);
+  core::ItemBundle forwarded = std::move(bundle).to_bundle();
+  return payload.size() + forwarded.items.size();
+}
+
+std::size_t run_legacy(LegacySampler& sampler, const std::vector<Item>& items,
+                       std::size_t budget) {
+  LegacyBundle bundle = sampler.sample(items, budget, {});
+  // The seed's forward/encode path: flatten once for the wire, once for
+  // the parent (encode_bundle(SampledBundle) used to call to_bundle()).
+  const std::vector<std::uint8_t> payload =
+      core::encode_bundle(legacy_to_bundle(bundle));
+  core::ItemBundle forwarded = legacy_to_bundle(bundle);
+  return payload.size() + forwarded.items.size();
+}
+
+double items_per_second(std::size_t items, std::size_t intervals,
+                        double seconds) {
+  return static_cast<double>(items * intervals) / seconds;
+}
+
+void check_modes_agree(std::size_t n) {
+  const auto items = make_interval(n);
+  const std::size_t budget = n / 10;
+  core::WHSampler flat{Rng(kSeed)};
+  core::StratifiedBatch scratch;
+  scratch.assign(items);
+  const core::SampledBundle got =
+      flat.sample_strata(scratch, budget, core::WeightMap{});
+  LegacySampler legacy{Rng(kSeed)};
+  const LegacyBundle expected = legacy.sample(items, budget, {});
+  if (got.sample.size() != expected.sample.size()) {
+    std::fprintf(stderr, "mode mismatch: stratum count\n");
+    std::exit(1);
+  }
+  auto exp_it = expected.sample.begin();
+  for (const auto& [id, span] : got.sample) {
+    if (id != exp_it->first || !(span == exp_it->second)) {
+      std::fprintf(stderr, "mode mismatch: stream %llu\n",
+                   static_cast<unsigned long long>(id.value()));
+      std::exit(1);
+    }
+    const auto w_it = expected.w_out.find(id);
+    if (w_it == expected.w_out.end() || got.w_out.get(id) != w_it->second) {
+      std::fprintf(stderr, "mode mismatch: weight\n");
+      std::exit(1);
+    }
+    ++exp_it;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  // The flat plane must be a representation change only.
+  check_modes_agree(smoke ? 5000 : 50000);
+
+  const std::vector<int> interval_items =
+      smoke ? std::vector<int>{2048, 16384}
+            : std::vector<int>{4096, 65536, 262144};
+  const std::size_t reps = smoke ? 3 : 7;
+  const std::size_t intervals = smoke ? 20 : 50;
+
+  approxiot::bench::print_header(
+      "hot-path items/sec: flat arena vs legacy map data plane",
+      "stratify -> WHSamp -> forward -> encode, 16 sub-streams, 10% budget");
+
+  std::vector<double> flat_rate, legacy_rate, speedup;
+  for (const int n : interval_items) {
+    const auto items = make_interval(static_cast<std::size_t>(n));
+    const std::size_t budget = static_cast<std::size_t>(n) / 10;
+
+    double best_flat = 0.0, best_legacy = 0.0;
+    std::size_t sink = 0;
+    // Long-lived samplers, like a node's lane: scratch buffers persist
+    // across intervals. Reps interleave so machine noise hits both modes.
+    core::WHSampler flat_sampler{Rng(kSeed)};
+    core::StratifiedBatch scratch;
+    LegacySampler legacy_sampler{Rng(kSeed)};
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+      auto start = std::chrono::steady_clock::now();
+      for (std::size_t k = 0; k < intervals; ++k) {
+        sink += run_flat(flat_sampler, scratch, items, budget);
+      }
+      std::chrono::duration<double> elapsed =
+          std::chrono::steady_clock::now() - start;
+      best_flat = std::max(
+          best_flat, items_per_second(static_cast<std::size_t>(n), intervals,
+                                      elapsed.count()));
+
+      start = std::chrono::steady_clock::now();
+      for (std::size_t k = 0; k < intervals; ++k) {
+        sink += run_legacy(legacy_sampler, items, budget);
+      }
+      elapsed = std::chrono::steady_clock::now() - start;
+      best_legacy = std::max(
+          best_legacy, items_per_second(static_cast<std::size_t>(n), intervals,
+                                        elapsed.count()));
+    }
+    if (sink == 42) std::printf("unlikely\n");  // keep `sink` observable
+
+    flat_rate.push_back(best_flat);
+    legacy_rate.push_back(best_legacy);
+    speedup.push_back(best_legacy > 0.0 ? best_flat / best_legacy : 0.0);
+    std::printf("%8d items/interval: flat %12.0f it/s   legacy %12.0f it/s"
+                "   speedup %.2fx\n",
+                n, best_flat, best_legacy, speedup.back());
+  }
+
+  approxiot::bench::print_json_result(
+      "hotpath", "ApproxIoT", "interval_items", interval_items,
+      {{"flat_items_per_s", flat_rate},
+       {"legacy_items_per_s", legacy_rate},
+       {"speedup", speedup}});
+  return 0;
+}

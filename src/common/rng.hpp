@@ -12,6 +12,17 @@
 
 namespace approxiot {
 
+/// The SplitMix64 finaliser as a standalone function: a full-avalanche
+/// mix that spreads clustered integer keys uniformly. Used to expand
+/// seeds (SplitMix64 below) and as the hash of the open-addressing flat
+/// tables (core::WeightMap, core::StratifiedBatch's slot index) — one
+/// definition, so the mixing constants cannot drift apart.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t z) noexcept {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
 /// SplitMix64: tiny, statistically solid generator used to expand a single
 /// 64-bit seed into the larger state of xoshiro256**.
 class SplitMix64 {
@@ -19,10 +30,7 @@ class SplitMix64 {
   constexpr explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
 
   constexpr std::uint64_t next() noexcept {
-    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
-    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-    return z ^ (z >> 31);
+    return mix64(state_ += 0x9e3779b97f4a7c15ULL);
   }
 
  private:

@@ -3,12 +3,19 @@
 // ItemBundle is the paper's (W^in, items) pair consumed from Ψ
 // (Algorithm 2 line 7); SampledBundle is the (W^out, sample) pair a node
 // produces (line 10) and either forwards to its parent or stores in Θ.
+//
+// The sample payload is a StratifiedBatch — one contiguous arena of items
+// plus a stratum directory — not a map of vectors. Flattening for
+// transmission is therefore free on the rvalue path: the arena already
+// holds the items in stratum order, so to_bundle() on an rvalue moves one
+// vector instead of copying every item.
 #pragma once
 
-#include <map>
+#include <utility>
 #include <vector>
 
 #include "common/types.hpp"
+#include "core/stratified.hpp"
 #include "core/weight_map.hpp"
 
 namespace approxiot::core {
@@ -26,22 +33,29 @@ struct ItemBundle {
 /// Output of WHSamp: per-sub-stream updated weights and sampled items.
 struct SampledBundle {
   WeightMap w_out;
-  std::map<SubStreamId, std::vector<Item>> sample;
+  StratifiedBatch sample;
 
+  /// O(1): the arena size is the item count.
   [[nodiscard]] std::size_t item_count() const noexcept {
-    std::size_t n = 0;
-    for (const auto& [_, items] : sample) n += items.size();
-    return n;
+    return sample.item_count();
   }
 
   /// Flattens into an ItemBundle for transmission to the parent node.
-  [[nodiscard]] ItemBundle to_bundle() const {
+  /// Items appear stratum by stratum in ascending sub-stream id order —
+  /// exactly the concatenation the old map-of-vectors produced.
+  [[nodiscard]] ItemBundle to_bundle() const& {
     ItemBundle out;
     out.w_in = w_out;
-    out.items.reserve(item_count());
-    for (const auto& [_, items] : sample) {
-      out.items.insert(out.items.end(), items.begin(), items.end());
-    }
+    out.items = sample.items();
+    return out;
+  }
+
+  /// Forwarding path: the bundle is spent, so the arena and weight map
+  /// move — zero item copies.
+  [[nodiscard]] ItemBundle to_bundle() && {
+    ItemBundle out;
+    out.w_in = std::move(w_out);
+    out.items = sample.release_items();
     return out;
   }
 };

@@ -128,9 +128,10 @@ class SequentialLane final : public SamplingLane {
   SequentialLane(Rng rng, WHSampConfig config)
       : sampler_(rng, std::move(config)) {}
 
-  SampledBundle sample(const std::vector<Item>& items, std::size_t sample_size,
-                       const WeightMap& w_in) override {
-    return sampler_.sample(items, sample_size, w_in);
+  SampledBundle sample_strata(const StratifiedBatch& strata,
+                              std::size_t sample_size,
+                              const WeightMap& w_in) override {
+    return sampler_.sample_strata(strata, sample_size, w_in);
   }
 
   std::size_t workers() const noexcept override { return 1; }
@@ -214,14 +215,17 @@ class ShardGroup {
     }
   }
 
-  struct MergeResult {
-    std::vector<Item> sample;
+  struct MergeStats {
     std::uint64_t total_count{0};
     double weight_multiplier{1.0};
   };
 
-  [[nodiscard]] MergeResult merge() {
-    MergeResult result;
+  /// Compacts the kept slices in place, appends them as stratum `id` of
+  /// `out` (one bulk copy of POD items straight into the bundle arena —
+  /// no intermediate per-stratum vector), and resets for the next
+  /// interval. The slice buffer itself persists.
+  [[nodiscard]] MergeStats merge_into(SubStreamId id, StratifiedBatch& out) {
+    MergeStats result;
     std::size_t kept = 0;
     for (const Shard& shard : shards_) {
       result.total_count += shard.seen;
@@ -243,10 +247,7 @@ class ShardGroup {
         write += shard.kept;
       }
     }
-    // Range-construct the output (single memcpy-able copy for the POD
-    // Item); the buffer itself persists for the next interval.
-    result.sample.assign(buffer_.begin(),
-                         buffer_.begin() + static_cast<std::ptrdiff_t>(kept));
+    out.append_stratum(id, buffer_.data(), kept);
     if (result.total_count > kept && kept > 0) {
       result.weight_multiplier = static_cast<double>(result.total_count) /
                                  static_cast<double>(kept);
@@ -294,97 +295,83 @@ class PooledLane final : public SamplingLane {
     }
   }
 
-  SampledBundle sample(const std::vector<Item>& items, std::size_t sample_size,
-                       const WeightMap& w_in) override {
+  SampledBundle sample_strata(const StratifiedBatch& batch,
+                              std::size_t sample_size,
+                              const WeightMap& w_in) override {
     SampledBundle out;
-    if (items.empty()) return out;
+    if (batch.item_count() == 0) return out;
 
-    // Line 5 of Algorithm 1 without copying items: one pass stratifies
-    // by INDEX — each sub-stream gets a list of its items' positions —
-    // so the offer pass can walk every stratum in arrival order with a
-    // register-resident round-robin shard counter (the same per-stratum
-    // round-robin WorkerGroup::shard uses; sharding by global position
-    // would let a periodically interleaved input concentrate one
-    // sub-stream onto few shards and starve its capacity). The index
-    // lists are members and keep their buffers: the steady-state
-    // interval allocates nothing here.
-    for (auto& list : slot_items_) list.clear();
-    strata_.clear();
-    std::size_t used_slots = 0;
-    for (std::size_t i = 0; i < items.size(); ++i) {
-      const SubStreamId id = items[i].source;
-      auto it = std::lower_bound(
-          strata_.begin(), strata_.end(), id,
-          [](const auto& entry, SubStreamId v) { return entry.first < v; });
-      if (it == strata_.end() || it->first != id) {
-        it = strata_.insert(
-            it, {id, static_cast<std::uint32_t>(used_slots)});
-        if (used_slots == slot_items_.size()) slot_items_.emplace_back();
-        ++used_slots;
-      }
-      slot_items_[it->second].push_back(static_cast<std::uint32_t>(i));
-    }
+    // Line 5 of Algorithm 1 is already done: the batch arena holds each
+    // stratum contiguous and in arrival order, the directory sorted by
+    // ascending id — the exact order WHSampler's stratify() map
+    // produces. Every per-stratum loop below walks that directory, so
+    // RNG consumption (split per stratum, then one jump) matches the
+    // sequential path draw for draw.
+    const std::vector<Stratum>& dir = batch.strata();
+    const Item* arena = batch.items().data();
 
-    // Line 7: per-sub-stream reservoir sizes N_i. strata_ is sorted by
-    // id, so infos (and every later per-stratum step) see the exact
-    // order WHSampler's stratify() map produces.
-    std::vector<sampling::SubStreamInfo> infos;
-    infos.reserve(strata_.size());
-    for (const auto& [id, slot] : strata_) {
-      infos.push_back(
-          sampling::SubStreamInfo{id, slot_items_[slot].size(), 0.0});
+    // Line 7: per-sub-stream reservoir sizes N_i. The infos carry the
+    // resolved W^in_i so the merge loop does not re-query the weight map
+    // per stratum.
+    infos_.clear();
+    infos_.reserve(dir.size());
+    for (const Stratum& s : dir) {
+      infos_.push_back(
+          sampling::SubStreamInfo{s.id, s.len, 0.0, w_in.get(s.id)});
     }
-    const sampling::SizeMap sizes = policy_->allocate(sample_size, infos);
+    const sampling::SizeMap sizes = policy_->allocate(sample_size, infos_);
 
     // Rearm the long-lived shard group of every sub-stream present, in
-    // sorted id order; the RNG consumption (split per stratum, then one
-    // jump) matches WHSampler draw for draw — the same scheme the
-    // 1-worker sequential lane uses.
+    // sorted id order.
     ++calls_;
-    route_groups_.assign(used_slots, nullptr);
-    for (const auto& [id, slot] : strata_) {
-      auto size_it = sizes.find(id);
+    route_groups_.assign(dir.size(), nullptr);
+    for (const Stratum& s : dir) {
+      auto size_it = sizes.find(s.id);
       const std::size_t n_i = size_it == sizes.end() ? 0 : size_it->second;
-      GroupEntry& entry = groups_[id];
+      GroupEntry& entry = groups_[s.id];
       entry.last_used = calls_;
       entry.group.rearm(workers_, n_i, rng_);
       rng_.jump();
-      route_groups_[slot] = &entry.group;
+      route_groups_[&s - dir.data()] = &entry.group;
     }
 
     // Lines 8-19: offer every item to its (sub-stream, shard) reservoir.
-    // The shard is the item's position modulo the worker count — a pure
-    // function of the input, so inline and pooled execution agree — and
-    // while items flow, shard t touches only slot t of each group: the
-    // §III-E no-coordination hot path.
+    // The shard is the item's WITHIN-stratum position modulo the worker
+    // count — a pure function of the input, so inline and pooled
+    // execution agree (and a periodically interleaved input cannot
+    // concentrate one sub-stream onto few shards) — and while items
+    // flow, shard t touches only slot t of each group: the §III-E
+    // no-coordination hot path. Strata are contiguous spans now, so both
+    // paths stream straight through the arena.
     const bool dispatch = pool_ != nullptr && workers_ > 1 &&
-                          items.size() >= min_items_to_dispatch_;
+                          batch.item_count() >= min_items_to_dispatch_;
     if (!dispatch) {
-      for (const auto& [id, slot] : strata_) {
-        ShardGroup* group = route_groups_[slot];
+      for (std::size_t k = 0; k < dir.size(); ++k) {
+        ShardGroup* group = route_groups_[k];
+        const Item* span = arena + dir[k].offset;
         std::size_t shard = 0;
-        for (const std::uint32_t idx : slot_items_[slot]) {
-          group->offer(shard, items[idx]);
+        for (std::size_t i = 0; i < dir[k].len; ++i) {
+          group->offer(shard, span[i]);
           if (++shard == workers_) shard = 0;
         }
       }
     } else {
-      // Task t walks every stratum's index list with stride w starting
-      // at t — the same assignment the inline round-robin makes — so
-      // each (stratum, shard) reservoir is touched by exactly one task,
-      // in arrival order.
+      // Task t walks every stratum's span with stride w starting at t —
+      // the same assignment the inline round-robin makes — so each
+      // (stratum, shard) reservoir is touched by exactly one task, in
+      // arrival order.
       std::latch done(static_cast<std::ptrdiff_t>(workers_));
       for (std::size_t t = 0; t < workers_; ++t) {
-        auto run_shard = [this, &items, &done, t, stride = workers_]() {
+        auto run_shard = [this, &dir, arena, &done, t, stride = workers_]() {
           struct Signal {
             std::latch* latch;
             ~Signal() { latch->count_down(); }
           } signal{&done};
-          for (const auto& [id, slot] : strata_) {
-            ShardGroup* group = route_groups_[slot];
-            const auto& list = slot_items_[slot];
-            for (std::size_t k = t; k < list.size(); k += stride) {
-              group->offer(t, items[list[k]]);
+          for (std::size_t k = 0; k < dir.size(); ++k) {
+            ShardGroup* group = route_groups_[k];
+            const Item* span = arena + dir[k].offset;
+            for (std::size_t i = t; i < dir[k].len; i += stride) {
+              group->offer(t, span[i]);
             }
           }
         };
@@ -396,11 +383,13 @@ class PooledLane final : public SamplingLane {
     }
 
     // Merge and reweight (Eq. 8), sub-streams in sorted order as always.
-    for (const auto& [id, slot] : strata_) {
-      ShardGroup::MergeResult merged = route_groups_[slot]->merge();
-      const double w_in_i = w_in.get(id);
-      out.w_out.set(id, w_in_i * merged.weight_multiplier);
-      out.sample.emplace(id, std::move(merged.sample));
+    // Each group's kept slice is appended straight into the output
+    // bundle's arena — no intermediate per-stratum vector.
+    out.sample.reserve_items(std::min(sample_size, batch.item_count()));
+    for (std::size_t k = 0; k < dir.size(); ++k) {
+      const ShardGroup::MergeStats merged =
+          route_groups_[k]->merge_into(dir[k].id, out.sample);
+      out.w_out.set(dir[k].id, infos_[k].weight * merged.weight_multiplier);
     }
 
     // Keep the cache bounded under churning sub-stream ids (ephemeral
@@ -438,13 +427,10 @@ class PooledLane final : public SamplingLane {
   };
   std::map<SubStreamId, GroupEntry> groups_;
   std::uint64_t calls_{0};
-  /// Per-call scratch, kept as members so buffers persist: strata_ maps
-  /// sorted sub-stream ids to dense slots, slot_items_ holds each slot's
-  /// item indices (stratification by index, no item copies), and
-  /// route_groups_ the per-slot shard group. All are read-only while
-  /// shard tasks run.
-  std::vector<std::pair<SubStreamId, std::uint32_t>> strata_;
-  std::vector<std::vector<std::uint32_t>> slot_items_;
+  /// Per-call scratch, kept as members so buffers persist: infos_ carries
+  /// the per-stratum counts and resolved weights, route_groups_ the
+  /// per-stratum shard group. Both are read-only while shard tasks run.
+  std::vector<sampling::SubStreamInfo> infos_;
   std::vector<ShardGroup*> route_groups_;
 };
 

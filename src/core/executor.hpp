@@ -149,18 +149,34 @@ class WorkerGroup {
 /// One node's sampling session. Semantically one call to sample() is one
 /// invocation of Algorithm 1 on a (W^in, items) pair — the same contract
 /// as WHSampler::sample — but the lane owns cross-interval state (RNG
-/// stream, persistent worker groups) so implementations can keep workers
-/// warm between intervals.
+/// stream, persistent worker groups, a stratification scratch arena) so
+/// implementations can keep workers warm between intervals.
 class SamplingLane {
  public:
   virtual ~SamplingLane() = default;
 
-  [[nodiscard]] virtual SampledBundle sample(const std::vector<Item>& items,
-                                             std::size_t sample_size,
-                                             const WeightMap& w_in) = 0;
+  /// Convenience entry point: stratifies `items` into the lane's reused
+  /// scratch batch, then runs the span-based path below.
+  [[nodiscard]] SampledBundle sample(const std::vector<Item>& items,
+                                     std::size_t sample_size,
+                                     const WeightMap& w_in) {
+    if (items.empty()) return SampledBundle{};
+    scratch_.assign(items);
+    return sample_strata(scratch_, sample_size, w_in);
+  }
+
+  /// Span-based hot path: one invocation of Algorithm 1 on input already
+  /// stratified into a flat arena. Callers that stratify once per bundle
+  /// (the node layer) call this directly and skip the scratch copy.
+  [[nodiscard]] virtual SampledBundle sample_strata(
+      const StratifiedBatch& strata, std::size_t sample_size,
+      const WeightMap& w_in) = 0;
 
   /// Reservoir shards per sub-stream (1 == the sequential path).
   [[nodiscard]] virtual std::size_t workers() const noexcept = 0;
+
+ private:
+  StratifiedBatch scratch_;
 };
 
 /// Factory for lanes plus the shared resources (thread pool) they run on.

@@ -1,7 +1,6 @@
 #include "core/node.hpp"
 
 #include <algorithm>
-#include <set>
 #include <stdexcept>
 
 #include "common/logging.hpp"
@@ -59,14 +58,18 @@ std::vector<SampledBundle> SamplingNode::process_interval(
                    static_cast<double>(psi_items) / 2.0) /
                   static_cast<double>(psi_items))
             : size;
+    // Stratify once, here: the batch (a reused flat arena) feeds both
+    // the fairness floor below and the lane's span-based sampling — no
+    // second stratification pass inside the lane.
+    strata_scratch_.assign(bundle.items);
+
     // Fairness floor: stratification promises every sub-stream at least
     // one reservoir slot (§II-B1). A tiny pair (e.g. one rare high-value
     // item arriving alone) must not round its share down to zero, so the
-    // pair budget is at least the number of sub-streams it carries.
+    // pair budget is at least the number of sub-streams it carries —
+    // which the stratum directory now gives for free.
     if (size > 0) {
-      std::set<SubStreamId> sources;
-      for (const Item& item : bundle.items) sources.insert(item.source);
-      pair_budget = std::max(pair_budget, sources.size());
+      pair_budget = std::max(pair_budget, strata_scratch_.size());
     }
 
     // Fig. 3 rule: resolve the effective input weights. Weights that
@@ -75,7 +78,8 @@ std::vector<SampledBundle> SamplingNode::process_interval(
     WeightMap effective = remembered_weights_;
     effective.update_from(bundle.w_in);
 
-    SampledBundle out = lane_->sample(bundle.items, pair_budget, effective);
+    SampledBundle out =
+        lane_->sample_strata(strata_scratch_, pair_budget, effective);
 
     // Remember the *input* weights for sub-streams whose weight arrived
     // with this bundle, so later intervals can resolve weight-less items.

@@ -102,6 +102,8 @@ class SamplingNode {
   std::unique_ptr<SamplingLane> lane_;
   std::unique_ptr<CostFunction> cost_function_;
   WeightMap remembered_weights_;
+  /// Reused per-bundle stratification arena (zero steady-state allocs).
+  StratifiedBatch strata_scratch_;
   std::uint64_t last_interval_items_{0};
   NodeMetrics metrics_;
 };

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <utility>
 
 #include "core/snapshot_node.hpp"
 
@@ -101,11 +102,9 @@ class NativeStage final : public PipelineStage {
       if (bundle.items.empty()) continue;
       metrics_.items_in += bundle.items.size();
       SampledBundle sampled;
-      for (const Item& item : bundle.items) {
-        sampled.sample[item.source].push_back(item);
-      }
-      for (const auto& [id, _] : sampled.sample) {
-        sampled.w_out.set(id, bundle.w_in.get(id));
+      sampled.sample.assign(bundle.items, stratify_scratch_);
+      for (const Stratum& s : sampled.sample.strata()) {
+        sampled.w_out.set(s.id, bundle.w_in.get(s.id));
       }
       metrics_.items_out += sampled.item_count();
       out.push_back(std::move(sampled));
@@ -119,6 +118,7 @@ class NativeStage final : public PipelineStage {
 
  private:
   NodeMetrics metrics_;
+  StratifyScratch stratify_scratch_;
 };
 
 }  // namespace
@@ -253,7 +253,7 @@ void EdgeTree::tick(const std::vector<std::vector<Item>>& items_per_leaf) {
       const std::size_t parent =
           i * next_width / stages_[layer].size();
       for (SampledBundle& bundle : outputs) {
-        next_psi[parent].push_back(bundle.to_bundle());
+        next_psi[parent].push_back(std::move(bundle).to_bundle());
       }
     }
     psi = std::move(next_psi);

@@ -41,14 +41,12 @@ std::vector<SampledBundle> SnapshotNode::process_interval(
     if (!keep) continue;
 
     SampledBundle out;
-    for (const Item& item : bundle.items) {
-      out.sample[item.source].push_back(item);
-    }
+    out.sample.assign(bundle.items, stratify_scratch_);
     // Each kept snapshot stands for `period` intervals.
     const double scale = static_cast<double>(config_.period);
-    for (const auto& [id, items] : out.sample) {
-      out.w_out.set(id, bundle.w_in.get(id) * scale);
-      metrics_.items_out += items.size();
+    for (const Stratum& s : out.sample.strata()) {
+      out.w_out.set(s.id, bundle.w_in.get(s.id) * scale);
+      metrics_.items_out += s.len;
     }
     outputs.push_back(std::move(out));
   }

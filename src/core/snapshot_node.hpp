@@ -54,6 +54,7 @@ class SnapshotNode {
   SnapshotNodeConfig config_;
   std::uint64_t interval_index_{0};
   NodeMetrics metrics_;
+  StratifyScratch stratify_scratch_;
 };
 
 }  // namespace approxiot::core

@@ -26,16 +26,20 @@ std::vector<SampledBundle> SrsNode::process_interval(
     remembered_weights_.update_from(bundle.w_in);
 
     const double ht = sampler_.weight();  // 1/p
-    SampledBundle out;
+    kept_scratch_.clear();
     for (const Item& item : bundle.items) {
       if (!sampler_.keep()) continue;
-      out.sample[item.source].push_back(item);
+      kept_scratch_.push_back(item);
     }
-    for (const auto& [id, items] : out.sample) {
-      out.w_out.set(id, effective.get(id) * ht);
-      metrics_.items_out += items.size();
+    if (kept_scratch_.empty()) continue;
+
+    SampledBundle out;
+    out.sample.assign(kept_scratch_, stratify_scratch_);
+    for (const Stratum& s : out.sample.strata()) {
+      out.w_out.set(s.id, effective.get(s.id) * ht);
+      metrics_.items_out += s.len;
     }
-    if (!out.sample.empty()) outputs.push_back(std::move(out));
+    outputs.push_back(std::move(out));
   }
   ++metrics_.intervals;
   return outputs;

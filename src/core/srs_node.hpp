@@ -47,6 +47,11 @@ class SrsNode {
   SrsNodeConfig config_;
   sampling::BernoulliSampler sampler_;
   WeightMap remembered_weights_;
+  /// Reused buffers: the coin-flip survivors of one bundle (stratified
+  /// in bulk afterwards — counting build, no per-item maps) and the
+  /// stratification working state, so output bundles stay pure data.
+  std::vector<Item> kept_scratch_;
+  StratifyScratch stratify_scratch_;
   NodeMetrics metrics_;
 };
 

@@ -1,0 +1,185 @@
+#include "core/stratified.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+
+namespace approxiot::core {
+
+namespace {
+
+/// Directory position of `id`, or the insertion point keeping the
+/// directory sorted (std::lower_bound over the small stratum vector).
+std::size_t lower_bound_index(const std::vector<Stratum>& dir,
+                              SubStreamId id) noexcept {
+  auto it = std::lower_bound(
+      dir.begin(), dir.end(), id,
+      [](const Stratum& s, SubStreamId v) { return s.id < v; });
+  return static_cast<std::size_t>(it - dir.begin());
+}
+
+}  // namespace
+
+std::uint32_t StratifyScratch::slot_for(SubStreamId id) {
+  const std::size_t mask = slot_index_.size() - 1;
+  std::size_t probe = static_cast<std::size_t>(mix64(id.value())) & mask;
+  while (true) {
+    const std::uint32_t entry = slot_index_[probe];
+    if (entry == 0) break;  // empty
+    if (slot_ids_[entry - 1] == id) return entry - 1;
+    probe = (probe + 1) & mask;
+  }
+  // New sub-stream: allocate the next dense slot; rebuild the index when
+  // past half load so probes stay short.
+  const std::uint32_t slot = static_cast<std::uint32_t>(slot_ids_.size());
+  slot_ids_.push_back(id);
+  slot_counts_.push_back(0);
+  if ((slot_ids_.size() + 1) * 2 > slot_index_.size()) {
+    reindex();
+  } else {
+    slot_index_[probe] = slot + 1;
+  }
+  return slot;
+}
+
+void StratifyScratch::reindex() {
+  // Never shrink: a reused scratch keeps the table size it grew to, so
+  // steady-state assign() calls zero it once and never rebuild mid-pass.
+  std::size_t size = std::max<std::size_t>(slot_index_.size(), 16);
+  while (size < (slot_ids_.size() + 1) * 4) size *= 2;
+  slot_index_.assign(size, 0);
+  const std::size_t mask = size - 1;
+  for (std::uint32_t k = 0; k < slot_ids_.size(); ++k) {
+    std::size_t probe =
+        static_cast<std::size_t>(mix64(slot_ids_[k].value())) & mask;
+    while (slot_index_[probe] != 0) probe = (probe + 1) & mask;
+    slot_index_[probe] = k + 1;
+  }
+}
+
+void StratifiedBatch::assign(const Item* data, std::size_t n,
+                             StratifyScratch& scratch) {
+  dir_.clear();
+  arena_.resize(n);
+
+  // Pass 1: count per sub-stream. Each distinct id gets a dense SLOT in
+  // first-seen order, resolved through a small open-addressing index (one
+  // multiplicative hash + a short probe per item — cheaper and better
+  // predicted than a binary search), and every item records its slot so
+  // the scatter pass below is a straight O(1) store per item. No
+  // per-item node allocations anywhere; all scratch buffers are reused.
+  scratch.slot_counts_.clear();
+  scratch.slot_ids_.clear();
+  scratch.item_slots_.resize(n);
+  scratch.reindex();
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t slot = scratch.slot_for(data[i].source);
+    ++scratch.slot_counts_[slot];
+    scratch.item_slots_[i] = slot;
+  }
+
+  // Order the slots by ascending id (the load-bearing directory order).
+  // Strata counts are small, so this sort is noise next to the passes.
+  const std::size_t s = scratch.slot_ids_.size();
+  scratch.sorted_slots_.resize(s);
+  for (std::size_t k = 0; k < s; ++k) {
+    scratch.sorted_slots_[k] = static_cast<std::uint32_t>(k);
+  }
+  std::sort(scratch.sorted_slots_.begin(), scratch.sorted_slots_.end(),
+            [&scratch](std::uint32_t a, std::uint32_t b) {
+              return scratch.slot_ids_[a] < scratch.slot_ids_[b];
+            });
+
+  // Prefix-sum the offsets in id order; cursors_ maps slot -> write
+  // position. The scatter is stable: items of one sub-stream keep
+  // arrival order.
+  scratch.cursors_.resize(s);
+  dir_.reserve(s);
+  std::size_t offset = 0;
+  for (const std::uint32_t slot : scratch.sorted_slots_) {
+    dir_.push_back(Stratum{scratch.slot_ids_[slot], offset,
+                           scratch.slot_counts_[slot]});
+    scratch.cursors_[slot] = offset;
+    offset += scratch.slot_counts_[slot];
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    arena_[scratch.cursors_[scratch.item_slots_[i]]++] = data[i];
+  }
+}
+
+void StratifiedBatch::assign(const Item* data, std::size_t n) {
+  if (own_scratch_ == nullptr) {
+    own_scratch_ = std::make_unique<StratifyScratch>();
+  }
+  assign(data, n, *own_scratch_);
+}
+
+void StratifiedBatch::append_stratum(SubStreamId id, const Item* data,
+                                     std::size_t n) {
+  assert(dir_.empty() || dir_.back().id < id);
+  dir_.push_back(Stratum{id, arena_.size(), n});
+  if (n > 0) arena_.insert(arena_.end(), data, data + n);
+}
+
+ItemSpan StratifiedBatch::at(SubStreamId id) const {
+  const std::size_t k = find_index(id);
+  if (k == npos) {
+    throw std::out_of_range("sub-stream not present in StratifiedBatch");
+  }
+  return span(dir_[k]);
+}
+
+std::size_t StratifiedBatch::find_index(SubStreamId id) const noexcept {
+  const std::size_t k = lower_bound_index(dir_, id);
+  return k < dir_.size() && dir_[k].id == id ? k : npos;
+}
+
+std::size_t StratifiedBatch::find_or_insert(SubStreamId id) {
+  std::size_t k = lower_bound_index(dir_, id);
+  if (k == dir_.size() || dir_[k].id != id) {
+    const std::size_t offset =
+        k == 0 ? 0 : dir_[k - 1].offset + dir_[k - 1].len;
+    dir_.insert(dir_.begin() + static_cast<std::ptrdiff_t>(k),
+                Stratum{id, offset, 0});
+  }
+  return k;
+}
+
+StratifiedBatch::StratumRef StratifiedBatch::operator[](SubStreamId id) {
+  return StratumRef(this, find_or_insert(id));
+}
+
+void StratifiedBatch::push_into(std::size_t index, const Item& item) {
+  Stratum& s = dir_[index];
+  arena_.insert(arena_.begin() + static_cast<std::ptrdiff_t>(s.offset + s.len),
+                item);
+  ++s.len;
+  for (std::size_t k = index + 1; k < dir_.size(); ++k) ++dir_[k].offset;
+}
+
+void StratifiedBatch::replace_stratum(std::size_t index, const Item* data,
+                                      std::size_t n) {
+  Stratum& s = dir_[index];
+  if (n > s.len) {
+    arena_.insert(
+        arena_.begin() + static_cast<std::ptrdiff_t>(s.offset + s.len),
+        n - s.len, Item{});
+  } else if (n < s.len) {
+    arena_.erase(
+        arena_.begin() + static_cast<std::ptrdiff_t>(s.offset + n),
+        arena_.begin() + static_cast<std::ptrdiff_t>(s.offset + s.len));
+  }
+  std::copy(data, data + n,
+            arena_.begin() + static_cast<std::ptrdiff_t>(s.offset));
+  const std::ptrdiff_t delta =
+      static_cast<std::ptrdiff_t>(n) - static_cast<std::ptrdiff_t>(s.len);
+  s.len = n;
+  for (std::size_t k = index + 1; k < dir_.size(); ++k) {
+    dir_[k].offset = static_cast<std::size_t>(
+        static_cast<std::ptrdiff_t>(dir_[k].offset) + delta);
+  }
+}
+
+}  // namespace approxiot::core

@@ -5,12 +5,13 @@ namespace approxiot::core {
 const std::vector<WeightedSample> ThetaStore::kEmpty{};
 
 void ThetaStore::add(const SampledBundle& bundle) {
-  for (const auto& [id, items] : bundle.sample) {
-    if (items.empty()) continue;
+  for (const Stratum& s : bundle.sample.strata()) {
+    if (s.len == 0) continue;
+    const ItemSpan items = bundle.sample.span(s);
     WeightedSample pair;
-    pair.weight = bundle.w_out.get(id);
-    pair.items = items;
-    pairs_[id].push_back(std::move(pair));
+    pair.weight = bundle.w_out.get(s.id);
+    pair.items.assign(items.begin(), items.end());
+    pairs_[s.id].push_back(std::move(pair));
   }
 }
 

@@ -8,12 +8,25 @@
 // (Fig. 3): when items arrive in an interval with no accompanying weight,
 // the *last known* weight for that sub-stream applies, so the map
 // remembers weights across intervals.
+//
+// Storage is a flat open-addressing table (power-of-two slots, linear
+// probing), not a node-based std::map: get()/contains() are the
+// per-stratum-per-interval hot calls of the samplers and resolve with one
+// hash and a short probe instead of a pointer chase. Iteration order must
+// stay deterministic and ascending by id — the wire format, operator<<,
+// and every equivalence test depend on it — so the map also keeps a
+// sorted index of occupied slots; iteration walks that index, which makes
+// begin()/end() and operator== behave exactly like the old std::map.
 #pragma once
 
 #include <cstddef>
-#include <map>
+#include <cstdint>
+#include <iterator>
 #include <ostream>
+#include <utility>
+#include <vector>
 
+#include "common/rng.hpp"
 #include "common/types.hpp"
 
 namespace approxiot::core {
@@ -25,37 +38,117 @@ class WeightMap {
   /// Weight for `id`; sub-streams never seen default to 1 (the weight of
   /// raw source data, §III-C case i).
   [[nodiscard]] double get(SubStreamId id) const noexcept {
-    auto it = weights_.find(id);
-    return it == weights_.end() ? 1.0 : it->second;
+    const std::size_t slot = find_slot(id);
+    return slot == npos ? 1.0 : slots_[slot].weight;
   }
 
   [[nodiscard]] bool contains(SubStreamId id) const noexcept {
-    return weights_.count(id) > 0;
+    return find_slot(id) != npos;
   }
 
-  void set(SubStreamId id, double weight) { weights_[id] = weight; }
+  void set(SubStreamId id, double weight);
 
   /// Overwrites entries present in `other`, keeps the rest — the
   /// "remember the up-to-date weight" rule of Fig. 3.
   void update_from(const WeightMap& other) {
-    for (const auto& [id, w] : other.weights_) weights_[id] = w;
+    for (const auto& [id, w] : other) set(id, w);
   }
 
-  void clear() noexcept { weights_.clear(); }
-  [[nodiscard]] std::size_t size() const noexcept { return weights_.size(); }
-  [[nodiscard]] bool empty() const noexcept { return weights_.empty(); }
+  void clear() noexcept {
+    slots_.clear();
+    order_.clear();
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return order_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return order_.empty(); }
 
-  [[nodiscard]] auto begin() const noexcept { return weights_.begin(); }
-  [[nodiscard]] auto end() const noexcept { return weights_.end(); }
+  /// Iterates (id, weight) pairs in ascending id order — the exact
+  /// sequence the old std::map produced.
+  class const_iterator {
+   public:
+    using value_type = std::pair<SubStreamId, double>;
+    using reference = value_type;
+    using difference_type = std::ptrdiff_t;
+    using iterator_category = std::input_iterator_tag;
+    using pointer = void;
 
+    const_iterator() = default;
+    const_iterator(const WeightMap* map, std::size_t index) noexcept
+        : map_(map), index_(index) {}
+
+    [[nodiscard]] value_type operator*() const noexcept {
+      const Slot& slot = map_->slots_[map_->order_[index_]];
+      return {slot.id, slot.weight};
+    }
+
+    struct ArrowProxy {
+      value_type pair;
+      const value_type* operator->() const noexcept { return &pair; }
+    };
+    [[nodiscard]] ArrowProxy operator->() const noexcept {
+      return ArrowProxy{**this};
+    }
+
+    const_iterator& operator++() noexcept {
+      ++index_;
+      return *this;
+    }
+    const_iterator operator++(int) noexcept {
+      const_iterator old = *this;
+      ++index_;
+      return old;
+    }
+    friend bool operator==(const_iterator a, const_iterator b) noexcept {
+      return a.map_ == b.map_ && a.index_ == b.index_;
+    }
+    friend bool operator!=(const_iterator a, const_iterator b) noexcept {
+      return !(a == b);
+    }
+
+   private:
+    const WeightMap* map_{nullptr};
+    std::size_t index_{0};
+  };
+
+  [[nodiscard]] const_iterator begin() const noexcept {
+    return const_iterator(this, 0);
+  }
+  [[nodiscard]] const_iterator end() const noexcept {
+    return const_iterator(this, order_.size());
+  }
+
+  /// Same semantics as std::map equality: identical (id, weight) entry
+  /// sequences (both iterate in ascending id order).
   friend bool operator==(const WeightMap& a, const WeightMap& b) noexcept {
-    return a.weights_ == b.weights_;
+    if (a.order_.size() != b.order_.size()) return false;
+    for (std::size_t i = 0; i < a.order_.size(); ++i) {
+      const Slot& sa = a.slots_[a.order_[i]];
+      const Slot& sb = b.slots_[b.order_[i]];
+      if (sa.id != sb.id || sa.weight != sb.weight) return false;
+    }
+    return true;
   }
 
   friend std::ostream& operator<<(std::ostream& os, const WeightMap& m);
 
  private:
-  std::map<SubStreamId, double> weights_;
+  struct Slot {
+    SubStreamId id{};
+    double weight{0.0};
+    bool used{false};
+  };
+
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  /// Full-avalanche mix so clustered ids spread over the 2^k table.
+  static std::uint64_t hash(SubStreamId id) noexcept {
+    return mix64(id.value());
+  }
+
+  [[nodiscard]] std::size_t find_slot(SubStreamId id) const noexcept;
+  void grow();
+
+  std::vector<Slot> slots_;          // open-addressing table, 2^k slots
+  std::vector<std::uint32_t> order_; // occupied slots, sorted by id
 };
 
 }  // namespace approxiot::core

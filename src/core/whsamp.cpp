@@ -1,5 +1,6 @@
 #include "core/whsamp.hpp"
 
+#include <algorithm>
 #include <utility>
 
 namespace approxiot::core {
@@ -15,37 +16,55 @@ std::map<SubStreamId, std::vector<Item>> stratify(
 
 WHSampler::WHSampler(Rng rng, WHSampConfig config)
     : rng_(rng), config_(std::move(config)),
-      policy_(sampling::make_allocation_policy(config_.allocation_policy)) {}
+      policy_(sampling::make_allocation_policy(config_.allocation_policy)),
+      reservoir_(0, Rng{}, config_.reservoir_algorithm) {}
 
 SampledBundle WHSampler::sample(const std::vector<Item>& items,
                                 std::size_t sample_size,
                                 const WeightMap& w_in) {
+  if (items.empty()) return SampledBundle{};
+  // Line 5: stratify into sub-streams (flat counting build, buffers
+  // reused across calls).
+  scratch_.assign(items);
+  return sample_strata(scratch_, sample_size, w_in);
+}
+
+SampledBundle WHSampler::sample_strata(const StratifiedBatch& strata,
+                                       std::size_t sample_size,
+                                       const WeightMap& w_in) {
   SampledBundle out;
-  if (items.empty()) return out;
+  if (strata.item_count() == 0) return out;
 
-  // Line 5: stratify into sub-streams.
-  auto strata = stratify(items);
-
-  // Line 7: decide each sub-stream's reservoir size N_i.
-  std::vector<sampling::SubStreamInfo> infos;
-  infos.reserve(strata.size());
-  for (const auto& [id, stratum] : strata) {
-    infos.push_back(sampling::SubStreamInfo{id, stratum.size(), 0.0});
+  // Line 7: decide each sub-stream's reservoir size N_i. The infos also
+  // carry the resolved W^in_i so the merge loop below does not re-query
+  // the weight map per stratum.
+  infos_.clear();
+  infos_.reserve(strata.size());
+  for (const Stratum& s : strata.strata()) {
+    infos_.push_back(sampling::SubStreamInfo{s.id, s.len, 0.0, w_in.get(s.id)});
   }
-  const sampling::SizeMap sizes = policy_->allocate(sample_size, infos);
+  const sampling::SizeMap sizes = policy_->allocate(sample_size, infos_);
 
-  // Lines 8-19: reservoir-sample each sub-stream and update its weight.
-  for (auto& [id, stratum] : strata) {
-    const std::uint64_t c_i = stratum.size();
-    auto size_it = sizes.find(id);
+  // Lines 8-19: reservoir-sample each sub-stream from its arena span and
+  // update its weight. Strata are visited in ascending id order — the
+  // same order the legacy map iteration used, so the RNG stream each
+  // sub-stream draws from is unchanged.
+  const Item* arena = strata.items().data();
+  out.sample.reserve_items(std::min(sample_size, strata.item_count()));
+  const auto& dir = strata.strata();
+  for (std::size_t k = 0; k < dir.size(); ++k) {
+    const Stratum& s = dir[k];
+    const std::uint64_t c_i = s.len;
+    auto size_it = sizes.find(s.id);
     const std::size_t n_i = size_it == sizes.end() ? 0 : size_it->second;
 
-    sampling::ReservoirSampler<Item> reservoir(n_i, rng_.split(),
-                                               config_.reservoir_algorithm);
+    // Rearm instead of reconstruct: same capacity/RNG/counters as a
+    // fresh reservoir, but the heap buffer survives.
+    reservoir_.rearm(n_i, rng_.split());
     rng_.jump();  // keep per-stratum streams independent
-    for (Item& item : stratum) reservoir.offer(std::move(item));
+    reservoir_.offer_span(arena + s.offset, s.len);
 
-    const double w_in_i = w_in.get(id);
+    const double w_in_i = infos_[k].weight;
     if (c_i > n_i) {
       // Overflow: each kept item stands for c_i / N_i originals (Eq. 1-2).
       // A zero reservoir keeps nothing, so its weight never reaches Θ; we
@@ -53,11 +72,11 @@ SampledBundle WHSampler::sample(const std::vector<Item>& items,
       const double w_i = n_i > 0 ? static_cast<double>(c_i) /
                                        static_cast<double>(n_i)
                                  : 1.0;
-      out.w_out.set(id, w_in_i * w_i);
+      out.w_out.set(s.id, w_in_i * w_i);
     } else {
-      out.w_out.set(id, w_in_i);
+      out.w_out.set(s.id, w_in_i);
     }
-    out.sample.emplace(id, reservoir.drain());
+    out.sample.append_stratum(s.id, reservoir_.contents());
   }
   return out;
 }

@@ -9,8 +9,11 @@
 //                       W^out_i = W^in_i * w_i   if c_i > N_i   (Eq. 2)
 //                       W^out_i = W^in_i         otherwise.
 //
-// The class is stateless between calls except for its RNG; the node layer
-// owns the cross-interval weight memory (Fig. 3 rule).
+// The sampler is semantically stateless between calls except for its RNG;
+// the node layer owns the cross-interval weight memory (Fig. 3 rule). It
+// does keep reusable buffers (the stratification arena and the reservoir)
+// so steady-state intervals run without item-sized allocations — pure
+// performance state, invisible to the output.
 #pragma once
 
 #include <cstdint>
@@ -21,6 +24,7 @@
 #include "common/rng.hpp"
 #include "common/types.hpp"
 #include "core/batch.hpp"
+#include "core/stratified.hpp"
 #include "sampling/allocation.hpp"
 #include "sampling/reservoir.hpp"
 
@@ -40,9 +44,17 @@ class WHSampler {
   /// One invocation of Algorithm 1 on a (W^in, items) pair. `sample_size`
   /// is the node's per-call reservoir budget N. Returns (W^out, sample);
   /// W^out carries entries only for sub-streams present in `items`.
+  /// Stratifies into an internal scratch batch, then runs the span path.
   [[nodiscard]] SampledBundle sample(const std::vector<Item>& items,
                                      std::size_t sample_size,
                                      const WeightMap& w_in);
+
+  /// Span-based hot path: samples pre-stratified input directly from the
+  /// batch arena — no per-stratum item copies. Callers that already hold
+  /// a StratifiedBatch (the node layer) use this entry point.
+  [[nodiscard]] SampledBundle sample_strata(const StratifiedBatch& strata,
+                                            std::size_t sample_size,
+                                            const WeightMap& w_in);
 
   [[nodiscard]] const WHSampConfig& config() const noexcept { return config_; }
 
@@ -50,9 +62,19 @@ class WHSampler {
   Rng rng_;
   WHSampConfig config_;
   std::unique_ptr<sampling::AllocationPolicy> policy_;
+  /// Rearmed per stratum; its heap buffer persists across strata and
+  /// intervals (rearm keeps capacity).
+  sampling::ReservoirSampler<Item> reservoir_;
+  /// Reused stratification arena for the vector entry point.
+  StratifiedBatch scratch_;
+  std::vector<sampling::SubStreamInfo> infos_;
 };
 
-/// Stratifies a flat item vector by source id (Algorithm 1 line 5).
+/// Stratifies a flat item vector by source id (Algorithm 1 line 5) into a
+/// map of vectors. This is the LEGACY node-based representation, kept as
+/// the reference for the StratifiedBatch bit-identity tests and the
+/// bench_hotpath comparison mode; the samplers themselves stratify into a
+/// flat StratifiedBatch (same order, same contents, no node allocations).
 [[nodiscard]] std::map<SubStreamId, std::vector<Item>> stratify(
     const std::vector<Item>& items);
 

@@ -9,28 +9,47 @@ constexpr std::uint8_t kMagic = 0xA7;
 constexpr std::uint8_t kVersion = 0x01;
 }  // namespace
 
+namespace {
+
+void encode_weights(flowqueue::Encoder& enc, const WeightMap& weights) {
+  enc.put_varint(weights.size());
+  for (const auto& [id, weight] : weights) {
+    enc.put_varint(id.value());
+    enc.put_double(weight);
+  }
+}
+
+void encode_items(flowqueue::Encoder& enc, const Item* items, std::size_t n) {
+  enc.put_varint(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    enc.put_varint(items[i].source.value());
+    enc.put_double(items[i].value);
+    enc.put_fixed64(static_cast<std::uint64_t>(items[i].created_at_us));
+  }
+}
+
+}  // namespace
+
 std::vector<std::uint8_t> encode_bundle(const ItemBundle& bundle) {
   flowqueue::Encoder enc;
   enc.put_varint(kMagic);
   enc.put_varint(kVersion);
-
-  enc.put_varint(bundle.w_in.size());
-  for (const auto& [id, weight] : bundle.w_in) {
-    enc.put_varint(id.value());
-    enc.put_double(weight);
-  }
-
-  enc.put_varint(bundle.items.size());
-  for (const Item& item : bundle.items) {
-    enc.put_varint(item.source.value());
-    enc.put_double(item.value);
-    enc.put_fixed64(static_cast<std::uint64_t>(item.created_at_us));
-  }
+  encode_weights(enc, bundle.w_in);
+  encode_items(enc, bundle.items.data(), bundle.items.size());
   return enc.take();
 }
 
 std::vector<std::uint8_t> encode_bundle(const SampledBundle& bundle) {
-  return encode_bundle(bundle.to_bundle());
+  // Serialise straight from the flat sample: the arena already holds the
+  // items in stratum order (identical bytes to flattening first), so the
+  // old to_bundle() round trip — one full copy of every item and weight —
+  // is gone.
+  flowqueue::Encoder enc;
+  enc.put_varint(kMagic);
+  enc.put_varint(kVersion);
+  encode_weights(enc, bundle.w_out);
+  encode_items(enc, bundle.sample.items().data(), bundle.sample.item_count());
+  return enc.take();
 }
 
 Result<ItemBundle> decode_bundle(const std::vector<std::uint8_t>& payload) {

@@ -22,7 +22,9 @@ namespace approxiot::core {
 /// Serialises a bundle into a payload for flowqueue.
 [[nodiscard]] std::vector<std::uint8_t> encode_bundle(const ItemBundle& bundle);
 
-/// Convenience: serialize a sampled bundle (flattens to ItemBundle form).
+/// Serialises a sampled bundle directly from its flat sample arena —
+/// byte-identical to flattening into an ItemBundle first, without the
+/// intermediate copy.
 [[nodiscard]] std::vector<std::uint8_t> encode_bundle(
     const SampledBundle& bundle);
 

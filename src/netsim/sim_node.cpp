@@ -90,7 +90,8 @@ void SimNode::on_tick() {
         }
       } else if (uplink_ != nullptr && parent_ != nullptr) {
         const std::uint64_t bytes = wire_size(out);
-        auto bundle = std::make_shared<core::ItemBundle>(out.to_bundle());
+        auto bundle =
+            std::make_shared<core::ItemBundle>(std::move(out).to_bundle());
         SimNode* parent = parent_;
         Link* uplink = uplink_;
         if (ready > sim_->now()) {

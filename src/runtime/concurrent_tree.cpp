@@ -303,7 +303,7 @@ void ConcurrentEdgeTree::node_loop(NodeRuntime& node) {
           node.stage->process_interval(psi);
       out.bundles.reserve(outputs.size());
       for (core::SampledBundle& bundle : outputs) {
-        out.bundles.push_back(bundle.to_bundle());
+        out.bundles.push_back(std::move(bundle).to_bundle());
       }
       node.output->push(std::move(out));
     }

@@ -160,10 +160,8 @@ void FlowQueueSink::publish(const core::SampledBundle& bundle) {
   // bucket the record into the interval it belongs to; an all-zero stamp
   // would collapse every window into interval 0.
   SimTime timestamp = SimTime::zero();
-  for (const auto& [_, items] : bundle.sample) {
-    for (const Item& item : items) {
-      timestamp.us = std::max(timestamp.us, item.created_at_us);
-    }
+  for (const Item& item : bundle.sample.items()) {
+    timestamp.us = std::max(timestamp.us, item.created_at_us);
   }
   auto payload = core::encode_bundle(bundle);
   const std::size_t bytes = payload.size();

@@ -18,11 +18,15 @@
 
 namespace approxiot::sampling {
 
-/// Per-sub-stream observation the allocator may use.
+/// Per-sub-stream observation the allocator may use. The samplers also
+/// use it to carry per-stratum context resolved once per interval —
+/// `weight` is the effective W^in_i, looked up a single time when the
+/// infos are built instead of re-queried per stratum in the merge loop.
 struct SubStreamInfo {
   SubStreamId id{};
   std::uint64_t count{0};     // items seen this interval so far
   double value_stddev{0.0};   // running dispersion (Neyman only)
+  double weight{1.0};         // resolved W^in_i (not used by allocators)
 };
 
 using SizeMap = std::map<SubStreamId, std::size_t>;

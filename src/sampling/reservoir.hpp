@@ -67,6 +67,51 @@ class ReservoirSampler {
     }
   }
 
+  /// Offers `n` contiguous items — bit-identical to calling offer() on
+  /// each in order, but the fill/capacity branches are hoisted out of the
+  /// per-item loop and Algorithm L consumes its skip counter across the
+  /// whole span at once (a full skip-over costs O(1), not O(n)).
+  void offer_span(const T* data, std::size_t n) {
+    if (capacity_ == 0) {
+      seen_ += n;
+      return;
+    }
+    std::size_t i = 0;
+    // Fill phase: runs at most once per interval, not once per item.
+    while (i < n && reservoir_.size() < capacity_) {
+      ++seen_;
+      reservoir_.push_back(data[i++]);
+      if (reservoir_.size() == capacity_ &&
+          algorithm_ == ReservoirAlgorithm::kAlgorithmL) {
+        init_skip();
+      }
+    }
+    if (algorithm_ == ReservoirAlgorithm::kAlgorithmR) {
+      for (; i < n; ++i) {
+        const std::uint64_t j = rng_.next_below(++seen_);
+        if (j < capacity_) {
+          reservoir_[static_cast<std::size_t>(j)] = data[i];
+        }
+      }
+    } else {
+      while (i < n) {
+        const std::uint64_t remaining = n - i;
+        if (skip_ >= remaining) {
+          skip_ -= remaining;
+          seen_ += remaining;
+          break;
+        }
+        // Jump straight to the accepted item.
+        i += static_cast<std::size_t>(skip_);
+        seen_ += skip_ + 1;
+        skip_ = 0;
+        const std::uint64_t victim = rng_.next_below(capacity_);
+        reservoir_[static_cast<std::size_t>(victim)] = data[i++];
+        advance_skip();
+      }
+    }
+  }
+
   /// Number of items offered since the last reset (the paper's c_i).
   [[nodiscard]] std::uint64_t seen() const noexcept { return seen_; }
 

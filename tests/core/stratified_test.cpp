@@ -1,0 +1,217 @@
+// StratifiedBatch: the flat arena replacement for the legacy
+// map-of-vectors stratification. The contract pinned here:
+//   1. a batch built by assign() is BIT-IDENTICAL to stratify() — same
+//      stratum order (ascending id, the std::map iteration order), same
+//      items, same within-stratum arrival order;
+//   2. the arena is the concatenation of the strata in directory order,
+//      so flattening (to_bundle) is representation-free;
+//   3. the map-compatible facade (at/count/operator[]/iteration) reads
+//      and mutates exactly like the old std::map did.
+#include "core/stratified.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/batch.hpp"
+#include "core/whsamp.hpp"
+
+namespace approxiot::core {
+namespace {
+
+std::vector<Item> random_items(Rng& rng, std::size_t n,
+                               std::uint64_t streams) {
+  std::vector<Item> items;
+  items.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    items.push_back(Item{SubStreamId{1 + rng.next_below(streams)},
+                         rng.next_double() * 100.0,
+                         static_cast<std::int64_t>(i)});
+  }
+  return items;
+}
+
+TEST(StratifiedBatchTest, BitIdenticalToLegacyStratify) {
+  Rng rng(20180701);
+  StratifiedBatch batch;  // one batch reused across rounds, like a lane's
+  for (int round = 0; round < 50; ++round) {
+    const std::size_t n = rng.next_below(500);
+    const std::uint64_t streams = 1 + rng.next_below(12);
+    const auto items = random_items(rng, n, streams);
+
+    const auto legacy = stratify(items);
+    batch.assign(items);
+
+    ASSERT_EQ(batch.size(), legacy.size()) << "round " << round;
+    ASSERT_EQ(batch.item_count(), items.size());
+    auto legacy_it = legacy.begin();
+    std::size_t expected_offset = 0;
+    for (const Stratum& s : batch.strata()) {
+      // Same order (ascending id == map order), same counts, offsets
+      // dense and contiguous.
+      ASSERT_EQ(s.id, legacy_it->first) << "round " << round;
+      ASSERT_EQ(s.len, legacy_it->second.size());
+      ASSERT_EQ(s.offset, expected_offset);
+      expected_offset += s.len;
+      // Same items in the same within-stratum (arrival) order.
+      const ItemSpan span = batch.span(s);
+      for (std::size_t i = 0; i < s.len; ++i) {
+        ASSERT_EQ(span[i], legacy_it->second[i])
+            << "round " << round << " stream " << s.id << " item " << i;
+      }
+      ++legacy_it;
+    }
+  }
+}
+
+TEST(StratifiedBatchTest, ArenaIsConcatenationOfStrataInIdOrder) {
+  Rng rng(7);
+  const auto items = random_items(rng, 300, 5);
+  StratifiedBatch batch;
+  batch.assign(items);
+
+  std::vector<Item> expected;
+  for (const auto& [_, stratum] : stratify(items)) {
+    expected.insert(expected.end(), stratum.begin(), stratum.end());
+  }
+  ASSERT_EQ(batch.items().size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(batch.items()[i], expected[i]) << "arena position " << i;
+  }
+}
+
+TEST(StratifiedBatchTest, EmptyInput) {
+  StratifiedBatch batch;
+  batch.assign(std::vector<Item>{});
+  EXPECT_TRUE(batch.empty());
+  EXPECT_EQ(batch.item_count(), 0u);
+  EXPECT_EQ(batch.count(SubStreamId{1}), 0u);
+  EXPECT_THROW((void)batch.at(SubStreamId{1}), std::out_of_range);
+}
+
+TEST(StratifiedBatchTest, AssignReplacesPriorContents) {
+  StratifiedBatch batch;
+  batch.assign(std::vector<Item>{Item{SubStreamId{9}, 1.0, 0},
+                                 Item{SubStreamId{2}, 2.0, 0}});
+  batch.assign(std::vector<Item>{Item{SubStreamId{4}, 3.0, 0}});
+  EXPECT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch.item_count(), 1u);
+  EXPECT_EQ(batch.count(SubStreamId{9}), 0u);
+  EXPECT_EQ(batch.at(SubStreamId{4}).size(), 1u);
+}
+
+TEST(StratifiedBatchTest, MapFacadeReadsLikeTheOldMap) {
+  Rng rng(11);
+  const auto items = random_items(rng, 200, 4);
+  StratifiedBatch batch;
+  batch.assign(items);
+  const auto legacy = stratify(items);
+
+  // at()/count()
+  for (const auto& [id, stratum] : legacy) {
+    EXPECT_EQ(batch.count(id), 1u);
+    EXPECT_EQ(batch.at(id).size(), stratum.size());
+  }
+  // iteration yields (id, span) pairs in map order
+  auto legacy_it = legacy.begin();
+  for (const auto& [id, span] : batch) {
+    EXPECT_EQ(id, legacy_it->first);
+    EXPECT_TRUE(span == legacy_it->second);
+    ++legacy_it;
+  }
+  // iterator arrow access
+  auto it = batch.begin();
+  EXPECT_EQ(it->first, legacy.begin()->first);
+  EXPECT_EQ(it->second.size(), legacy.begin()->second.size());
+}
+
+TEST(StratifiedBatchTest, PushBackViaSubscriptMatchesMapSemantics) {
+  // The convenience mutation path used by tests and the tiny baseline
+  // stages: arbitrary interleaved per-item appends must produce the same
+  // grouping the old map produced.
+  Rng rng(13);
+  const auto items = random_items(rng, 150, 6);
+
+  StratifiedBatch batch;
+  std::map<SubStreamId, std::vector<Item>> reference;
+  for (const Item& item : items) {
+    batch[item.source].push_back(item);
+    reference[item.source].push_back(item);
+  }
+
+  ASSERT_EQ(batch.size(), reference.size());
+  std::size_t expected_offset = 0;
+  auto ref_it = reference.begin();
+  for (const Stratum& s : batch.strata()) {
+    ASSERT_EQ(s.id, ref_it->first);
+    ASSERT_EQ(s.offset, expected_offset);  // arena stays dense
+    expected_offset += s.len;
+    EXPECT_TRUE(batch.span(s) == ref_it->second);
+    ++ref_it;
+  }
+}
+
+TEST(StratifiedBatchTest, SubscriptAssignReplacesStratum) {
+  StratifiedBatch batch;
+  batch[SubStreamId{2}] = {Item{SubStreamId{2}, 1.0, 0},
+                           Item{SubStreamId{2}, 2.0, 0}};
+  batch[SubStreamId{1}] = {Item{SubStreamId{1}, 3.0, 0}};
+  EXPECT_EQ(batch.item_count(), 3u);
+  EXPECT_EQ(batch.at(SubStreamId{2}).size(), 2u);
+  // Replacing a middle stratum shifts later offsets correctly.
+  batch[SubStreamId{1}] = {Item{SubStreamId{1}, 4.0, 0},
+                           Item{SubStreamId{1}, 5.0, 0},
+                           Item{SubStreamId{1}, 6.0, 0}};
+  EXPECT_EQ(batch.item_count(), 5u);
+  EXPECT_EQ(batch.at(SubStreamId{1}).size(), 3u);
+  EXPECT_DOUBLE_EQ(batch.at(SubStreamId{2})[0].value, 1.0);
+  EXPECT_DOUBLE_EQ(batch.at(SubStreamId{2})[1].value, 2.0);
+}
+
+TEST(StratifiedBatchTest, AppendStratumAndRelease) {
+  StratifiedBatch batch;
+  const std::vector<Item> a = {Item{SubStreamId{1}, 1.0, 0}};
+  const std::vector<Item> b = {Item{SubStreamId{5}, 2.0, 0},
+                               Item{SubStreamId{5}, 3.0, 0}};
+  batch.append_stratum(SubStreamId{1}, a);
+  batch.append_stratum(SubStreamId{3}, nullptr, 0);  // empty stratum kept
+  batch.append_stratum(SubStreamId{5}, b);
+
+  EXPECT_EQ(batch.size(), 3u);
+  EXPECT_EQ(batch.item_count(), 3u);
+  EXPECT_TRUE(batch.at(SubStreamId{3}).empty());
+
+  std::vector<Item> flat = batch.release_items();
+  ASSERT_EQ(flat.size(), 3u);
+  EXPECT_EQ(flat[0], a[0]);
+  EXPECT_EQ(flat[1], b[0]);
+  EXPECT_EQ(flat[2], b[1]);
+  EXPECT_TRUE(batch.empty());
+  EXPECT_EQ(batch.item_count(), 0u);
+}
+
+TEST(StratifiedBatchTest, SampledBundleToBundleMoveMatchesCopy) {
+  Rng rng(23);
+  const auto items = random_items(rng, 120, 3);
+
+  SampledBundle bundle;
+  bundle.sample.assign(items);
+  for (const Stratum& s : bundle.sample.strata()) {
+    bundle.w_out.set(s.id, 2.0 + static_cast<double>(s.id.value()));
+  }
+
+  const ItemBundle copied = bundle.to_bundle();          // lvalue: copy
+  const ItemBundle moved = std::move(bundle).to_bundle();  // rvalue: move
+  ASSERT_EQ(copied.items.size(), moved.items.size());
+  for (std::size_t i = 0; i < copied.items.size(); ++i) {
+    EXPECT_EQ(copied.items[i], moved.items[i]);
+  }
+  EXPECT_TRUE(copied.w_in == moved.w_in);
+  EXPECT_EQ(bundle.item_count(), 0u);  // spent by the move
+}
+
+}  // namespace
+}  // namespace approxiot::core

@@ -2,7 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <map>
 #include <sstream>
+#include <vector>
+
+#include "common/rng.hpp"
 
 namespace approxiot::core {
 namespace {
@@ -63,6 +68,95 @@ TEST(WeightMapTest, EqualityAndIteration) {
     ++n;
   }
   EXPECT_EQ(n, 2u);
+}
+
+// The flat open-addressing storage must be behaviourally indistinguishable
+// from the std::map it replaced: same lookups, same deterministic
+// ascending iteration, same equality — regardless of insertion order,
+// overwrites, or table growth.
+TEST(WeightMapTest, PropertyMatchesStdMapUnderRandomOperations) {
+  Rng rng(0xbeef);
+  for (int round = 0; round < 20; ++round) {
+    WeightMap flat;
+    std::map<SubStreamId, double> reference;
+
+    const int ops = 1 + static_cast<int>(rng.next_below(400));
+    for (int op = 0; op < ops; ++op) {
+      // Id range big enough to collide probes, small enough to overwrite.
+      const SubStreamId id{rng.next_below(1u << 20)};
+      if (rng.next_below(4) == 0 && !reference.empty()) {
+        // Lookup of a (maybe) present id.
+        EXPECT_EQ(flat.contains(id), reference.count(id) > 0);
+        auto it = reference.find(id);
+        EXPECT_DOUBLE_EQ(flat.get(id),
+                         it == reference.end() ? 1.0 : it->second);
+      } else {
+        const double w = rng.next_double() * 10.0;
+        flat.set(id, w);
+        reference[id] = w;
+      }
+    }
+
+    ASSERT_EQ(flat.size(), reference.size()) << "round " << round;
+    // Iteration: ascending by id, exact (id, weight) sequence.
+    auto ref_it = reference.begin();
+    for (const auto& [id, w] : flat) {
+      ASSERT_EQ(id, ref_it->first) << "round " << round;
+      ASSERT_DOUBLE_EQ(w, ref_it->second);
+      ++ref_it;
+    }
+    EXPECT_EQ(ref_it, reference.end());
+  }
+}
+
+TEST(WeightMapTest, IterationDeterministicAcrossInsertionOrders) {
+  // Same entries inserted in different orders -> identical maps,
+  // identical iteration, identical printing.
+  std::vector<std::pair<SubStreamId, double>> entries;
+  Rng rng(99);
+  for (int i = 0; i < 200; ++i) {
+    entries.emplace_back(SubStreamId{rng.next_below(1u << 30)},
+                         rng.next_double());
+  }
+
+  WeightMap forward, backward, shuffled;
+  for (const auto& [id, w] : entries) forward.set(id, w);
+  for (auto it = entries.rbegin(); it != entries.rend(); ++it) {
+    backward.set(it->first, it->second);
+  }
+  std::shuffle(entries.begin(), entries.end(), rng);
+  for (const auto& [id, w] : entries) shuffled.set(id, w);
+
+  EXPECT_TRUE(forward == backward);
+  EXPECT_TRUE(forward == shuffled);
+  std::ostringstream a, b;
+  a << forward;
+  b << shuffled;
+  EXPECT_EQ(a.str(), b.str());
+
+  SubStreamId prev{0};
+  bool first = true;
+  for (const auto& [id, w] : forward) {
+    (void)w;
+    if (!first) {
+      EXPECT_TRUE(prev < id);
+    }
+    prev = id;
+    first = false;
+  }
+}
+
+TEST(WeightMapTest, GrowthPreservesEntries) {
+  // Push far past the initial table size to force several rehashes.
+  WeightMap m;
+  for (std::uint64_t i = 1; i <= 5000; ++i) {
+    m.set(SubStreamId{i * 7919}, static_cast<double>(i));
+  }
+  EXPECT_EQ(m.size(), 5000u);
+  for (std::uint64_t i = 1; i <= 5000; ++i) {
+    ASSERT_TRUE(m.contains(SubStreamId{i * 7919})) << i;
+    ASSERT_DOUBLE_EQ(m.get(SubStreamId{i * 7919}), static_cast<double>(i));
+  }
 }
 
 TEST(WeightMapTest, StreamOutput) {

@@ -159,6 +159,69 @@ TEST(ReservoirTest, ResetClearsWithoutReturning) {
   EXPECT_EQ(r.seen(), 0u);
 }
 
+// offer_span is the bulk entry point of the flat data plane: it must be
+// BIT-IDENTICAL to per-item offer() — same RNG consumption, same kept
+// items in the same slots — for both algorithms, across arbitrary span
+// boundaries (a span may fill the reservoir mid-way, or be consumed
+// entirely by one Algorithm L skip).
+class OfferSpanIdentityTest
+    : public ::testing::TestWithParam<ReservoirAlgorithm> {};
+
+TEST_P(OfferSpanIdentityTest, SpanOffersBitIdenticalToPerItem) {
+  Rng workload(0xface);
+  for (int round = 0; round < 40; ++round) {
+    const std::size_t capacity = workload.next_below(20);
+    const std::size_t n = workload.next_below(3000);
+    std::vector<int> stream(n);
+    for (std::size_t i = 0; i < n; ++i) stream[i] = static_cast<int>(i);
+
+    const Rng seed(1000 + static_cast<std::uint64_t>(round));
+    IntReservoir per_item(capacity, seed, GetParam());
+    IntReservoir spanned(capacity, seed, GetParam());
+
+    for (int x : stream) per_item.offer(x);
+
+    // Feed the same stream as randomly sized spans (including empty
+    // ones), so fill/steady-state transitions land inside spans.
+    std::size_t i = 0;
+    while (i < n) {
+      const std::size_t len =
+          std::min<std::size_t>(workload.next_below(200), n - i);
+      spanned.offer_span(stream.data() + i, len);
+      i += len;
+    }
+    spanned.offer_span(stream.data() + n, 0);  // empty span is a no-op
+
+    ASSERT_EQ(per_item.seen(), spanned.seen()) << "round " << round;
+    ASSERT_EQ(per_item.size(), spanned.size()) << "round " << round;
+    for (std::size_t k = 0; k < per_item.size(); ++k) {
+      ASSERT_EQ(per_item.contents()[k], spanned.contents()[k])
+          << "round " << round << " slot " << k;
+    }
+    // And the generators must be in the same state afterwards: the next
+    // interval's draws agree too.
+    per_item.rearm(5, Rng(42));
+    spanned.rearm(5, Rng(42));
+    for (int x = 0; x < 100; ++x) per_item.offer(x);
+    std::vector<int> tail(100);
+    for (int x = 0; x < 100; ++x) tail[static_cast<std::size_t>(x)] = x;
+    spanned.offer_span(tail.data(), tail.size());
+    ASSERT_EQ(per_item.contents(), spanned.contents()) << "round " << round;
+  }
+}
+
+TEST_P(OfferSpanIdentityTest, ZeroCapacityCountsOnly) {
+  IntReservoir r(0, Rng(5), GetParam());
+  std::vector<int> stream = {1, 2, 3, 4};
+  r.offer_span(stream.data(), stream.size());
+  EXPECT_EQ(r.seen(), 4u);
+  EXPECT_EQ(r.size(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothAlgorithms, OfferSpanIdentityTest,
+                         ::testing::Values(ReservoirAlgorithm::kAlgorithmR,
+                                           ReservoirAlgorithm::kAlgorithmL));
+
 TEST(ReservoirTest, MoveOnlyPayloadWorks) {
   ReservoirSampler<std::unique_ptr<int>> r(2, Rng(10));
   for (int i = 0; i < 20; ++i) r.offer(std::make_unique<int>(i));
