@@ -1,16 +1,20 @@
-// Adaptive budget: the §IV-B feedback loop in action.
+// Adaptive budget: the §IV-B feedback loop, live on the concurrent
+// runtime.
 //
-// The user asks for a relative error bound (default 0.5%); the adaptive
-// controller watches each window's reported error and refines the
-// sampling fraction at every layer of the tree until the bound is met
-// with as little sampling as possible — then holds there.
+// The user asks for a relative error bound (default 0.05%); the
+// ConcurrentEdgeTree's built-in adaptive loop watches each window's
+// reported error and publishes refined sampling policies on the control
+// plane — epoch by epoch, while every node worker keeps running — until
+// the bound is met with as little sampling as possible, then holds.
+// Each row shows the policy epoch that produced the window, the fraction
+// that epoch prescribed, and the error/accuracy it bought.
 //
-// Run: ./build/examples/adaptive_budget [target=0.005] [windows=15]
+// Run: ./build/examples/example_adaptive_budget [target=0.0005]
+//      [windows=15] [rate=30000]
 #include <cstdio>
 
 #include "common/config.hpp"
-#include "core/adaptive.hpp"
-#include "core/pipeline.hpp"
+#include "runtime/concurrent_tree.hpp"
 #include "workload/generators.hpp"
 #include "workload/ground_truth.hpp"
 #include "workload/substream.hpp"
@@ -24,53 +28,61 @@ int main(int argc, char** argv) {
                  config.status().to_string().c_str());
     return 1;
   }
-  const double target = config.value().get_double_or("target", 0.005);
+  const double target = config.value().get_double_or("target", 0.0005);
   const auto windows =
       static_cast<std::size_t>(config.value().get_int_or("windows", 15));
+  const double rate = config.value().get_double_or("rate", 30000.0);
 
-  core::EdgeTreeConfig tree_config;
-  tree_config.engine = core::EngineKind::kApproxIoT;
-  tree_config.layer_widths = {4, 2};
-  tree_config.sampling_fraction = 1.0;  // start conservative, adapt down
-  core::EdgeTree tree(tree_config);
+  runtime::ConcurrentTreeConfig tree_config;
+  tree_config.tree.engine = core::EngineKind::kApproxIoT;
+  tree_config.tree.layer_widths = {4, 2};
+  tree_config.tree.sampling_fraction = 1.0;  // start exact, adapt down
+  tree_config.adaptive.enabled = true;
+  tree_config.adaptive.controller.target_relative_error = target;
+  tree_config.adaptive.controller.tolerance = 0.2;
+  tree_config.adaptive.controller.min_fraction = 0.001;
+  runtime::ConcurrentEdgeTree tree(tree_config);
 
-  core::AdaptiveConfig adaptive_config;
-  adaptive_config.target_relative_error = target;
-  core::AdaptiveController controller(1.0, adaptive_config);
-
-  workload::StreamGenerator gen(workload::gaussian_quad(5000.0), 7);
+  // The Fig. 10(c) extreme skew: the workload where frozen fractions
+  // hurt most and stratified adaptation shines.
+  workload::StreamGenerator gen(workload::skewed_poisson(rate), 7);
   workload::GroundTruth truth;
 
-  std::printf("adaptive budget: target relative error %.2f%%\n",
+  std::printf("adaptive budget (live control plane): target %.4f%%\n",
               target * 100.0);
-  std::printf("%-8s%12s%16s%16s%12s\n", "window", "fraction", "reported err",
-              "actual loss %", "sampled");
+  std::printf("%-8s%8s%12s%16s%16s%12s\n", "window", "epoch", "fraction",
+              "reported err", "actual loss %", "sampled");
 
   SimTime now = SimTime::zero();
   for (std::size_t w = 0; w < windows; ++w) {
     truth.reset();
+    const double fraction = tree.adaptive_fraction();
     for (int tick = 0; tick < 10; ++tick) {
       auto items = gen.tick(now, SimTime::from_millis(100));
       truth.add_all(items);
-      tree.tick(workload::shard_by_substream(items, tree.leaf_count()));
+      tree.push_interval(
+          workload::shard_by_substream(items, tree.leaf_count()));
       now = now + SimTime::from_millis(100);
     }
+    tree.drain();
+    // close_window() also feeds the controller and, when the error is off
+    // target, publishes the next policy epoch — nodes adopt it at their
+    // next interval without stopping.
     const core::ApproxResult result = tree.close_window();
 
-    std::printf("%-8zu%12.3f%15.4f%%%16.4f%12llu\n", w,
-                tree.sampling_fraction(),
-                result.sum.relative_margin() * 100.0,
+    std::printf("%-8zu%8llu%12.4f%15.5f%%%16.5f%12llu\n", w,
+                static_cast<unsigned long long>(result.policy_epoch),
+                fraction, result.sum.relative_margin() * 100.0,
                 workload::accuracy_loss_percent(result.sum.point,
                                                 truth.total_sum()),
                 static_cast<unsigned long long>(result.sampled_items));
-
-    // Feedback: refine the sampling parameters at all layers (§IV-B).
-    const double next_fraction = controller.observe(result.sum);
-    tree.set_sampling_fraction(next_fraction);
   }
 
-  std::printf("\nfinal fraction: %.3f (history:", controller.fraction());
-  for (double f : controller.history()) std::printf(" %.2f", f);
+  std::printf("\nfinal: epoch %llu, fraction %.4f (trajectory:",
+              static_cast<unsigned long long>(tree.policy_epoch()),
+              tree.adaptive_fraction());
+  for (double f : tree.adaptive_history()) std::printf(" %.3f", f);
   std::printf(")\n");
+  tree.stop();
   return 0;
 }

@@ -21,4 +21,16 @@ Result<Aggregate> parse_aggregate(const std::string& text) {
   return Status::invalid_argument("unknown aggregate '" + text + "'");
 }
 
+core::AdaptiveConfig adaptive_config_for(const Query& query,
+                                         core::AdaptiveConfig base) {
+  if (query.target_relative_error > 0.0) {
+    base.target_relative_error = query.target_relative_error;
+  }
+  return base;
+}
+
+bool wants_adaptive(const Query& query) noexcept {
+  return query.target_relative_error > 0.0;
+}
+
 }  // namespace approxiot::analytics

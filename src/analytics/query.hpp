@@ -10,6 +10,7 @@
 
 #include "common/status.hpp"
 #include "common/types.hpp"
+#include "core/adaptive.hpp"
 
 namespace approxiot::analytics {
 
@@ -25,9 +26,25 @@ struct Query {
   std::vector<SubStreamId> group;
   /// Confidence level for the reported error bound.
   double confidence{0.9544997361036416};  // 95% (two sigma)
+  /// The user's accuracy budget (§IV-B): desired relative error bound of
+  /// the answer, e.g. 0.01 == 1 %. 0 == no budget — the runtimes then
+  /// keep their configured fractions frozen. When set, it seeds the
+  /// adaptive control loop via adaptive_config_for().
+  double target_relative_error{0.0};
 };
 
 /// Parses "sum" | "mean" | "count".
 [[nodiscard]] Result<Aggregate> parse_aggregate(const std::string& text);
+
+/// Translates a query's accuracy budget into the adaptive controller's
+/// configuration (base gives every non-budget knob). Queries without a
+/// budget (target_relative_error <= 0) return `base` unchanged — callers
+/// should then leave feedback disabled.
+[[nodiscard]] core::AdaptiveConfig adaptive_config_for(
+    const Query& query, core::AdaptiveConfig base = {});
+
+/// True when the query carries an accuracy budget the §IV-B feedback
+/// loop should enforce.
+[[nodiscard]] bool wants_adaptive(const Query& query) noexcept;
 
 }  // namespace approxiot::analytics

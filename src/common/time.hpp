@@ -13,6 +13,16 @@
 
 namespace approxiot {
 
+/// Floor division for timestamps: unlike C++'s truncating `/`, rounds
+/// towards negative infinity, so a negative timestamp lands in the
+/// negative-index interval that actually contains it instead of being
+/// folded into interval 0. `divisor` must be > 0.
+[[nodiscard]] constexpr std::int64_t floor_div(std::int64_t value,
+                                               std::int64_t divisor) noexcept {
+  const std::int64_t q = value / divisor;
+  return (value % divisor != 0 && value < 0) ? q - 1 : q;
+}
+
 /// Microseconds since simulation start. Plain struct (not chrono) because
 /// netsim's event queue and flowqueue records store it directly.
 struct SimTime {
@@ -98,7 +108,7 @@ class IntervalClock {
   [[nodiscard]] SimTime interval_length() const noexcept { return length_; }
 
   [[nodiscard]] IntervalSeq interval_of(SimTime t) const noexcept {
-    return IntervalSeq{t.us / length_.us};
+    return IntervalSeq{floor_div(t.us, length_.us)};
   }
 
   [[nodiscard]] SimTime start_of(IntervalSeq i) const noexcept {

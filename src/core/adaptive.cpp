@@ -19,7 +19,23 @@ AdaptiveController::AdaptiveController(double initial_fraction,
       config.max_fraction > 1.0) {
     throw std::invalid_argument("fraction clamp range is invalid");
   }
-  history_.push_back(fraction_);
+  if (config.history_limit == 0) {
+    throw std::invalid_argument("history limit must be >= 1");
+  }
+  record(fraction_);
+}
+
+void AdaptiveController::record(double fraction) {
+  // Bounded trajectory: evict the oldest entry once the cap is reached.
+  // O(n) on eviction, but the cap is small and observations arrive once
+  // per window — not a hot path.
+  if (history_.size() >= config_.history_limit) {
+    history_.erase(history_.begin(),
+                   history_.begin() +
+                       static_cast<std::ptrdiff_t>(history_.size() -
+                                                   config_.history_limit + 1));
+  }
+  history_.push_back(fraction);
 }
 
 double AdaptiveController::observe(const stats::ConfidenceInterval& result) {
@@ -33,7 +49,8 @@ double AdaptiveController::observe_relative_error(double relative_error) {
     // Estimator produced a degenerate interval (e.g. nothing sampled):
     // take the largest allowed corrective step upward.
     fraction_ = std::min(fraction_ * config_.max_step, config_.max_fraction);
-    history_.push_back(fraction_);
+    ++observations_;
+    record(fraction_);
     return fraction_;
   }
 
@@ -42,7 +59,8 @@ double AdaptiveController::observe_relative_error(double relative_error) {
   const double hi = 1.0 + config_.tolerance;
   if (ratio >= lo && ratio <= hi) {
     // Inside the hysteresis band: hold.
-    history_.push_back(fraction_);
+    ++observations_;
+    record(fraction_);
     return fraction_;
   }
 
@@ -53,7 +71,8 @@ double AdaptiveController::observe_relative_error(double relative_error) {
   step = std::clamp(step, 1.0 / config_.max_step, config_.max_step);
   fraction_ =
       std::clamp(fraction_ * step, config_.min_fraction, config_.max_fraction);
-  history_.push_back(fraction_);
+  ++observations_;
+  record(fraction_);
   return fraction_;
 }
 

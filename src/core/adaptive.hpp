@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "stats/confidence.hpp"
@@ -31,6 +32,10 @@ struct AdaptiveConfig {
   double max_fraction{1.0};
   /// Exponent of the proportional response; < 1 damps the controller.
   double gain{0.5};
+  /// Most recent fractions kept in history() (oldest entries are evicted
+  /// first). Bounded so long-lived deployments observing every window do
+  /// not grow memory without limit. Must be >= 1.
+  std::size_t history_limit{1024};
 };
 
 class AdaptiveController {
@@ -47,14 +52,23 @@ class AdaptiveController {
   [[nodiscard]] const AdaptiveConfig& config() const noexcept {
     return config_;
   }
+  /// Most recent fractions, oldest first — at most
+  /// `config().history_limit` entries (older ones are evicted).
   [[nodiscard]] const std::vector<double>& history() const noexcept {
     return history_;
   }
+  /// Observations fed so far (unlike history().size(), never capped).
+  [[nodiscard]] std::uint64_t observations() const noexcept {
+    return observations_;
+  }
 
  private:
+  void record(double fraction);
+
   AdaptiveConfig config_;
   double fraction_;
   std::vector<double> history_;
+  std::uint64_t observations_{0};
 };
 
 }  // namespace approxiot::core

@@ -26,6 +26,10 @@ namespace approxiot::core {
 struct ItemBundle {
   WeightMap w_in;
   std::vector<Item> items;
+  /// Policy epoch of the node that produced this bundle (0 at sources and
+  /// on runtimes without a control plane). Informational in transit: a
+  /// receiving node stamps its *own* resolved epoch on its output.
+  std::uint64_t policy_epoch{0};
 
   [[nodiscard]] bool empty() const noexcept { return items.empty(); }
 };
@@ -34,6 +38,11 @@ struct ItemBundle {
 struct SampledBundle {
   WeightMap w_out;
   StratifiedBatch sample;
+  /// Policy epoch the producing node resolved for the interval that
+  /// sampled this bundle (§IV-B versioning): the root's estimators use it
+  /// to attribute a window's error bound to the policy generation(s) that
+  /// shaped the samples. 0 == the frozen construction-time configuration.
+  std::uint64_t policy_epoch{0};
 
   /// O(1): the arena size is the item count.
   [[nodiscard]] std::size_t item_count() const noexcept {
@@ -47,6 +56,7 @@ struct SampledBundle {
     ItemBundle out;
     out.w_in = w_out;
     out.items = sample.items();
+    out.policy_epoch = policy_epoch;
     return out;
   }
 
@@ -56,6 +66,7 @@ struct SampledBundle {
     ItemBundle out;
     out.w_in = std::move(w_out);
     out.items = sample.release_items();
+    out.policy_epoch = policy_epoch;
     return out;
   }
 };

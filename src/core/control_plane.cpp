@@ -1,0 +1,83 @@
+#include "core/control_plane.hpp"
+
+#include <utility>
+
+// For per_layer_fraction: the kPerLayer scope must use the *same*
+// function the tree constructors use so an epoch-0 resolve reproduces the
+// constructed per-layer fraction bit for bit.
+#include "core/pipeline.hpp"
+
+namespace approxiot::core {
+
+ControlPlane::ControlPlane() : ControlPlane(SamplingPolicy{}) {}
+
+ControlPlane::ControlPlane(SamplingPolicy initial) {
+  initial.epoch = 0;
+  current_.store(std::make_shared<const SamplingPolicy>(std::move(initial)),
+                 std::memory_order_release);
+}
+
+std::shared_ptr<const SamplingPolicy> ControlPlane::snapshot()
+    const noexcept {
+  return current_.load(std::memory_order_acquire);
+}
+
+PolicyEpoch ControlPlane::epoch() const noexcept {
+  return snapshot()->epoch;
+}
+
+PolicyEpoch ControlPlane::publish_locked(SamplingPolicy next) {
+  next.epoch = current_.load(std::memory_order_relaxed)->epoch + 1;
+  const PolicyEpoch assigned = next.epoch;
+  current_.store(std::make_shared<const SamplingPolicy>(std::move(next)),
+                 std::memory_order_release);
+  return assigned;
+}
+
+PolicyEpoch ControlPlane::publish(SamplingPolicy next) {
+  std::lock_guard<std::mutex> lock(publish_mutex_);
+  return publish_locked(std::move(next));
+}
+
+PolicyEpoch ControlPlane::publish_fraction(double end_to_end_fraction) {
+  std::lock_guard<std::mutex> lock(publish_mutex_);
+  SamplingPolicy next = *current_.load(std::memory_order_relaxed);
+  next.budget.sampling_fraction = end_to_end_fraction;
+  return publish_locked(std::move(next));
+}
+
+PolicyHandle::PolicyHandle(std::shared_ptr<const ControlPlane> plane,
+                           PolicyScope scope)
+    : plane_(std::move(plane)), scope_(scope) {}
+
+PolicyDecision PolicyHandle::resolve(const ResourceBudget& current) const {
+  PolicyDecision decision;
+  decision.budget = current;
+  if (plane_ == nullptr) return decision;
+
+  const std::shared_ptr<const SamplingPolicy> policy = plane_->snapshot();
+  decision.epoch = policy->epoch;
+  // Only the sampling fraction is projected from the policy: the other
+  // ResourceBudget knobs (rate caps, fixed reservoir sizes) are per-node
+  // capacity limits that a cluster-wide snapshot must not clobber — a
+  // rate-budgeted node under a fraction-only policy would otherwise see
+  // its max_items_per_second zeroed and forward nothing.
+  switch (scope_.rule) {
+    case PolicyScope::Rule::kPerLayer:
+      decision.budget.sampling_fraction = per_layer_fraction(
+          policy->budget.sampling_fraction, scope_.sampling_layers);
+      break;
+    case PolicyScope::Rule::kEndToEnd:
+      decision.budget.sampling_fraction = policy->budget.sampling_fraction;
+      break;
+    case PolicyScope::Rule::kHold:
+      break;  // budget stays as passed; only the epoch advances
+  }
+  return decision;
+}
+
+PolicyEpoch PolicyHandle::epoch() const noexcept {
+  return plane_ != nullptr ? plane_->epoch() : 0;
+}
+
+}  // namespace approxiot::core

@@ -54,6 +54,8 @@ ApproxResult approximate_query(const ThetaStore& theta, double confidence) {
       stats::make_interval(mean, err.mean_variance, confidence);
   result.estimated_count = total_count;
   result.sampled_items = sampled;
+  result.policy_epoch_min = theta.min_policy_epoch();
+  result.policy_epoch = theta.max_policy_epoch();
   return result;
 }
 

@@ -35,6 +35,11 @@ struct ApproxResult {
   stats::ConfidenceInterval mean;
   double estimated_count{0.0};
   std::uint64_t sampled_items{0};
+  /// Policy-epoch span of the samples this result was computed over
+  /// (§IV-B versioning): equal values attribute the error bound to one
+  /// policy generation; a span means the window straddled a live swap.
+  std::uint64_t policy_epoch_min{0};
+  std::uint64_t policy_epoch{0};  // == max epoch contributing
 };
 
 /// One-call helper: summarize Θ, compute estimators and error bounds.

@@ -27,6 +27,15 @@ SamplingNode::SamplingNode(NodeConfig config)
 
 std::vector<SampledBundle> SamplingNode::process_interval(
     const std::vector<ItemBundle>& psi) {
+  // Interval boundary = policy boundary (§IV-B live): resolve the current
+  // control-plane snapshot before deriving this interval's budget. One
+  // wait-free read; mid-interval publishes take effect next interval.
+  if (config_.policy.bound()) {
+    const PolicyDecision decision = config_.policy.resolve(config_.budget);
+    policy_epoch_ = decision.epoch;
+    config_.budget = decision.budget;
+  }
+
   // Line 3: derive the reservoir budget for this interval. The volume
   // estimate is last interval's arrival count; on the very first interval
   // (no history) the already-buffered Ψ stands in so the fraction-based
@@ -80,6 +89,7 @@ std::vector<SampledBundle> SamplingNode::process_interval(
 
     SampledBundle out =
         lane_->sample_strata(strata_scratch_, pair_budget, effective);
+    out.policy_epoch = policy_epoch_;
 
     // Remember the *input* weights for sub-streams whose weight arrived
     // with this bundle, so later intervals can resolve weight-less items.

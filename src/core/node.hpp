@@ -22,6 +22,7 @@
 #include "common/time.hpp"
 #include "common/types.hpp"
 #include "core/batch.hpp"
+#include "core/control_plane.hpp"
 #include "core/cost_function.hpp"
 #include "core/error.hpp"
 #include "core/executor.hpp"
@@ -48,6 +49,11 @@ struct NodeConfig {
   /// nodes (ConcurrentEdgeTree, streams topologies) share one executor
   /// here so every node's shards run on the same persistent worker pool.
   std::shared_ptr<SamplingExecutor> executor{};
+  /// Live control plane view (§IV-B). When bound, the node resolves its
+  /// budget through this handle at every interval boundary — the policy
+  /// wins over the frozen `budget` above — and stamps its outputs with
+  /// the resolved epoch. Unbound (default) keeps the frozen budget.
+  PolicyHandle policy{};
 };
 
 /// Counters a node exposes for the throughput/bandwidth benches.
@@ -72,10 +78,18 @@ class SamplingNode {
   [[nodiscard]] std::vector<SampledBundle> process_interval(
       const std::vector<ItemBundle>& psi);
 
-  /// Updates the budget between intervals (adaptive feedback, §IV-B).
+  /// Updates the budget between intervals (legacy synchronous feedback,
+  /// §IV-B). With a bound policy handle the control plane wins: the next
+  /// interval's resolve overwrites whatever is set here.
   void set_budget(const ResourceBudget& budget) { config_.budget = budget; }
   [[nodiscard]] const ResourceBudget& budget() const noexcept {
     return config_.budget;
+  }
+
+  /// Policy epoch resolved for the most recent interval (0 before the
+  /// first interval and whenever no control plane is bound).
+  [[nodiscard]] PolicyEpoch policy_epoch() const noexcept {
+    return policy_epoch_;
   }
 
   [[nodiscard]] NodeId id() const noexcept { return config_.id; }
@@ -105,6 +119,7 @@ class SamplingNode {
   /// Reused per-bundle stratification arena (zero steady-state allocs).
   StratifiedBatch strata_scratch_;
   std::uint64_t last_interval_items_{0};
+  PolicyEpoch policy_epoch_{0};
   NodeMetrics metrics_;
 };
 
@@ -130,6 +145,9 @@ class RootNode {
   }
   [[nodiscard]] NodeId id() const noexcept { return node_.id(); }
   void set_budget(const ResourceBudget& budget) { node_.set_budget(budget); }
+  [[nodiscard]] PolicyEpoch policy_epoch() const noexcept {
+    return node_.policy_epoch();
+  }
 
  private:
   SamplingNode node_;

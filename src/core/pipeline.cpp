@@ -49,6 +49,10 @@ class WhsStage final : public PipelineStage {
     node_.set_budget(b);
   }
 
+  PolicyEpoch policy_epoch() const noexcept override {
+    return node_.policy_epoch();
+  }
+
  private:
   SamplingNode node_;
 };
@@ -56,7 +60,7 @@ class WhsStage final : public PipelineStage {
 /// SRS stage: wraps SrsNode.
 class SrsStage final : public PipelineStage {
  public:
-  explicit SrsStage(SrsNodeConfig config) : node_(config) {}
+  explicit SrsStage(SrsNodeConfig config) : node_(std::move(config)) {}
 
   std::vector<SampledBundle> process_interval(
       const std::vector<ItemBundle>& psi) override {
@@ -69,6 +73,10 @@ class SrsStage final : public PipelineStage {
     node_.set_probability(fraction);
   }
 
+  PolicyEpoch policy_epoch() const noexcept override {
+    return node_.policy_epoch();
+  }
+
  private:
   SrsNode node_;
 };
@@ -76,7 +84,8 @@ class SrsStage final : public PipelineStage {
 /// Snapshot stage: wraps SnapshotNode (whole-interval decimation).
 class SnapshotStage final : public PipelineStage {
  public:
-  explicit SnapshotStage(SnapshotNodeConfig config) : node_(config) {}
+  explicit SnapshotStage(SnapshotNodeConfig config)
+      : node_(std::move(config)) {}
 
   std::vector<SampledBundle> process_interval(
       const std::vector<ItemBundle>& psi) override {
@@ -86,6 +95,10 @@ class SnapshotStage final : public PipelineStage {
   const NodeMetrics& metrics() const override { return node_.metrics(); }
 
   void set_fraction(double fraction) override { node_.set_fraction(fraction); }
+
+  PolicyEpoch policy_epoch() const noexcept override {
+    return node_.policy_epoch();
+  }
 
  private:
   SnapshotNode node_;
@@ -136,6 +149,7 @@ std::unique_ptr<PipelineStage> make_pipeline_stage(const StageConfig& config) {
       nc.rng_seed = config.rng_seed;
       nc.parallel_workers = config.parallel_workers;
       nc.executor = config.executor;
+      nc.policy = config.policy;
       return std::make_unique<WhsStage>(std::move(nc));
     }
     case EngineKind::kSrs: {
@@ -143,20 +157,50 @@ std::unique_ptr<PipelineStage> make_pipeline_stage(const StageConfig& config) {
       sc.id = config.id;
       sc.probability = config.fraction;
       sc.rng_seed = config.rng_seed;
-      return std::make_unique<SrsStage>(sc);
+      sc.policy = config.policy;
+      return std::make_unique<SrsStage>(std::move(sc));
     }
     case EngineKind::kNative:
+      // Native forwards everything untouched — there is no budget for a
+      // policy to steer, so the handle stays unbound (epoch 0 outputs).
       return std::make_unique<NativeStage>();
     case EngineKind::kSnapshot: {
       SnapshotNodeConfig sc;
       sc.id = config.id;
       sc.period = 1;
-      auto out = std::make_unique<SnapshotStage>(sc);
+      sc.policy = config.policy;
+      auto out = std::make_unique<SnapshotStage>(std::move(sc));
       out->set_fraction(config.fraction);
       return out;
     }
   }
   throw std::logic_error("unreachable engine kind");
+}
+
+std::shared_ptr<ControlPlane> make_control_plane(
+    const EdgeTreeConfig& config) {
+  SamplingPolicy initial;
+  initial.budget.sampling_fraction = config.sampling_fraction;
+  initial.whsamp.allocation_policy = config.allocation_policy;
+  initial.whsamp.reservoir_algorithm = config.reservoir_algorithm;
+  return std::make_shared<ControlPlane>(std::move(initial));
+}
+
+/// PolicyScope for node (layer, …) of a tree with `config`: how that
+/// stage projects the policy's end-to-end fraction onto its local budget.
+static PolicyScope edge_tree_policy_scope(const EdgeTreeConfig& config,
+                                          std::size_t layer) {
+  PolicyScope scope;
+  if (config.engine == EngineKind::kSnapshot) {
+    // Decimation happens once, at the leaves; other layers pass through
+    // and must keep doing so whatever the policy says.
+    scope.rule = layer == 0 ? PolicyScope::Rule::kEndToEnd
+                            : PolicyScope::Rule::kHold;
+  } else {
+    scope.rule = PolicyScope::Rule::kPerLayer;
+    scope.sampling_layers = config.layer_widths.size() + 1;
+  }
+  return scope;
 }
 
 StageConfig edge_tree_stage_config(const EdgeTreeConfig& config,
@@ -177,6 +221,11 @@ StageConfig edge_tree_stage_config(const EdgeTreeConfig& config,
   sc.allocation_policy = config.allocation_policy;
   sc.reservoir_algorithm = config.reservoir_algorithm;
   sc.rng_seed = config.rng_seed * 0x9e3779b97f4a7c15ULL + sc.id.value() + 1;
+  if (config.control_plane != nullptr &&
+      config.engine != EngineKind::kNative) {
+    sc.policy = PolicyHandle(config.control_plane,
+                             edge_tree_policy_scope(config, layer));
+  }
   return sc;
 }
 
@@ -280,6 +329,12 @@ void EdgeTree::set_sampling_fraction(double end_to_end) {
   config_.sampling_fraction = end_to_end;
   const std::size_t sampling_layers = config_.layer_widths.size() + 1;
   per_layer_fraction_ = per_layer_fraction(end_to_end, sampling_layers);
+  if (config_.control_plane != nullptr) {
+    // Versioned path: publish epoch N+1; every stage resolves it at its
+    // next interval boundary (and stamps outputs with the new epoch).
+    config_.control_plane->publish_fraction(end_to_end);
+    return;
+  }
   const bool snapshot = config_.engine == EngineKind::kSnapshot;
   for (std::size_t layer = 0; layer < stages_.size(); ++layer) {
     const double f = snapshot ? (layer == 0 ? end_to_end : 1.0)

@@ -21,6 +21,7 @@
 
 #include "common/types.hpp"
 #include "core/batch.hpp"
+#include "core/control_plane.hpp"
 #include "core/error.hpp"
 #include "core/node.hpp"
 #include "core/srs_node.hpp"
@@ -41,7 +42,14 @@ class PipelineStage {
   [[nodiscard]] virtual std::vector<SampledBundle> process_interval(
       const std::vector<ItemBundle>& psi) = 0;
   [[nodiscard]] virtual const NodeMetrics& metrics() const = 0;
+  /// Legacy synchronous re-tune; with a bound control plane the policy
+  /// resolved at the next interval boundary wins.
   virtual void set_fraction(double fraction) = 0;
+  /// Policy epoch the stage resolved for its most recent interval (0 for
+  /// stages without a control plane, e.g. native pass-through).
+  [[nodiscard]] virtual PolicyEpoch policy_epoch() const noexcept {
+    return 0;
+  }
 };
 
 struct EdgeTreeConfig {
@@ -59,7 +67,20 @@ struct EdgeTreeConfig {
   sampling::ReservoirAlgorithm reservoir_algorithm{
       sampling::ReservoirAlgorithm::kAlgorithmR};
   std::uint64_t rng_seed{42};
+  /// Live control plane (§IV-B). Null -> budgets frozen at construction
+  /// (the pre-control-plane behaviour). When set, every sampling stage is
+  /// built with a PolicyHandle scoped for its layer, resolves its budget
+  /// from the plane at interval boundaries, and stamps outputs with the
+  /// resolved epoch. A plane whose epoch-0 policy matches this config
+  /// (see make_control_plane) is behaviour-neutral until published to.
+  std::shared_ptr<ControlPlane> control_plane{};
 };
+
+/// A ControlPlane whose epoch-0 policy mirrors `config`: resolving it
+/// reproduces exactly the budgets the tree's stages are constructed with,
+/// so binding it changes nothing until the first publish.
+[[nodiscard]] std::shared_ptr<ControlPlane> make_control_plane(
+    const EdgeTreeConfig& config);
 
 /// fraction^(1/layers): per-layer fraction giving an end-to-end target.
 [[nodiscard]] double per_layer_fraction(double end_to_end,
@@ -91,6 +112,9 @@ struct StageConfig {
   /// one executor to every stage so all shards run on the same
   /// persistent worker pool. Null -> sequential WHSampler.
   std::shared_ptr<SamplingExecutor> executor{};
+  /// Live control plane view for the stage (see NodeConfig::policy).
+  /// Unbound -> the stage's `fraction` stays frozen.
+  PolicyHandle policy{};
 };
 
 [[nodiscard]] std::unique_ptr<PipelineStage> make_pipeline_stage(
@@ -123,10 +147,24 @@ class EdgeTree {
   [[nodiscard]] ApproxResult run_query(
       double confidence = stats::kConfidence95) const;
 
-  /// Re-tunes every stage's sampling fraction (adaptive feedback).
+  /// Re-tunes every stage's sampling fraction (adaptive feedback). With a
+  /// control plane this publishes a new policy epoch — stages pick it up
+  /// at their next interval boundary; without one it falls back to the
+  /// legacy synchronous per-stage set_fraction loop.
   void set_sampling_fraction(double end_to_end);
   [[nodiscard]] double sampling_fraction() const noexcept {
     return config_.sampling_fraction;
+  }
+
+  /// The live control plane (null when the tree runs frozen budgets).
+  [[nodiscard]] const std::shared_ptr<ControlPlane>& control_plane()
+      const noexcept {
+    return config_.control_plane;
+  }
+  /// Current policy epoch (0 without a control plane).
+  [[nodiscard]] PolicyEpoch policy_epoch() const noexcept {
+    return config_.control_plane != nullptr ? config_.control_plane->epoch()
+                                            : 0;
   }
 
   /// Aggregate metrics: items entering the leaves, items reaching the

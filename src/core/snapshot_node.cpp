@@ -29,6 +29,19 @@ void SnapshotNode::set_fraction(double fraction) {
 
 std::vector<SampledBundle> SnapshotNode::process_interval(
     const std::vector<ItemBundle>& psi) {
+  // Interval boundary = policy boundary: re-derive the decimation period
+  // from the resolved fraction. Only an actual epoch change re-rounds the
+  // period, so an unchanged plane cannot drift the phase alignment.
+  if (config_.policy.bound()) {
+    ResourceBudget current;
+    current.sampling_fraction = 1.0 / static_cast<double>(config_.period);
+    const PolicyDecision decision = config_.policy.resolve(current);
+    if (decision.epoch != policy_epoch_ || interval_index_ == 0) {
+      set_fraction(decision.budget.sampling_fraction);
+    }
+    policy_epoch_ = decision.epoch;
+  }
+
   const bool keep =
       (interval_index_ % config_.period) == config_.phase;
   ++interval_index_;
@@ -42,6 +55,7 @@ std::vector<SampledBundle> SnapshotNode::process_interval(
 
     SampledBundle out;
     out.sample.assign(bundle.items, stratify_scratch_);
+    out.policy_epoch = policy_epoch_;
     // Each kept snapshot stands for `period` intervals.
     const double scale = static_cast<double>(config_.period);
     for (const Stratum& s : out.sample.strata()) {

@@ -16,6 +16,7 @@
 
 #include "common/types.hpp"
 #include "core/batch.hpp"
+#include "core/control_plane.hpp"
 #include "core/node.hpp"
 
 namespace approxiot::core {
@@ -27,6 +28,11 @@ struct SnapshotNodeConfig {
   std::uint32_t period{10};
   /// Which interval within the period is kept (0 <= phase < period).
   std::uint32_t phase{0};
+  /// Live control plane view (§IV-B): when bound, the decimation period
+  /// tracks the resolved fraction at interval boundaries (kEndToEnd at
+  /// leaves, kHold elsewhere so decimation never compounds) and outputs
+  /// carry the resolved epoch.
+  PolicyHandle policy{};
 };
 
 class SnapshotNode {
@@ -50,9 +56,15 @@ class SnapshotNode {
     return metrics_;
   }
 
+  /// Policy epoch resolved for the most recent interval (0 when unbound).
+  [[nodiscard]] PolicyEpoch policy_epoch() const noexcept {
+    return policy_epoch_;
+  }
+
  private:
   SnapshotNodeConfig config_;
   std::uint64_t interval_index_{0};
+  PolicyEpoch policy_epoch_{0};
   NodeMetrics metrics_;
   StratifyScratch stratify_scratch_;
 };

@@ -14,6 +14,16 @@ double SrsNode::probability() const noexcept {
 
 std::vector<SampledBundle> SrsNode::process_interval(
     const std::vector<ItemBundle>& psi) {
+  // Interval boundary = policy boundary: the keep probability for the
+  // whole interval comes from the current control-plane snapshot.
+  if (config_.policy.bound()) {
+    ResourceBudget current;
+    current.sampling_fraction = sampler_.probability();
+    const PolicyDecision decision = config_.policy.resolve(current);
+    policy_epoch_ = decision.epoch;
+    sampler_.set_probability(decision.budget.sampling_fraction);
+  }
+
   std::vector<SampledBundle> outputs;
   outputs.reserve(psi.size());
 
@@ -35,6 +45,7 @@ std::vector<SampledBundle> SrsNode::process_interval(
 
     SampledBundle out;
     out.sample.assign(kept_scratch_, stratify_scratch_);
+    out.policy_epoch = policy_epoch_;
     for (const Stratum& s : out.sample.strata()) {
       out.w_out.set(s.id, effective.get(s.id) * ht);
       metrics_.items_out += s.len;

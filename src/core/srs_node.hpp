@@ -16,6 +16,7 @@
 #include "common/rng.hpp"
 #include "common/types.hpp"
 #include "core/batch.hpp"
+#include "core/control_plane.hpp"
 #include "core/node.hpp"
 #include "sampling/bernoulli.hpp"
 
@@ -25,6 +26,11 @@ struct SrsNodeConfig {
   NodeId id{};
   double probability{1.0};
   std::uint64_t rng_seed{0xc01fc01fULL};
+  /// Live control plane view (§IV-B): when bound, the node's keep
+  /// probability is resolved through this handle at interval boundaries
+  /// (scoped per layer like the WHS fraction) and outputs are stamped
+  /// with the resolved epoch. Unbound keeps `probability` frozen.
+  PolicyHandle policy{};
 };
 
 class SrsNode {
@@ -43,8 +49,14 @@ class SrsNode {
   [[nodiscard]] const NodeMetrics& metrics() const noexcept { return metrics_; }
   void reset_metrics() noexcept { metrics_ = NodeMetrics{}; }
 
+  /// Policy epoch resolved for the most recent interval (0 when unbound).
+  [[nodiscard]] PolicyEpoch policy_epoch() const noexcept {
+    return policy_epoch_;
+  }
+
  private:
   SrsNodeConfig config_;
+  PolicyEpoch policy_epoch_{0};
   sampling::BernoulliSampler sampler_;
   WeightMap remembered_weights_;
   /// Reused buffers: the coin-flip survivors of one bundle (stratified

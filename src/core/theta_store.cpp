@@ -5,6 +5,7 @@ namespace approxiot::core {
 const std::vector<WeightedSample> ThetaStore::kEmpty{};
 
 void ThetaStore::add(const SampledBundle& bundle) {
+  bool any = false;
   for (const Stratum& s : bundle.sample.strata()) {
     if (s.len == 0) continue;
     const ItemSpan items = bundle.sample.span(s);
@@ -12,12 +13,27 @@ void ThetaStore::add(const SampledBundle& bundle) {
     pair.weight = bundle.w_out.get(s.id);
     pair.items.assign(items.begin(), items.end());
     pairs_[s.id].push_back(std::move(pair));
+    any = true;
   }
+  if (any) note_epoch(bundle.policy_epoch);
 }
 
-void ThetaStore::add_pair(SubStreamId id, WeightedSample pair) {
+void ThetaStore::add_pair(SubStreamId id, WeightedSample pair,
+                          std::uint64_t policy_epoch) {
   if (pair.items.empty()) return;
   pairs_[id].push_back(std::move(pair));
+  note_epoch(policy_epoch);
+}
+
+void ThetaStore::note_epoch(std::uint64_t epoch) noexcept {
+  if (!epoch_seen_) {
+    epoch_min_ = epoch;
+    epoch_max_ = epoch;
+    epoch_seen_ = true;
+    return;
+  }
+  if (epoch < epoch_min_) epoch_min_ = epoch;
+  if (epoch > epoch_max_) epoch_max_ = epoch;
 }
 
 std::vector<SubStreamId> ThetaStore::sub_streams() const {

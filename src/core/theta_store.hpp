@@ -22,13 +22,22 @@ class ThetaStore {
  public:
   /// Splits a SampledBundle into per-sub-stream (weight, items) pairs and
   /// appends them. Pairs with no items are dropped: they contribute
-  /// nothing to any estimator.
+  /// nothing to any estimator. The bundle's policy epoch is folded into
+  /// the window's epoch span so the query result can attribute its error
+  /// bound to the policy generation(s) that produced the samples.
   void add(const SampledBundle& bundle);
 
   /// Appends a single pair directly (used by tests and the SRS path).
-  void add_pair(SubStreamId id, WeightedSample pair);
+  /// `policy_epoch` attributes the pair to a policy generation.
+  void add_pair(SubStreamId id, WeightedSample pair,
+                std::uint64_t policy_epoch = 0);
 
-  void clear() noexcept { pairs_.clear(); }
+  void clear() noexcept {
+    pairs_.clear();
+    epoch_min_ = 0;
+    epoch_max_ = 0;
+    epoch_seen_ = false;
+  }
 
   [[nodiscard]] bool empty() const noexcept { return pairs_.empty(); }
 
@@ -48,8 +57,24 @@ class ThetaStore {
   /// Total sampled items across all sub-streams.
   [[nodiscard]] std::uint64_t total_sampled() const;
 
+  /// Oldest/newest policy epoch among the bundles accumulated in this
+  /// window (both 0 for an empty window). Equal values mean every sample
+  /// was produced under one policy generation; a span means the window
+  /// straddled a live policy swap.
+  [[nodiscard]] std::uint64_t min_policy_epoch() const noexcept {
+    return epoch_seen_ ? epoch_min_ : 0;
+  }
+  [[nodiscard]] std::uint64_t max_policy_epoch() const noexcept {
+    return epoch_seen_ ? epoch_max_ : 0;
+  }
+
  private:
+  void note_epoch(std::uint64_t epoch) noexcept;
+
   std::map<SubStreamId, std::vector<WeightedSample>> pairs_;
+  std::uint64_t epoch_min_{0};
+  std::uint64_t epoch_max_{0};
+  bool epoch_seen_{false};
   static const std::vector<WeightedSample> kEmpty;
 };
 

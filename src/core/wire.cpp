@@ -7,9 +7,24 @@ namespace approxiot::core {
 namespace {
 constexpr std::uint8_t kMagic = 0xA7;
 constexpr std::uint8_t kVersion = 0x01;
+/// v2 == v1 plus a varint policy epoch between the version byte and the
+/// weights. Encoders emit v1 whenever the epoch is 0 so payloads from a
+/// runtime that never publishes a policy stay byte-identical to the
+/// pre-control-plane format; decoders accept both.
+constexpr std::uint8_t kVersionEpoch = 0x02;
 }  // namespace
 
 namespace {
+
+void encode_header(flowqueue::Encoder& enc, std::uint64_t policy_epoch) {
+  enc.put_varint(kMagic);
+  if (policy_epoch == 0) {
+    enc.put_varint(kVersion);
+  } else {
+    enc.put_varint(kVersionEpoch);
+    enc.put_varint(policy_epoch);
+  }
+}
 
 void encode_weights(flowqueue::Encoder& enc, const WeightMap& weights) {
   enc.put_varint(weights.size());
@@ -32,8 +47,7 @@ void encode_items(flowqueue::Encoder& enc, const Item* items, std::size_t n) {
 
 std::vector<std::uint8_t> encode_bundle(const ItemBundle& bundle) {
   flowqueue::Encoder enc;
-  enc.put_varint(kMagic);
-  enc.put_varint(kVersion);
+  encode_header(enc, bundle.policy_epoch);
   encode_weights(enc, bundle.w_in);
   encode_items(enc, bundle.items.data(), bundle.items.size());
   return enc.take();
@@ -45,8 +59,7 @@ std::vector<std::uint8_t> encode_bundle(const SampledBundle& bundle) {
   // old to_bundle() round trip — one full copy of every item and weight —
   // is gone.
   flowqueue::Encoder enc;
-  enc.put_varint(kMagic);
-  enc.put_varint(kVersion);
+  encode_header(enc, bundle.policy_epoch);
   encode_weights(enc, bundle.w_out);
   encode_items(enc, bundle.sample.items().data(), bundle.sample.item_count());
   return enc.take();
@@ -62,12 +75,18 @@ Result<ItemBundle> decode_bundle(const std::vector<std::uint8_t>& payload) {
   }
   auto version = dec.get_varint();
   if (!version) return version.status();
-  if (version.value() != kVersion) {
+  if (version.value() != kVersion && version.value() != kVersionEpoch) {
     return Status::invalid_argument("unsupported bundle version " +
                                     std::to_string(version.value()));
   }
 
   ItemBundle bundle;
+
+  if (version.value() == kVersionEpoch) {
+    auto epoch = dec.get_varint();
+    if (!epoch) return epoch.status();
+    bundle.policy_epoch = epoch.value();
+  }
 
   auto n_weights = dec.get_varint();
   if (!n_weights) return n_weights.status();

@@ -1,7 +1,12 @@
 // Wire format: (weight map, items) bundles <-> flowqueue record payloads.
 //
 // Layout (all varint/fixed little-endian via flowqueue::serde):
-//   magic byte 0xA7, version byte 0x01
+//   magic byte 0xA7, version byte (0x01 or 0x02)
+//   [v2 only] varint policy_epoch — the control-plane epoch (§IV-B) the
+//             producing node resolved for the interval; v1 payloads imply
+//             epoch 0. Encoders emit v1 whenever the epoch is 0, so a
+//             runtime without a live policy produces byte-identical
+//             payloads to the pre-control-plane format.
 //   varint  n_weights; n_weights × { varint sub_stream_id, double weight }
 //   varint  n_items;   n_items   × { varint sub_stream_id, double value,
 //                                    fixed64 created_at_us }

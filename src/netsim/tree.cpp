@@ -19,8 +19,45 @@ TreeNetwork::TreeNetwork(Simulator& sim, TreeNetConfig config,
   const double layer_fraction = core::per_layer_fraction(
       config_.sampling_fraction, sampling_layers);
 
+  // §IV-B live feedback: every node gets its OWN control plane — the
+  // distributed state a real deployment would replicate — and policy
+  // updates are delivered to it over the simulated downlinks (see
+  // propagate_policy). Epoch-0 policies mirror the construction config,
+  // so an adaptive tree that never adapts behaves exactly like a frozen
+  // one. Native forwards everything; no budget for a policy to steer.
+  const bool bind_policy =
+      config_.adaptive && config_.engine != core::EngineKind::kNative;
+  core::SamplingPolicy initial_policy;
+  initial_policy.budget.sampling_fraction = config_.sampling_fraction;
+  // Controller only where a policy can bind: a native tree has no budget
+  // to steer, and running the controller anyway would report a fraction
+  // trajectory no node ever applies.
+  if (bind_policy) {
+    controller_ = std::make_unique<core::AdaptiveController>(
+        config_.sampling_fraction, config_.adaptive_config);
+  }
+  // Scope per engine, mirroring core's edge_tree_policy_scope: WHS/SRS
+  // resolve the per-layer root of the end-to-end fraction; snapshot
+  // decimates once, at the leaves (kEndToEnd there, kHold above —
+  // compounding the period across layers would drift the effective
+  // fraction arbitrarily off the published target).
+  const bool snapshot_engine =
+      config_.engine == core::EngineKind::kSnapshot;
+  const auto scope_for = [&](std::size_t layer) {
+    core::PolicyScope scope;
+    if (snapshot_engine) {
+      scope.rule = layer == 0 ? core::PolicyScope::Rule::kEndToEnd
+                              : core::PolicyScope::Rule::kHold;
+    } else {
+      scope.rule = core::PolicyScope::Rule::kPerLayer;
+      scope.sampling_layers = sampling_layers;
+    }
+    return scope;
+  };
+
   // Build sampling layers.
   layers_.resize(config_.layer_widths.size());
+  planes_.resize(config_.layer_widths.size());
   for (std::size_t layer = 0; layer < config_.layer_widths.size(); ++layer) {
     for (std::size_t i = 0; i < config_.layer_widths[layer]; ++i) {
       core::StageConfig sc;
@@ -30,6 +67,12 @@ TreeNetwork::TreeNetwork(Simulator& sim, TreeNetConfig config,
       sc.fraction = layer_fraction;
       sc.rng_seed =
           config_.rng_seed * 0x9e3779b97f4a7c15ULL + sc.id.value() + 1;
+      if (bind_policy) {
+        planes_[layer].push_back(
+            std::make_shared<core::ControlPlane>(initial_policy));
+        sc.policy =
+            core::PolicyHandle(planes_[layer].back(), scope_for(layer));
+      }
 
       SimNodeConfig nc;
       nc.interval = config_.interval;
@@ -49,6 +92,11 @@ TreeNetwork::TreeNetwork(Simulator& sim, TreeNetConfig config,
     sc.interval = config_.interval;
     sc.fraction = layer_fraction;
     sc.rng_seed = config_.rng_seed * 0x9e3779b97f4a7c15ULL + sc.id.value() + 1;
+    if (bind_policy) {
+      root_plane_ = std::make_shared<core::ControlPlane>(initial_policy);
+      sc.policy =
+          core::PolicyHandle(root_plane_, scope_for(layers_.size()));
+    }
 
     SimNodeConfig nc;
     nc.interval = config_.interval;
@@ -144,12 +192,57 @@ void TreeNetwork::close_window() {
     WindowResult wr;
     wr.closed_at = sim_->now();
     wr.result = core::approximate_query(theta_);
+    wr.fraction = controller_ != nullptr ? controller_->fraction()
+                                         : config_.sampling_fraction;
+    // §IV-B: the window's error bound drives the next policy, which then
+    // races the WAN down to the edge (propagate_policy).
+    if (controller_ != nullptr && wr.result.sampled_items > 0) {
+      const double next = controller_->observe(wr.result.sum);
+      if (root_plane_ != nullptr &&
+          root_plane_->snapshot()->budget.sampling_fraction != next) {
+        propagate_policy(next);
+      }
+    }
     windows_.push_back(std::move(wr));
     theta_.clear();
   }
   if (sim_->now() < drain_until_) {
     sim_->schedule_after(config_.interval, [this]() { close_window(); });
   }
+}
+
+void TreeNetwork::propagate_policy(double fraction) {
+  fraction_history_.emplace_back(sim_->now(), fraction);
+  // The controller runs at the root: its own plane switches immediately.
+  root_plane_->publish_fraction(fraction);
+  // Edge nodes learn about epoch N+1 only after the update crosses the
+  // WAN: a node at layer L waits for the one-way latencies of every hop
+  // between it and the root, so lower layers keep sampling under the old
+  // policy while the update is in flight — the convergence-under-latency
+  // effect the integration tests measure. (Policy messages are a few
+  // bytes; transmission time is negligible next to propagation delay, so
+  // only the latter is modelled.)
+  SimTime delay = SimTime::zero();
+  for (std::size_t layer = layers_.size(); layer-- > 0;) {
+    const std::size_t hop_above = layer + 1;  // link towards the parent
+    delay = delay + SimTime{config_.hop_rtts[hop_above].us / 2};
+    for (const auto& plane : planes_[layer]) {
+      sim_->schedule_after(delay, [plane, fraction]() {
+        plane->publish_fraction(fraction);
+      });
+    }
+  }
+}
+
+core::PolicyEpoch TreeNetwork::node_policy_epoch(std::size_t layer,
+                                                 std::size_t index) const {
+  if (layer == layers_.size()) {
+    return root_plane_ != nullptr ? root_plane_->epoch() : 0;
+  }
+  if (layer < planes_.size() && index < planes_[layer].size()) {
+    return planes_[layer][index]->epoch();
+  }
+  return 0;
 }
 
 void TreeNetwork::run_for(SimTime duration) {

@@ -14,6 +14,8 @@
 #include <memory>
 #include <vector>
 
+#include "core/adaptive.hpp"
+#include "core/control_plane.hpp"
 #include "core/error.hpp"
 #include "core/pipeline.hpp"
 #include "core/theta_store.hpp"
@@ -51,6 +53,15 @@ struct TreeNetConfig {
   SimTime source_tick{SimTime::from_millis(100)};
 
   std::uint64_t rng_seed{7};
+
+  /// §IV-B live feedback under WAN latency: at every window close the
+  /// root's AdaptiveController proposes the next end-to-end fraction and
+  /// the new policy epoch is DELIVERED DOWN THE SIMULATED LINKS — a node
+  /// `h` hops below the root adopts it only after the sum of those hops'
+  /// one-way latencies, so convergence-under-latency is measurable (the
+  /// leaves sample under the old epoch while the update is in flight).
+  bool adaptive{false};
+  core::AdaptiveConfig adaptive_config{};
 };
 
 /// Generates the items one source emits at one tick. Receives the source
@@ -61,6 +72,10 @@ using SourceFn =
 struct WindowResult {
   SimTime closed_at{};
   core::ApproxResult result;
+  /// End-to-end fraction in force at the root when the window closed
+  /// (the frozen config fraction when adaptive feedback is off). The
+  /// epoch span of the samples themselves is in result.policy_epoch*.
+  double fraction{1.0};
 };
 
 class TreeNetwork {
@@ -105,9 +120,26 @@ class TreeNetwork {
     return windows_;
   }
 
+  /// (publish time, fraction) trajectory of the adaptive controller —
+  /// publish time is when the ROOT published; layer-L nodes adopt later.
+  [[nodiscard]] const std::vector<std::pair<SimTime, double>>&
+  fraction_history() const noexcept {
+    return fraction_history_;
+  }
+
+  /// Policy epoch currently in force at node (layer, index) — lags the
+  /// root's epoch by the downlink delivery latency while an update is in
+  /// flight. Layer layer_widths.size() addresses the root.
+  [[nodiscard]] core::PolicyEpoch node_policy_epoch(std::size_t layer,
+                                                    std::size_t index) const;
+
  private:
   void source_tick(std::size_t source);
   void close_window();
+  /// Publishes `fraction` at the root now and schedules delivery to every
+  /// edge node after its downlink latency (sum of one-way hop latencies
+  /// from the root down to the node's layer).
+  void propagate_policy(double fraction);
 
   Simulator* sim_;
   TreeNetConfig config_;
@@ -120,6 +152,13 @@ class TreeNetwork {
 
   core::ThetaStore theta_;
   std::vector<WindowResult> windows_;
+
+  /// One plane per node (distributed state: each node's view of the
+  /// policy). planes_[layer][i]; the root's plane is root_plane_.
+  std::vector<std::vector<std::shared_ptr<core::ControlPlane>>> planes_;
+  std::shared_ptr<core::ControlPlane> root_plane_;
+  std::unique_ptr<core::AdaptiveController> controller_;
+  std::vector<std::pair<SimTime, double>> fraction_history_;
 
   std::uint64_t items_generated_{0};
   std::uint64_t items_processed_at_root_{0};

@@ -22,6 +22,25 @@ ConcurrentEdgeTree::ConcurrentEdgeTree(ConcurrentTreeConfig config,
   core::validate_edge_tree_config(config_.tree);
   const auto& widths = config_.tree.layer_widths;
 
+  // Live feedback needs a control plane to publish on. When none was
+  // supplied, seed one whose epoch-0 policy mirrors the tree config —
+  // behaviour-neutral until the first observation publishes epoch 1.
+  if (config_.adaptive.enabled) {
+    if (config_.tree.engine == core::EngineKind::kNative) {
+      // Native stages never bind a policy (no budget to steer): the
+      // controller would publish epochs nobody applies and report a
+      // fraction trajectory disconnected from reality.
+      throw std::invalid_argument(
+          "adaptive feedback requires a sampling engine (native stages "
+          "have no budget to adapt)");
+    }
+    if (config_.tree.control_plane == nullptr) {
+      config_.tree.control_plane = core::make_control_plane(config_.tree);
+    }
+    controller_ = std::make_unique<core::AdaptiveController>(
+        config_.tree.sampling_fraction, config_.adaptive.controller);
+  }
+
   // One persistent shard-execution substrate shared by every node: its
   // workers are created here, once, and per-interval sampling only
   // enqueues work on them (the ROADMAP's "persistent per-node sampling
@@ -184,10 +203,62 @@ core::ApproxResult ConcurrentEdgeTree::close_window(double confidence) {
   // drain() could wait forever; the window then closes over whatever
   // reached the root (the drop already was a sampling decision).
   if (config_.backpressure == BackpressurePolicy::kBlock) drain();
-  std::lock_guard<std::mutex> lock(theta_mutex_);
-  core::ApproxResult result = core::approximate_query(theta_, confidence);
-  theta_.clear();
+  core::ApproxResult result;
+  {
+    std::lock_guard<std::mutex> lock(theta_mutex_);
+    result = core::approximate_query(theta_, confidence);
+    theta_.clear();
+  }
+  // §IV-B: the closed window's error bound drives the next policy epoch.
+  // Outside theta_mutex_ — publishing must never block the root worker's
+  // Θ additions.
+  if (controller_ != nullptr) observe_and_publish(result);
   return result;
+}
+
+void ConcurrentEdgeTree::observe_and_publish(
+    const core::ApproxResult& result) {
+  // An empty window (no samples at all) carries no error signal the
+  // controller should act on — relative_margin() would be infinite and
+  // spuriously ramp the fraction to max.
+  if (result.sampled_items == 0) return;
+  // adaptive_mutex_ spans observe AND compare-and-publish: a mid-window
+  // observation racing a close_window() observation must publish in the
+  // order the controller moved, or the plane could settle on the older
+  // of two proposals while controller_->fraction() reports the newer.
+  std::lock_guard<std::mutex> lock(adaptive_mutex_);
+  const double next = controller_->observe(result.sum);
+  intervals_since_observation_ = 0;
+  auto& plane = config_.tree.control_plane;
+  if (plane != nullptr &&
+      plane->snapshot()->budget.sampling_fraction != next) {
+    const core::PolicyEpoch epoch = plane->publish_fraction(next);
+    if (metrics_ != nullptr) {
+      metrics_->counter("runtime.policy_publishes").increment();
+      metrics_->gauge("runtime.policy_epoch")
+          .set(static_cast<double>(epoch));
+      metrics_->gauge("runtime.policy_fraction").set(next);
+    }
+  }
+}
+
+core::PolicyEpoch ConcurrentEdgeTree::publish_fraction(double end_to_end) {
+  if (config_.tree.control_plane == nullptr) {
+    throw std::logic_error("publish_fraction() without a control plane");
+  }
+  return config_.tree.control_plane->publish_fraction(end_to_end);
+}
+
+double ConcurrentEdgeTree::adaptive_fraction() const {
+  if (controller_ == nullptr) return config_.tree.sampling_fraction;
+  std::lock_guard<std::mutex> lock(adaptive_mutex_);
+  return controller_->fraction();
+}
+
+std::vector<double> ConcurrentEdgeTree::adaptive_history() const {
+  if (controller_ == nullptr) return {};
+  std::lock_guard<std::mutex> lock(adaptive_mutex_);
+  return controller_->history();
 }
 
 core::ApproxResult ConcurrentEdgeTree::run_query(double confidence) const {
@@ -331,6 +402,23 @@ void ConcurrentEdgeTree::complete_root_interval(std::int64_t interval) {
       metrics_->histogram("runtime.interval_latency_us")
           .record(static_cast<double>(latency_us));
     }
+  }
+
+  // Mid-window feedback (§IV-B live): every N completed root intervals,
+  // observe the running window's confidence interval and let the
+  // controller republish — from the root's own thread, while every other
+  // worker keeps flowing. Upstream nodes adopt the new epoch at their
+  // next interval boundary: the feedback edge is out-of-band, carried by
+  // the control plane instead of the data channels.
+  if (controller_ != nullptr &&
+      config_.adaptive.intervals_per_observation > 0) {
+    bool due = false;
+    {
+      std::lock_guard<std::mutex> lock(adaptive_mutex_);
+      due = ++intervals_since_observation_ >=
+            config_.adaptive.intervals_per_observation;
+    }
+    if (due) observe_and_publish(run_query(config_.adaptive.confidence));
   }
 }
 

@@ -35,7 +35,9 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "core/adaptive.hpp"
 #include "core/batch.hpp"
+#include "core/control_plane.hpp"
 #include "core/pipeline.hpp"
 #include "core/theta_store.hpp"
 #include "runtime/bounded_channel.hpp"
@@ -70,6 +72,28 @@ struct ConcurrentTreeConfig {
   /// Optional: called from the root's thread for every sampled bundle the
   /// root adds to Θ (e.g. to republish results into a flowqueue topic).
   std::function<void(const core::SampledBundle&)> root_tap{};
+
+  /// §IV-B live feedback: the root observes its window's confidence
+  /// interval, an AdaptiveController proposes the next end-to-end
+  /// fraction, and the tree publishes policy epoch N+1 on the control
+  /// plane — all without stopping the node workers, which pick the new
+  /// epoch up at their next interval boundary.
+  struct AdaptiveFeedback {
+    bool enabled{false};
+    core::AdaptiveConfig controller{};
+    /// Root intervals between mid-window observations of Θ. 0 == observe
+    /// only at close_window() (window-synchronous: with a drain() before
+    /// each close the whole loop is deterministic); > 0 additionally
+    /// observes the running window every N completed root intervals,
+    /// adapting mid-stream.
+    std::size_t intervals_per_observation{0};
+    /// Confidence level for mid-window observations. Keep it equal to
+    /// the confidence passed to close_window(): the controller's target
+    /// relative error is defined against ONE interval width, and mixing
+    /// sigma levels would give the loop two different fixed points.
+    double confidence{stats::kConfidence95};
+  };
+  AdaptiveFeedback adaptive{};
 };
 
 class ConcurrentEdgeTree {
@@ -134,6 +158,33 @@ class ConcurrentEdgeTree {
     return config_.tree.engine;
   }
 
+  // --- live control plane (§IV-B) ---------------------------------------
+
+  /// The policy store every stage resolves at its interval boundaries.
+  /// Non-null when the config carried one or adaptive feedback is on.
+  [[nodiscard]] const std::shared_ptr<core::ControlPlane>& control_plane()
+      const noexcept {
+    return config_.tree.control_plane;
+  }
+  /// Current policy epoch (0 without a control plane).
+  [[nodiscard]] core::PolicyEpoch policy_epoch() const noexcept {
+    return config_.tree.control_plane != nullptr
+               ? config_.tree.control_plane->epoch()
+               : 0;
+  }
+  /// Publishes a new end-to-end fraction as epoch N+1 (manual feedback —
+  /// the adaptive loop does this on its own when enabled). Requires a
+  /// control plane. Safe while workers run.
+  core::PolicyEpoch publish_fraction(double end_to_end);
+  /// The adaptive controller's current end-to-end fraction (the config's
+  /// initial fraction until the first observation; requires adaptive
+  /// feedback enabled, otherwise returns the frozen config fraction).
+  [[nodiscard]] double adaptive_fraction() const;
+  /// Fraction trajectory of the adaptive controller (empty when feedback
+  /// is disabled). Snapshot by value: the controller lives on the root's
+  /// feedback path, so the history may grow concurrently.
+  [[nodiscard]] std::vector<double> adaptive_history() const;
+
  private:
   struct NodeRuntime {
     std::unique_ptr<core::PipelineStage> stage;
@@ -144,9 +195,19 @@ class ConcurrentEdgeTree {
 
   void node_loop(NodeRuntime& node);
   void complete_root_interval(std::int64_t interval);
+  /// Feeds one observed result into the controller and publishes a new
+  /// epoch when the proposed fraction moved. Called from the root worker
+  /// (mid-window observations) and from close_window() callers.
+  void observe_and_publish(const core::ApproxResult& result);
 
   ConcurrentTreeConfig config_;
   MetricsRegistry* metrics_{nullptr};
+
+  /// §IV-B loop state; adaptive_mutex_ serialises the root worker's
+  /// mid-window observations against close_window() observations.
+  mutable std::mutex adaptive_mutex_;
+  std::unique_ptr<core::AdaptiveController> controller_;
+  std::size_t intervals_since_observation_{0};
 
   /// Shared shard-execution substrate for every node's sampling lane.
   /// Declared before nodes_ so it outlives the lanes created from it.

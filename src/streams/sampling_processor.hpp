@@ -15,6 +15,15 @@
 // The TopologyDriver needs no changes either way — the parallelism is
 // entirely inside the punctuate() call, so the driver's deterministic
 // single-threaded record routing is preserved.
+//
+// Live policy (§IV-B): when the NodeConfig carries a bound PolicyHandle,
+// the processor applies the control plane AT PUNCTUATION TIME — the
+// buffered Ψ of one interval is always sampled under a single policy
+// epoch (the snapshot current when the punctuation fires), and the
+// forwarded records carry that epoch in their wire payloads. Records
+// buffered before a publish and flushed after it are sampled under the
+// NEW epoch: punctuation is the interval boundary, and interval
+// boundaries are where policies take effect everywhere in this system.
 #pragma once
 
 #include <memory>
@@ -44,6 +53,12 @@ class SamplingProcessor final : public Processor {
   /// sequential path; >1 when the NodeConfig carried a pooled executor).
   [[nodiscard]] std::size_t sampling_workers() const noexcept {
     return node_.sampling_workers();
+  }
+
+  /// Policy epoch applied at the most recent punctuation flush (0 when
+  /// the NodeConfig carried no control plane).
+  [[nodiscard]] core::PolicyEpoch policy_epoch() const noexcept {
+    return node_.policy_epoch();
   }
 
  private:

@@ -35,7 +35,9 @@ class TumblingWindows {
         grace_(grace) {}
 
   [[nodiscard]] WindowKey window_of(SimTime t) const noexcept {
-    return WindowKey{t.us / size_.us};
+    // Floor division: plain `/` truncates towards zero, which would fold
+    // every timestamp in (-size, 0) into window 0 instead of window -1.
+    return WindowKey{floor_div(t.us, size_.us)};
   }
 
   [[nodiscard]] SimTime window_start(WindowKey k) const noexcept {

@@ -34,6 +34,28 @@ TEST(IntervalClockTest, MapsTimesToIntervals) {
   EXPECT_EQ(clock.interval_of(SimTime::from_seconds(5.5)).seq, 5);
 }
 
+TEST(FloorDivTest, RoundsTowardsNegativeInfinity) {
+  EXPECT_EQ(floor_div(7, 2), 3);
+  EXPECT_EQ(floor_div(6, 2), 3);
+  EXPECT_EQ(floor_div(0, 5), 0);
+  EXPECT_EQ(floor_div(-1, 5), -1);
+  EXPECT_EQ(floor_div(-5, 5), -1);
+  EXPECT_EQ(floor_div(-6, 5), -2);
+}
+
+// Regression (shared with TumblingWindows): truncating division folded
+// timestamps in (-length, 0) into interval 0.
+TEST(IntervalClockTest, NegativeTimesMapToNegativeIntervals) {
+  IntervalClock clock(SimTime::from_seconds(1.0));
+  EXPECT_EQ(clock.interval_of(SimTime::from_millis(-1)).seq, -1);
+  EXPECT_EQ(clock.interval_of(SimTime::from_millis(-1000)).seq, -1);
+  EXPECT_EQ(clock.interval_of(SimTime::from_millis(-1001)).seq, -2);
+  // start/end round-trip still holds below zero.
+  const IntervalSeq i{-3};
+  EXPECT_EQ(clock.interval_of(clock.start_of(i)).seq, -3);
+  EXPECT_EQ(clock.interval_of(clock.end_of(i)).seq, -2);
+}
+
 TEST(IntervalClockTest, StartEndBoundaries) {
   IntervalClock clock(SimTime::from_millis(500));
   const IntervalSeq i{3};

@@ -101,6 +101,106 @@ TEST(AdaptiveControllerTest, ObserveFromInterval) {
   EXPECT_GT(controller.observe(noisy), 0.3);
 }
 
+// --- edge cases ---------------------------------------------------------
+
+TEST(AdaptiveControllerEdgeTest, ZeroEstimateMeansInfiniteRelativeError) {
+  // A window whose point estimate is 0 has relative_margin() == inf; the
+  // controller must treat it like a degenerate interval (max step up),
+  // not feed inf into pow() and produce NaN.
+  AdaptiveConfig config;
+  config.max_step = 2.0;
+  AdaptiveController controller(0.25, config);
+  stats::ConfidenceInterval degenerate{0.0, 5.0, 0.95};
+  EXPECT_DOUBLE_EQ(controller.observe(degenerate), 0.5);
+  EXPECT_TRUE(std::isfinite(controller.fraction()));
+}
+
+TEST(AdaptiveControllerEdgeTest, NearZeroEstimateStaysFiniteAndClamped) {
+  AdaptiveConfig config;
+  config.target_relative_error = 0.01;
+  config.max_step = 4.0;
+  config.max_fraction = 0.8;
+  AdaptiveController controller(0.5, config);
+  // margin/|point| astronomically large but finite: the step is clamped
+  // to max_step, then the fraction to max_fraction.
+  stats::ConfidenceInterval huge{1e-300, 1.0, 0.95};
+  EXPECT_DOUBLE_EQ(controller.observe(huge), 0.8);
+}
+
+TEST(AdaptiveControllerEdgeTest, ClampPinsAtMinFraction) {
+  AdaptiveConfig config;
+  config.target_relative_error = 0.01;
+  config.min_fraction = 0.2;
+  AdaptiveController controller(0.2, config);
+  // Already at the floor; a tiny error cannot push below it.
+  EXPECT_DOUBLE_EQ(controller.observe_relative_error(1e-6), 0.2);
+  EXPECT_DOUBLE_EQ(controller.fraction(), 0.2);
+}
+
+TEST(AdaptiveControllerEdgeTest, ClampPinsAtMaxFraction) {
+  AdaptiveConfig config;
+  config.target_relative_error = 0.01;
+  config.max_fraction = 0.6;
+  AdaptiveController controller(0.6, config);
+  EXPECT_DOUBLE_EQ(controller.observe_relative_error(50.0), 0.6);
+}
+
+TEST(AdaptiveControllerEdgeTest, HysteresisBandEdgesHold) {
+  // target == 1 so ratio == error exactly, keeping the band-edge
+  // comparisons free of division rounding.
+  AdaptiveConfig config;
+  config.target_relative_error = 1.0;
+  config.tolerance = 0.1;
+  AdaptiveController controller(0.5, config);
+  // Exactly on the band edges (ratio 1 ± tolerance): still "close
+  // enough" — the band is closed, not open.
+  EXPECT_DOUBLE_EQ(controller.observe_relative_error(1.0 - 0.1), 0.5);
+  EXPECT_DOUBLE_EQ(controller.observe_relative_error(1.0 + 0.1), 0.5);
+  // Just outside: adjusts.
+  EXPECT_NE(controller.observe_relative_error(1.2), 0.5);
+}
+
+TEST(AdaptiveControllerEdgeTest, MaxStepLimitsBothDirections) {
+  AdaptiveConfig config;
+  config.target_relative_error = 0.01;
+  config.max_step = 1.5;
+  AdaptiveController up(0.2, config);
+  EXPECT_DOUBLE_EQ(up.observe_relative_error(1000.0), 0.2 * 1.5);
+  AdaptiveController down(0.9, config);
+  EXPECT_DOUBLE_EQ(down.observe_relative_error(1e-12), 0.9 / 1.5);
+}
+
+// --- bounded history ----------------------------------------------------
+
+TEST(AdaptiveControllerHistoryTest, HistoryIsBoundedByConfiguredCap) {
+  AdaptiveConfig config;
+  config.history_limit = 8;
+  AdaptiveController controller(0.5, config);
+  for (int i = 0; i < 100; ++i) controller.observe_relative_error(100.0);
+  EXPECT_EQ(controller.history().size(), 8u);
+  EXPECT_EQ(controller.observations(), 100u);
+  // The kept entries are the most recent ones (the fraction saturates at
+  // max, so every survivor equals the final fraction).
+  for (double f : controller.history()) {
+    EXPECT_DOUBLE_EQ(f, controller.fraction());
+  }
+}
+
+TEST(AdaptiveControllerHistoryTest, RejectsZeroCap) {
+  AdaptiveConfig config;
+  config.history_limit = 0;
+  EXPECT_THROW(AdaptiveController(0.5, config), std::invalid_argument);
+}
+
+TEST(AdaptiveControllerHistoryTest, CapOneKeepsOnlyLatest) {
+  AdaptiveConfig config;
+  config.history_limit = 1;
+  AdaptiveController controller(0.5, config);
+  controller.observe_relative_error(100.0);
+  ASSERT_EQ(controller.history().size(), 1u);
+  EXPECT_DOUBLE_EQ(controller.history()[0], controller.fraction());
+}
+
 // Simulated closed loop: relative error ~ k/sqrt(fraction); the
 // controller should settle near the fraction solving k/sqrt(f) = target.
 TEST(AdaptiveControllerTest, ClosedLoopConverges) {

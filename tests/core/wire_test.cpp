@@ -45,6 +45,42 @@ TEST(WireTest, SampledBundleEncodesViaFlatten) {
   EXPECT_DOUBLE_EQ(decoded.value().items[0].value, 5.0);
 }
 
+TEST(WireTest, PolicyEpochRoundTrips) {
+  ItemBundle bundle = sample_bundle();
+  bundle.policy_epoch = 12345;
+  auto decoded = decode_bundle(encode_bundle(bundle));
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_EQ(decoded.value().policy_epoch, 12345u);
+  ASSERT_EQ(decoded.value().items.size(), bundle.items.size());
+
+  SampledBundle sampled;
+  sampled.policy_epoch = 9;
+  sampled.w_out.set(SubStreamId{1}, 2.0);
+  sampled.sample[SubStreamId{1}] = {Item{SubStreamId{1}, 5.0, 42}};
+  auto via_sampled = decode_bundle(encode_bundle(sampled));
+  ASSERT_TRUE(via_sampled.is_ok());
+  EXPECT_EQ(via_sampled.value().policy_epoch, 9u);
+}
+
+TEST(WireTest, EpochZeroKeepsLegacyV1Bytes) {
+  // A runtime that never publishes a policy must emit byte-identical
+  // payloads to the pre-control-plane wire format: version byte 0x01 and
+  // no epoch field.
+  ItemBundle bundle = sample_bundle();
+  ASSERT_EQ(bundle.policy_epoch, 0u);
+  const auto bytes = encode_bundle(bundle);
+  EXPECT_EQ(bytes[2], 0x01);  // magic is varint 0xA7 (2 bytes), then version
+
+  ItemBundle epoch_bundle = sample_bundle();
+  epoch_bundle.policy_epoch = 1;
+  const auto v2 = encode_bundle(epoch_bundle);
+  EXPECT_EQ(v2[2], 0x02);
+  EXPECT_EQ(v2.size(), bytes.size() + 1);  // one varint epoch byte more
+  auto decoded = decode_bundle(v2);
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_EQ(decoded.value().policy_epoch, 1u);
+}
+
 TEST(WireTest, RejectsBadMagic) {
   auto bytes = encode_bundle(sample_bundle());
   bytes[0] = 0x00;

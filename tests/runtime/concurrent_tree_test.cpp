@@ -135,6 +135,148 @@ INSTANTIATE_TEST_SUITE_P(AllEngines, EngineEquivalenceTest,
                            return core::engine_kind_name(info.param);
                          });
 
+// The control-plane acceptance bar: binding a live control plane that
+// stays at epoch 0 must change NOTHING — the concurrent tree resolving
+// its budgets through policy handles every interval produces the same Θ,
+// bit for bit, as the pre-refactor frozen-budget sequential tree.
+class FixedPolicyEquivalenceTest
+    : public ::testing::TestWithParam<EngineKind> {};
+
+TEST_P(FixedPolicyEquivalenceTest, EpochZeroPlaneIsBitIdenticalToFrozen) {
+  EdgeTreeConfig tree_config;
+  tree_config.layer_widths = {4, 2};
+  tree_config.engine = GetParam();
+  tree_config.sampling_fraction = 0.4;
+  tree_config.rng_seed = 20180701;
+
+  // Reference: the sequential tree with budgets frozen at construction
+  // (no control plane anywhere) — the pre-refactor behaviour.
+  EdgeTree sequential(tree_config);
+
+  // Subject: the concurrent runtime with a live plane bound to every
+  // stage. Nobody ever publishes, so every interval resolves epoch 0.
+  EdgeTreeConfig live_config = tree_config;
+  live_config.control_plane = core::make_control_plane(live_config);
+  ConcurrentTreeConfig runtime_config;
+  runtime_config.tree = live_config;
+  runtime_config.channel_capacity = 4;
+  runtime_config.backpressure = BackpressurePolicy::kBlock;
+  ConcurrentEdgeTree concurrent(runtime_config);
+
+  const auto workload = make_workload(24, sequential.leaf_count(), 77);
+  for (const auto& tick : workload) {
+    sequential.tick(tick);
+    concurrent.push_interval(tick);
+  }
+  concurrent.drain();
+
+  expect_theta_identical(sequential.theta(), concurrent.theta());
+  const auto seq_result = sequential.run_query();
+  const auto conc_result = concurrent.run_query();
+  EXPECT_EQ(seq_result.sum.point, conc_result.sum.point);
+  EXPECT_EQ(seq_result.sum.margin, conc_result.sum.margin);
+  EXPECT_EQ(seq_result.sampled_items, conc_result.sampled_items);
+  // Everything in Θ is attributed to epoch 0.
+  EXPECT_EQ(conc_result.policy_epoch, 0u);
+  EXPECT_EQ(conc_result.policy_epoch_min, 0u);
+  EXPECT_EQ(concurrent.policy_epoch(), 0u);
+
+  concurrent.stop();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEngines, FixedPolicyEquivalenceTest,
+                         ::testing::Values(EngineKind::kApproxIoT,
+                                           EngineKind::kSrs,
+                                           EngineKind::kSnapshot),
+                         [](const auto& info) {
+                           return core::engine_kind_name(info.param);
+                         });
+
+// A policy published between windows (workers quiescent after drain())
+// behaves exactly like a tree constructed at the new fraction: every
+// stage resolves the new epoch at its next interval, and the window's
+// result attributes itself to that epoch.
+TEST(ConcurrentTreePolicyTest, WindowSynchronousSwapMatchesReconstruction) {
+  EdgeTreeConfig tree_config;
+  tree_config.layer_widths = {4, 2};
+  tree_config.sampling_fraction = 0.8;
+  tree_config.rng_seed = 555;
+  tree_config.control_plane = core::make_control_plane(tree_config);
+
+  ConcurrentTreeConfig runtime_config;
+  runtime_config.tree = tree_config;
+  ConcurrentEdgeTree tree(runtime_config);
+
+  const auto workload = make_workload(8, tree.leaf_count(), 13);
+  for (const auto& tick : workload) tree.push_interval(tick);
+  tree.drain();
+  const auto first = tree.close_window();
+  EXPECT_EQ(first.policy_epoch, 0u);
+
+  // Quiescent swap: epoch 1 at fraction 0.2.
+  tree_config.control_plane->publish_fraction(0.2);
+  for (const auto& tick : workload) tree.push_interval(tick);
+  tree.drain();
+  const auto second = tree.close_window();
+  EXPECT_EQ(second.policy_epoch_min, 1u);
+  EXPECT_EQ(second.policy_epoch, 1u);
+  // A quarter of the fraction: strictly fewer samples survive.
+  EXPECT_LT(second.sampled_items, first.sampled_items);
+  tree.stop();
+}
+
+// Publishing MID-STREAM while workers are sampling: the swap is benign by
+// construction (weights self-describe, Eq. 8 is policy-independent), so
+// the estimated original counts stay exact no matter which interval each
+// node switched on. Runs under TSan in CI — this is the concurrent
+// policy-swap path.
+TEST(ConcurrentTreePolicyTest, MidStreamSwapPreservesWeightInvariant) {
+  EdgeTreeConfig tree_config;
+  tree_config.layer_widths = {4, 2};
+  tree_config.sampling_fraction = 0.6;
+  tree_config.rng_seed = 4242;
+  tree_config.control_plane = core::make_control_plane(tree_config);
+
+  ConcurrentTreeConfig runtime_config;
+  runtime_config.tree = tree_config;
+  runtime_config.channel_capacity = 2;  // layers pipeline across epochs
+  ConcurrentEdgeTree tree(runtime_config);
+
+  std::vector<std::uint64_t> truth = {0, 400, 800, 1200};
+  std::vector<std::vector<Item>> interval(tree.leaf_count());
+  Rng rng(99);
+  for (std::uint64_t s = 1; s <= 3; ++s) {
+    for (std::uint64_t i = 0; i < truth[s]; ++i) {
+      interval[rng.next_below(tree.leaf_count())].push_back(
+          Item{SubStreamId{s}, 1.0, 0});
+    }
+  }
+
+  // Publish a new epoch in the middle of the push storm: some intervals
+  // are sampled under epoch 0 at some layers and epoch k at others.
+  for (int rep = 0; rep < 12; ++rep) {
+    if (rep == 4) tree.publish_fraction(0.3);
+    if (rep == 8) tree.publish_fraction(0.9);
+    tree.push_interval(interval);
+  }
+  tree.drain();
+  tree.stop();
+
+  const auto& theta = tree.theta();
+  for (std::uint64_t s = 1; s <= 3; ++s) {
+    ASSERT_GT(theta.sampled_count(SubStreamId{s}), 0u);
+    const double expected = 12.0 * static_cast<double>(truth[s]);
+    EXPECT_NEAR(theta.estimated_original_count(SubStreamId{s}), expected,
+                expected * 1e-9)
+        << "stream " << s;
+  }
+  EXPECT_EQ(tree.policy_epoch(), 2u);
+  // The window straddled at least the final epoch; attribution recorded
+  // a span whose max is the newest epoch any node resolved.
+  EXPECT_LE(theta.min_policy_epoch(), theta.max_policy_epoch());
+  EXPECT_GE(theta.max_policy_epoch(), 1u);
+}
+
 // Multi-worker nodes shard reservoirs across real threads with no
 // coordination; Eq. 8 demands the estimated original count of every
 // sub-stream that kept >= 1 item stays EXACT at the root.

@@ -245,6 +245,85 @@ TEST_F(SamplingProcessorTest, OneWorkerExecutorMatchesDefaultBitForBit) {
   }
 }
 
+// Live policy (§IV-B) applied at punctuation time: a publish between
+// punctuations changes the fraction used for the NEXT flush, the
+// forwarded wire records carry the epoch that sampled them, and Eq. 8
+// keeps the count estimates exact across the swap.
+TEST_F(SamplingProcessorTest, PolicyAppliesAtPunctuationTime) {
+  core::SamplingPolicy initial;
+  initial.budget.sampling_fraction = 0.5;
+  auto plane = std::make_shared<core::ControlPlane>(initial);
+
+  SamplingProcessor* processor_view = nullptr;
+  TopologyBuilder builder;
+  builder.add_source("src", "raw")
+      .add_processor("samp",
+                     [&]() {
+                       core::NodeConfig config;
+                       config.cost_function = "fraction";
+                       config.budget.sampling_fraction = 0.5;
+                       config.policy = core::PolicyHandle(
+                           plane,
+                           core::PolicyScope{
+                               core::PolicyScope::Rule::kEndToEnd, 1});
+                       auto processor =
+                           std::make_unique<SamplingProcessor>(config);
+                       processor_view = processor.get();
+                       return processor;
+                     },
+                     {"src"})
+      .add_sink("out", "sampled", {"samp"});
+  auto topo = builder.build();
+  ASSERT_TRUE(topo.is_ok());
+  TopologyDriver driver(broker_, std::move(topo).value(), "test");
+  ASSERT_TRUE(driver.start().is_ok());
+
+  // Interval 1 under epoch 0 at fraction 0.5.
+  core::ItemBundle first;
+  first.items = n_items(SubStreamId{1}, 200, 1.0);
+  publish_bundle(first, SimTime::from_millis(100));
+  ASSERT_TRUE(driver.run_until_idle().is_ok());
+  driver.advance_stream_time(SimTime::from_millis(1001));  // punctuate
+  ASSERT_NE(processor_view, nullptr);
+  EXPECT_EQ(processor_view->policy_epoch(), 0u);
+
+  // The user's budget tightens: epoch 1 halves the fraction. Nothing is
+  // restarted — the next punctuation simply resolves the new snapshot.
+  plane->publish_fraction(0.25);
+
+  // Interval 2 under epoch 1 at fraction 0.25.
+  core::ItemBundle second;
+  second.items = n_items(SubStreamId{1}, 400, 1.0);
+  publish_bundle(second, SimTime::from_millis(1500));
+  ASSERT_TRUE(driver.run_until_idle().is_ok());
+  driver.advance_stream_time(SimTime::from_millis(2500));
+  EXPECT_EQ(processor_view->policy_epoch(), 1u);
+  ASSERT_TRUE(driver.stop().is_ok());
+
+  // Wire records carry the epoch that sampled them, in flush order.
+  std::vector<flowqueue::Record> records;
+  auto topic = broker_.topic("sampled");
+  ASSERT_TRUE(topic.is_ok());
+  topic.value()->partition(0).read(0, 100000, records);
+  ASSERT_EQ(records.size(), 2u);
+  auto flush1 = core::decode_bundle(records[0].value);
+  auto flush2 = core::decode_bundle(records[1].value);
+  ASSERT_TRUE(flush1.is_ok());
+  ASSERT_TRUE(flush2.is_ok());
+  EXPECT_EQ(flush1.value().policy_epoch, 0u);
+  EXPECT_EQ(flush2.value().policy_epoch, 1u);
+
+  // Fractions actually applied: 0.5 × 200 = 100 kept, then 0.25 × the
+  // EWMA-smoothed volume estimate (still 200) = 50 kept — and Eq. 8
+  // reconstructs both originals exactly either way.
+  EXPECT_EQ(flush1.value().items.size(), 100u);
+  EXPECT_EQ(flush2.value().items.size(), 50u);
+  const double w1 = flush1.value().w_in.get(SubStreamId{1});
+  const double w2 = flush2.value().w_in.get(SubStreamId{1});
+  EXPECT_NEAR(100.0 * w1, 200.0, 1e-9);
+  EXPECT_NEAR(50.0 * w2, 400.0, 1e-9);
+}
+
 TEST_F(SamplingProcessorTest, DropsUndecodableRecords) {
   TopologyBuilder builder;
   builder.add_source("src", "raw")

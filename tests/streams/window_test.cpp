@@ -19,6 +19,29 @@ TEST(TumblingWindowsTest, AssignsByTimestamp) {
   EXPECT_EQ(windows.window_of(SimTime::from_seconds(7.3)).index, 7);
 }
 
+// Regression: `t.us / size_.us` truncates toward zero, which folded
+// every timestamp in (-size, 0) into window 0 — a negative timestamp
+// (pre-epoch sensor clock, clock skew at a source) must land in the
+// negative-index window that actually contains it.
+TEST(TumblingWindowsTest, NegativeTimestampsUseFloorDivision) {
+  TumblingWindows<CountState> windows(SimTime::from_seconds(1.0));
+  EXPECT_EQ(windows.window_of(SimTime::from_millis(-1)).index, -1);
+  EXPECT_EQ(windows.window_of(SimTime::from_millis(-999)).index, -1);
+  EXPECT_EQ(windows.window_of(SimTime::from_millis(-1000)).index, -1);
+  EXPECT_EQ(windows.window_of(SimTime::from_millis(-1001)).index, -2);
+  EXPECT_EQ(windows.window_of(SimTime::from_seconds(-7.3)).index, -8);
+
+  // The half-open [start, end) contract holds for negative windows too.
+  const WindowKey k = windows.window_of(SimTime::from_millis(-500));
+  EXPECT_LE(windows.window_start(k), SimTime::from_millis(-500));
+  EXPECT_GT(windows.window_end(k), SimTime::from_millis(-500));
+
+  // And state keyed by negative timestamps is distinct from window 0.
+  windows.state_at(SimTime::from_millis(-500)).count++;
+  windows.state_at(SimTime::from_millis(500)).count++;
+  EXPECT_EQ(windows.open_windows(), 2u);
+}
+
 TEST(TumblingWindowsTest, BoundariesAreHalfOpen) {
   TumblingWindows<CountState> windows(SimTime::from_millis(250));
   const WindowKey k{4};
