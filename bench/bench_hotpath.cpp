@@ -31,6 +31,7 @@
 #include "core/stratified.hpp"
 #include "core/whsamp.hpp"
 #include "core/wire.hpp"
+#include "obs/hooks.hpp"
 #include "sampling/allocation.hpp"
 #include "sampling/reservoir.hpp"
 
@@ -136,6 +137,31 @@ std::size_t run_flat(core::WHSampler& sampler, core::StratifiedBatch& scratch,
   return payload.size() + forwarded.items.size();
 }
 
+// The flat step under live instrumentation: a stage-execute span plus the
+// exec_us histogram and items counter a tree node records per interval.
+// Identical sampling work — the bench asserts its accumulated output
+// equals the uninstrumented flat mode's bit for bit.
+std::size_t run_flat_obs(core::WHSampler& sampler,
+                         core::StratifiedBatch& scratch,
+                         const std::vector<Item>& items, std::size_t budget,
+                         obs::Histogram* exec_us, obs::Counter* items_in,
+                         obs::Tracer* tracer, obs::TrackId track) {
+  AIOT_OBS_SPAN(span, tracer, track, "stage-execute");
+  [[maybe_unused]] std::chrono::steady_clock::time_point t0{};
+  AIOT_OBS(if (exec_us != nullptr) t0 = std::chrono::steady_clock::now(););
+  const std::size_t sink = run_flat(sampler, scratch, items, budget);
+  AIOT_OBS(
+      if (exec_us != nullptr) {
+        const std::chrono::duration<double, std::micro> d =
+            std::chrono::steady_clock::now() - t0;
+        exec_us->record(d.count());
+        items_in->increment(items.size());
+      });
+  (void)exec_us;
+  (void)items_in;
+  return sink;
+}
+
 std::size_t run_legacy(LegacySampler& sampler, const std::vector<Item>& items,
                        std::size_t budget) {
   LegacyBundle bundle = sampler.sample(items, budget, {});
@@ -208,22 +234,37 @@ int main(int argc, char** argv) {
       "hot-path items/sec: flat arena vs legacy map data plane",
       "stratify -> WHSamp -> forward -> encode, 16 sub-streams, 10% budget");
 
-  std::vector<double> flat_rate, legacy_rate, speedup;
+  // The stats-on mode records into a live registry + tracer, like a node
+  // lane inside an instrumented ConcurrentEdgeTree.
+  obs::StatsRegistry stats;
+  obs::Tracer tracer;
+  obs::Histogram* exec_us = nullptr;
+  obs::Counter* items_in = nullptr;
+  obs::TrackId track = obs::ScopedSpan::kNoTrack;
+  AIOT_OBS(obs::ScopedStats scope = stats.scope("bench/hotpath");
+           exec_us = scope.histogram("exec_us");
+           items_in = scope.counter("items_in");
+           track = tracer.register_track("bench/hotpath"););
+
+  std::vector<double> flat_rate, stats_rate, legacy_rate, speedup,
+      stats_overhead_pct;
   for (const int n : interval_items) {
     const auto items = make_interval(static_cast<std::size_t>(n));
     const std::size_t budget = static_cast<std::size_t>(n) / 10;
 
-    double best_flat = 0.0, best_legacy = 0.0;
-    std::size_t sink = 0;
+    double best_flat = 0.0, best_stats = 0.0, best_legacy = 0.0;
+    std::size_t sink_flat = 0, sink_stats = 0, sink_legacy = 0;
     // Long-lived samplers, like a node's lane: scratch buffers persist
-    // across intervals. Reps interleave so machine noise hits both modes.
+    // across intervals. Reps interleave so machine noise hits all modes.
     core::WHSampler flat_sampler{Rng(kSeed)};
     core::StratifiedBatch scratch;
+    core::WHSampler stats_sampler{Rng(kSeed)};
+    core::StratifiedBatch stats_scratch;
     LegacySampler legacy_sampler{Rng(kSeed)};
     for (std::size_t rep = 0; rep < reps; ++rep) {
       auto start = std::chrono::steady_clock::now();
       for (std::size_t k = 0; k < intervals; ++k) {
-        sink += run_flat(flat_sampler, scratch, items, budget);
+        sink_flat += run_flat(flat_sampler, scratch, items, budget);
       }
       std::chrono::duration<double> elapsed =
           std::chrono::steady_clock::now() - start;
@@ -233,27 +274,51 @@ int main(int argc, char** argv) {
 
       start = std::chrono::steady_clock::now();
       for (std::size_t k = 0; k < intervals; ++k) {
-        sink += run_legacy(legacy_sampler, items, budget);
+        sink_stats += run_flat_obs(stats_sampler, stats_scratch, items,
+                                   budget, exec_us, items_in, &tracer, track);
+      }
+      elapsed = std::chrono::steady_clock::now() - start;
+      best_stats = std::max(
+          best_stats, items_per_second(static_cast<std::size_t>(n), intervals,
+                                       elapsed.count()));
+
+      start = std::chrono::steady_clock::now();
+      for (std::size_t k = 0; k < intervals; ++k) {
+        sink_legacy += run_legacy(legacy_sampler, items, budget);
       }
       elapsed = std::chrono::steady_clock::now() - start;
       best_legacy = std::max(
           best_legacy, items_per_second(static_cast<std::size_t>(n), intervals,
                                         elapsed.count()));
     }
-    if (sink == 42) std::printf("unlikely\n");  // keep `sink` observable
+    // Instrumentation must not change what the lane computes.
+    if (sink_flat != sink_stats) {
+      std::fprintf(stderr, "stats-on output diverged: %zu vs %zu\n",
+                   sink_flat, sink_stats);
+      return 1;
+    }
+    if (sink_legacy == 42) std::printf("unlikely\n");  // keep observable
 
     flat_rate.push_back(best_flat);
+    stats_rate.push_back(best_stats);
     legacy_rate.push_back(best_legacy);
     speedup.push_back(best_legacy > 0.0 ? best_flat / best_legacy : 0.0);
-    std::printf("%8d items/interval: flat %12.0f it/s   legacy %12.0f it/s"
-                "   speedup %.2fx\n",
-                n, best_flat, best_legacy, speedup.back());
+    stats_overhead_pct.push_back(
+        best_stats > 0.0 ? (best_flat / best_stats - 1.0) * 100.0 : 0.0);
+    std::printf("%8d items/interval: flat %12.0f it/s   +stats %12.0f it/s"
+                " (%+.2f%%)   legacy %12.0f it/s   speedup %.2fx\n",
+                n, best_flat, best_stats, stats_overhead_pct.back(),
+                best_legacy, speedup.back());
   }
 
   approxiot::bench::print_json_result(
       "hotpath", "ApproxIoT", "interval_items", interval_items,
       {{"flat_items_per_s", flat_rate},
+       {"stats_on_items_per_s", stats_rate},
+       {"stats_on_overhead_pct", stats_overhead_pct},
        {"legacy_items_per_s", legacy_rate},
        {"speedup", speedup}});
+  approxiot::bench::print_stats_json("hotpath", "ApproxIoT",
+                                     stats.snapshot());
   return 0;
 }

@@ -12,6 +12,7 @@
 #include "analytics/experiment.hpp"
 #include "core/pipeline.hpp"
 #include "netsim/tree.hpp"
+#include "obs/stats.hpp"
 #include "workload/substream.hpp"
 
 namespace approxiot::bench {
@@ -64,6 +65,17 @@ inline void print_json_result(
     std::printf("]");
   }
   std::printf("}\n");
+}
+
+/// Emits a bench artifact line carrying a full stats-registry snapshot
+/// (the obs JSON exporter nested under "stats"), so a bench run's
+/// internal telemetry rides the same `^{` JSONL channel as its rates:
+///   {"bench":"...","engine":"...","stats":{"counters":{...},...}}
+inline void print_stats_json(const std::string& bench,
+                             const std::string& engine,
+                             const obs::StatsSnapshot& snapshot) {
+  std::printf("{\"bench\":\"%s\",\"engine\":\"%s\",\"stats\":%s}\n",
+              bench.c_str(), engine.c_str(), snapshot.to_json().c_str());
 }
 
 /// Builds the accuracy-experiment config used by Figs. 5/10/11a: the

@@ -1,0 +1,20 @@
+// bench_overhead's third row: the identical kernel compiled with
+// -DAPPROXIOT_NO_STATS (set on this file in bench/CMakeLists.txt), so
+// every AIOT_OBS site expands to nothing — no branches, no clock reads,
+// no null checks. The kernel itself has internal linkage (see
+// overhead_kernel.hpp); this TU only exports the forwarding symbol.
+#ifndef APPROXIOT_NO_STATS
+#error "overhead_nostats.cpp must be compiled with APPROXIOT_NO_STATS"
+#endif
+
+#include "overhead_kernel.hpp"
+
+namespace approxiot::bench {
+
+OverheadResult run_overhead_kernel_nostats(const std::vector<Item>& items,
+                                           std::size_t budget,
+                                           std::size_t intervals) {
+  return run_overhead_kernel(items, budget, intervals, nullptr, nullptr);
+}
+
+}  // namespace approxiot::bench

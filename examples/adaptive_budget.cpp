@@ -10,10 +10,18 @@
 // that epoch prescribed, and the error/accuracy it bought.
 //
 // Run: ./build/examples/example_adaptive_budget [target=0.0005]
-//      [windows=15] [rate=30000]
+//      [windows=15] [rate=30000] [trace=out.json] [stats=out.json]
+//
+// trace= writes a chrome://tracing / Perfetto-loadable span trace (one
+// track per node, every span tagged with the policy epoch that was live);
+// stats= writes the final stats-registry snapshot as JSON.
 #include <cstdio>
+#include <fstream>
+#include <string>
 
 #include "common/config.hpp"
+#include "obs/stats.hpp"
+#include "obs/trace.hpp"
 #include "runtime/concurrent_tree.hpp"
 #include "workload/generators.hpp"
 #include "workload/ground_truth.hpp"
@@ -32,6 +40,11 @@ int main(int argc, char** argv) {
   const auto windows =
       static_cast<std::size_t>(config.value().get_int_or("windows", 15));
   const double rate = config.value().get_double_or("rate", 30000.0);
+  const std::string trace_path = config.value().get_string_or("trace", "");
+  const std::string stats_path = config.value().get_string_or("stats", "");
+
+  obs::StatsRegistry stats;
+  obs::Tracer tracer;
 
   runtime::ConcurrentTreeConfig tree_config;
   tree_config.tree.engine = core::EngineKind::kApproxIoT;
@@ -41,6 +54,8 @@ int main(int argc, char** argv) {
   tree_config.adaptive.controller.target_relative_error = target;
   tree_config.adaptive.controller.tolerance = 0.2;
   tree_config.adaptive.controller.min_fraction = 0.001;
+  tree_config.stats = &stats;
+  tree_config.tracer = &tracer;
   runtime::ConcurrentEdgeTree tree(tree_config);
 
   // The Fig. 10(c) extreme skew: the workload where frozen fractions
@@ -84,5 +99,26 @@ int main(int argc, char** argv) {
   for (double f : tree.adaptive_history()) std::printf(" %.3f", f);
   std::printf(")\n");
   tree.stop();
+
+  if (!trace_path.empty()) {
+    std::ofstream out(trace_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", trace_path.c_str());
+      return 1;
+    }
+    out << tracer.to_chrome_json();
+    std::printf("wrote %zu trace events (%zu tracks) to %s\n",
+                tracer.event_count(), tracer.track_count(),
+                trace_path.c_str());
+  }
+  if (!stats_path.empty()) {
+    std::ofstream out(stats_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", stats_path.c_str());
+      return 1;
+    }
+    out << stats.snapshot().to_json() << "\n";
+    std::printf("wrote stats snapshot to %s\n", stats_path.c_str());
+  }
   return 0;
 }

@@ -2,7 +2,12 @@
 // runs on its own thread, driven by a wall-clock IntervalScheduler, with
 // live metrics. Contrast with edge_tree_pipeline.cpp, which ticks the
 // same logical tree sequentially.
+//
+// Pass an output path to dump the run's stats registry in Prometheus
+// text format (the file a node_exporter-style scrape would serve):
+//   ./build/examples/example_concurrent_runtime metrics.prom
 #include <cstdio>
+#include <fstream>
 
 #include "common/rng.hpp"
 #include "runtime/concurrent_tree.hpp"
@@ -11,7 +16,7 @@
 
 using namespace approxiot;
 
-int main() {
+int main(int argc, char** argv) {
   runtime::MetricsRegistry registry;
 
   runtime::ConcurrentTreeConfig config;
@@ -63,5 +68,15 @@ int main() {
   std::printf("MEAN = %.3f +/- %.3f (95%%)\n", result.mean.point,
               result.mean.margin);
   std::printf("metrics: %s\n", registry.snapshot().to_json().c_str());
+
+  if (argc > 1) {
+    std::ofstream out(argv[1]);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", argv[1]);
+      return 1;
+    }
+    out << registry.stats().snapshot().to_prometheus();
+    std::printf("wrote Prometheus snapshot to %s\n", argv[1]);
+  }
   return 0;
 }

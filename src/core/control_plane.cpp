@@ -29,8 +29,9 @@ PolicyEpoch ControlPlane::epoch() const noexcept {
 PolicyEpoch ControlPlane::publish_locked(SamplingPolicy next) {
   next.epoch = current_.load(std::memory_order_relaxed)->epoch + 1;
   const PolicyEpoch assigned = next.epoch;
-  current_.store(std::make_shared<const SamplingPolicy>(std::move(next)),
-                 std::memory_order_release);
+  auto stored = std::make_shared<const SamplingPolicy>(std::move(next));
+  current_.store(stored, std::memory_order_release);
+  if (publish_hook_) publish_hook_(*stored);
   return assigned;
 }
 

@@ -28,6 +28,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 
@@ -85,6 +86,15 @@ class ControlPlane {
   /// sampling fraction (the adaptive controller's output).
   PolicyEpoch publish_fraction(double end_to_end_fraction);
 
+  /// Observation hook invoked after every publish (either path), with the
+  /// policy as stored — epoch already assigned. Runs under the publish
+  /// mutex, so hooks see epochs in order and must stay cheap (the
+  /// observability layer records an epoch-publish event and counters
+  /// here). One hook; rebinding replaces it. Bind before publishers run —
+  /// set_publish_hook does not synchronise with in-flight publish calls.
+  using PublishHook = std::function<void(const SamplingPolicy&)>;
+  void set_publish_hook(PublishHook hook) { publish_hook_ = std::move(hook); }
+
  private:
   /// Shared tail of both publish paths; caller holds publish_mutex_.
   PolicyEpoch publish_locked(SamplingPolicy next);
@@ -92,6 +102,7 @@ class ControlPlane {
   /// Serialises publishers so epochs are dense; readers never take it.
   std::mutex publish_mutex_;
   std::atomic<std::shared_ptr<const SamplingPolicy>> current_;
+  PublishHook publish_hook_;
 };
 
 /// How one node projects the end-to-end policy onto its local budget.

@@ -1,15 +1,33 @@
 #include "core/executor.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <latch>
 #include <stdexcept>
 #include <thread>
 #include <utility>
 
+#include "obs/hooks.hpp"
 #include "runtime/thread_pool.hpp"
 #include "sampling/allocation.hpp"
 
 namespace approxiot::core {
+
+namespace {
+
+/// Per-lane observability sinks, resolved once at lane creation. All
+/// pointers may be null. Timing reads clocks only — never the lane RNG —
+/// so instrumented and bare lanes emit bit-identical samples.
+struct LaneObs {
+  obs::Histogram* dispatch_us{nullptr};  ///< offer phase (shard fill)
+  obs::Histogram* merge_us{nullptr};     ///< merge + reweight phase
+  obs::Counter* items{nullptr};
+  obs::Counter* intervals{nullptr};
+  obs::Tracer* tracer{nullptr};
+  obs::TrackId track{0};
+};
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // SubStreamWorker
@@ -277,13 +295,15 @@ class ShardGroup {
 class PooledLane final : public SamplingLane {
  public:
   PooledLane(Rng rng, WHSampConfig config, std::size_t workers,
-             runtime::ThreadPool* pool, std::size_t min_items_to_dispatch)
+             runtime::ThreadPool* pool, std::size_t min_items_to_dispatch,
+             LaneObs lane_obs = {})
       : rng_(rng),
         config_(std::move(config)),
         policy_(sampling::make_allocation_policy(config_.allocation_policy)),
         workers_(workers == 0 ? 1 : workers),
         pool_(pool),
-        min_items_to_dispatch_(min_items_to_dispatch) {
+        min_items_to_dispatch_(min_items_to_dispatch),
+        obs_(lane_obs) {
     if (workers_ > 1 &&
         config_.reservoir_algorithm !=
             sampling::ReservoirAlgorithm::kAlgorithmR) {
@@ -335,6 +355,17 @@ class PooledLane final : public SamplingLane {
       route_groups_[&s - dir.data()] = &entry.group;
     }
 
+    AIOT_OBS(
+        if (obs_.intervals != nullptr) obs_.intervals->increment();
+        if (obs_.items != nullptr) obs_.items->increment(batch.item_count()););
+    [[maybe_unused]] std::chrono::steady_clock::time_point phase_begin{};
+    [[maybe_unused]] std::int64_t trace_begin = 0;
+    AIOT_OBS(
+        if (obs_.dispatch_us != nullptr || obs_.tracer != nullptr) {
+          phase_begin = std::chrono::steady_clock::now();
+          if (obs_.tracer != nullptr) trace_begin = obs_.tracer->now_us();
+        });
+
     // Lines 8-19: offer every item to its (sub-stream, shard) reservoir.
     // The shard is the item's WITHIN-stratum position modulo the worker
     // count — a pure function of the input, so inline and pooled
@@ -382,6 +413,21 @@ class PooledLane final : public SamplingLane {
       done.wait();
     }
 
+    AIOT_OBS(
+        if (obs_.dispatch_us != nullptr || obs_.tracer != nullptr) {
+          const auto now = std::chrono::steady_clock::now();
+          if (obs_.dispatch_us != nullptr) {
+            obs_.dispatch_us->record(
+                std::chrono::duration<double, std::micro>(now - phase_begin)
+                    .count());
+          }
+          if (obs_.tracer != nullptr) {
+            obs_.tracer->complete(obs_.track, "executor-dispatch",
+                                  trace_begin, obs_.tracer->now_us());
+          }
+          phase_begin = now;  // the merge phase starts here
+        });
+
     // Merge and reweight (Eq. 8), sub-streams in sorted order as always.
     // Each group's kept slice is appended straight into the output
     // bundle's arena — no intermediate per-stratum vector.
@@ -391,6 +437,13 @@ class PooledLane final : public SamplingLane {
           route_groups_[k]->merge_into(dir[k].id, out.sample);
       out.w_out.set(dir[k].id, infos_[k].weight * merged.weight_multiplier);
     }
+    AIOT_OBS(
+        if (obs_.merge_us != nullptr) {
+          obs_.merge_us->record(std::chrono::duration<double, std::micro>(
+                                    std::chrono::steady_clock::now() -
+                                    phase_begin)
+                                    .count());
+        });
 
     // Keep the cache bounded under churning sub-stream ids (ephemeral
     // device/session ids would otherwise grow it for the process
@@ -432,6 +485,7 @@ class PooledLane final : public SamplingLane {
   /// per-stratum shard group. Both are read-only while shard tasks run.
   std::vector<sampling::SubStreamInfo> infos_;
   std::vector<ShardGroup*> route_groups_;
+  LaneObs obs_;
 };
 
 }  // namespace
@@ -458,6 +512,14 @@ std::shared_ptr<PooledSamplingExecutor> PooledSamplingExecutor::for_seed(
   return std::make_shared<PooledSamplingExecutor>(options);
 }
 
+void PooledSamplingExecutor::bind_obs(obs::StatsRegistry* stats,
+                                      obs::Tracer* tracer,
+                                      const std::string& scope) {
+  obs_stats_ = stats;
+  obs_tracer_ = tracer;
+  obs_scope_ = scope;
+}
+
 std::unique_ptr<SamplingLane> PooledSamplingExecutor::create_lane(
     Rng rng, WHSampConfig config) {
   if (options_.workers_per_lane == 1) {
@@ -466,9 +528,25 @@ std::unique_ptr<SamplingLane> PooledSamplingExecutor::create_lane(
     // supports every allocation policy and reservoir algorithm).
     return std::make_unique<SequentialLane>(rng, std::move(config));
   }
+  LaneObs lane_obs;
+  if (obs_stats_ != nullptr || obs_tracer_ != nullptr) {
+    const std::string lane_scope =
+        (obs_scope_.empty() ? std::string("executor") : obs_scope_) +
+        "/lane" + std::to_string(lane_counter_.fetch_add(1));
+    if (obs_stats_ != nullptr) {
+      lane_obs.dispatch_us = &obs_stats_->histogram(lane_scope + "/dispatch_us");
+      lane_obs.merge_us = &obs_stats_->histogram(lane_scope + "/merge_us");
+      lane_obs.items = &obs_stats_->counter(lane_scope + "/items");
+      lane_obs.intervals = &obs_stats_->counter(lane_scope + "/intervals");
+    }
+    if (obs_tracer_ != nullptr) {
+      lane_obs.tracer = obs_tracer_;
+      lane_obs.track = obs_tracer_->register_track(lane_scope);
+    }
+  }
   return std::make_unique<PooledLane>(rng, std::move(config),
                                       options_.workers_per_lane, pool_.get(),
-                                      options_.min_items_to_dispatch);
+                                      options_.min_items_to_dispatch, lane_obs);
 }
 
 }  // namespace approxiot::core

@@ -38,9 +38,11 @@
 //     only.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -52,6 +54,11 @@
 namespace approxiot::runtime {
 class ThreadPool;  // depends only on common/ — no layering cycle
 }  // namespace approxiot::runtime
+
+namespace approxiot::obs {
+class StatsRegistry;  // obs depends only on the standard library
+class Tracer;
+}  // namespace approxiot::obs
 
 namespace approxiot::core {
 
@@ -193,6 +200,19 @@ class SamplingExecutor {
       Rng rng, WHSampConfig config) = 0;
 
   [[nodiscard]] virtual std::size_t workers_per_lane() const noexcept = 0;
+
+  /// Binds observability sinks for lanes created *after* this call: each
+  /// new lane gets "{scope}/lane{k}" stats (dispatch/merge timing, item
+  /// counts) and, when a tracer is given, its own trace track with
+  /// executor-dispatch spans. Default: no instrumentation. Timing reads
+  /// clocks only — lane RNG streams and sampling output are untouched, so
+  /// binding never perturbs what gets sampled.
+  virtual void bind_obs(obs::StatsRegistry* stats, obs::Tracer* tracer,
+                        const std::string& scope) {
+    (void)stats;
+    (void)tracer;
+    (void)scope;
+  }
 };
 
 /// Lanes are plain WHSampler instances — the reference sequential path.
@@ -250,9 +270,16 @@ class PooledSamplingExecutor final : public SamplingExecutor {
   /// False when shards always run inline (single-core auto mode).
   [[nodiscard]] bool has_pool() const noexcept { return pool_ != nullptr; }
 
+  void bind_obs(obs::StatsRegistry* stats, obs::Tracer* tracer,
+                const std::string& scope) override;
+
  private:
   Options options_;
   std::unique_ptr<runtime::ThreadPool> pool_;
+  obs::StatsRegistry* obs_stats_{nullptr};
+  obs::Tracer* obs_tracer_{nullptr};
+  std::string obs_scope_;
+  std::atomic<std::size_t> lane_counter_{0};
 };
 
 }  // namespace approxiot::core

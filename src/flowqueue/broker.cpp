@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/hooks.hpp"
+
 namespace approxiot::flowqueue {
 
 Status Broker::create_topic(const std::string& name,
@@ -136,6 +138,32 @@ Status Broker::commit_offset(const std::string& group,
   Offset& stored = it->second.committed[tp];
   stored = std::max(stored, offset);
   return Status::ok();
+}
+
+void Broker::export_stats(obs::StatsRegistry& registry,
+                          const std::string& scope) const {
+  AIOT_OBS(
+      std::lock_guard<std::mutex> lock(mutex_);
+      registry.gauge(scope + "/topics")
+          .set(static_cast<double>(topics_.size()));
+      for (const auto& [name, topic] : topics_) {
+        const std::string base = scope + "/topic/" + name;
+        registry.gauge(base + "/records")
+            .set(static_cast<double>(topic->record_count()));
+        registry.gauge(base + "/bytes")
+            .set(static_cast<double>(topic->bytes_appended()));
+        registry.gauge(base + "/partitions")
+            .set(static_cast<double>(topic->partition_count()));
+      }
+      for (const auto& [name, group] : groups_) {
+        const std::string base = scope + "/group/" + name;
+        registry.gauge(base + "/members")
+            .set(static_cast<double>(group.members.size()));
+        registry.gauge(base + "/generation")
+            .set(static_cast<double>(group.generation));
+      });
+  (void)registry;
+  (void)scope;
 }
 
 Offset Broker::committed_offset(const std::string& group,

@@ -17,6 +17,7 @@
 #include "common/status.hpp"
 #include "flowqueue/record.hpp"
 #include "flowqueue/topic.hpp"
+#include "obs/stats.hpp"
 
 namespace approxiot::flowqueue {
 
@@ -60,6 +61,19 @@ class Broker {
                        Offset offset);
   [[nodiscard]] Offset committed_offset(const std::string& group,
                                         const TopicPartition& tp) const;
+
+  /// Writes a point-in-time view of broker state into `registry` gauges
+  /// under `scope` (e.g. "flowqueue"):
+  ///   {scope}/topics                         topic count
+  ///   {scope}/topic/{name}/records           records appended, all partitions
+  ///   {scope}/topic/{name}/bytes             payload bytes appended
+  ///   {scope}/topic/{name}/partitions        partition count
+  ///   {scope}/group/{name}/members           current member count
+  ///   {scope}/group/{name}/generation        rebalance generation
+  /// Call again whenever a fresh view is wanted; gauges are overwritten in
+  /// place, so the same registry can be snapshotted per interval.
+  void export_stats(obs::StatsRegistry& registry,
+                    const std::string& scope) const;
 
  private:
   struct GroupState {

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/hooks.hpp"
+
 namespace approxiot::flowqueue {
 
 Consumer::Consumer(Broker& broker, std::string client_id)
@@ -88,7 +90,51 @@ Result<std::vector<Record>> Consumer::poll(std::size_t max_records) {
     pos += static_cast<Offset>(got);
   }
   next_partition_index_ = (next_partition_index_ + 1) % parts;
+  AIOT_OBS(
+      if (records_polled_ != nullptr) records_polled_->increment(batch.size());
+      update_stats(););
   return batch;
+}
+
+void Consumer::bind_stats(obs::StatsRegistry& registry,
+                          const std::string& scope) {
+  AIOT_OBS(lag_gauge_ = &registry.gauge(scope + "/lag");
+           watermark_age_gauge_ = &registry.gauge(scope + "/watermark_age_us");
+           caught_up_gauge_ = &registry.gauge(scope + "/caught_up");
+           assigned_gauge_ = &registry.gauge(scope + "/assigned_partitions");
+           records_polled_ = &registry.counter(scope + "/records_polled");
+           update_stats(););
+  (void)registry;
+  (void)scope;
+}
+
+void Consumer::update_stats() {
+  AIOT_OBS(
+      if (lag_gauge_ == nullptr) return;
+      std::int64_t lag = 0;
+      std::int64_t worst_age_us = 0;
+      bool behind = false;
+      for (const PartitionWatermark& mark : partition_watermarks()) {
+        if (mark.lag() > 0) lag += mark.lag();
+        if (mark.caught_up()) continue;
+        behind = true;
+        // Age of this partition's watermark in stream time: the newest
+        // appended record minus the next unread one. Offsets are dense,
+        // so end_offset - 1 is always the newest record.
+        auto topic = broker_->topic(mark.tp.topic);
+        if (!topic) continue;
+        const PartitionLog& log = topic.value()->partition(mark.tp.partition);
+        const auto oldest_unread = log.timestamp_at(mark.position);
+        const auto newest = log.timestamp_at(mark.end_offset - 1);
+        if (oldest_unread.has_value() && newest.has_value()) {
+          worst_age_us =
+              std::max(worst_age_us, (*newest - *oldest_unread).us);
+        }
+      }
+      lag_gauge_->set(static_cast<double>(lag));
+      watermark_age_gauge_->set(static_cast<double>(worst_age_us));
+      caught_up_gauge_->set(!behind && !assignment_.empty() ? 1.0 : 0.0);
+      assigned_gauge_->set(static_cast<double>(assignment_.size())););
 }
 
 Status Consumer::seek(const TopicPartition& tp, Offset offset) {

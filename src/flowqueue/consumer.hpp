@@ -10,6 +10,7 @@
 
 #include "common/status.hpp"
 #include "flowqueue/broker.hpp"
+#include "obs/stats.hpp"
 
 namespace approxiot::flowqueue {
 
@@ -79,6 +80,24 @@ class Consumer {
   /// False for an empty assignment (nothing is provably consumed).
   [[nodiscard]] bool caught_up() const;
 
+  /// Registers consumer gauges under `scope` (e.g. "flowqueue/c1") and
+  /// refreshes them at the end of every poll():
+  ///   {scope}/lag                 records behind, summed watermarks
+  ///   {scope}/watermark_age_us    stream-time distance between the next
+  ///                               unread record and the newest appended
+  ///                               one, worst assigned partition (0 when
+  ///                               caught up)
+  ///   {scope}/caught_up           1.0 / 0.0
+  ///   {scope}/assigned_partitions current assignment size
+  ///   {scope}/records_polled      counter, records returned by poll()
+  /// The registry must outlive the consumer. Derived from
+  /// partition_watermarks(), so an explicit update_stats() gives the same
+  /// numbers between polls.
+  void bind_stats(obs::StatsRegistry& registry, const std::string& scope);
+
+  /// Recomputes the bound gauges now (no-op when never bound).
+  void update_stats();
+
  private:
   void refresh_assignment_if_stale();
 
@@ -91,6 +110,13 @@ class Consumer {
   std::vector<TopicPartition> assignment_;
   std::map<TopicPartition, Offset> positions_;
   std::size_t next_partition_index_{0};
+
+  // Observability sinks (null until bind_stats). See bind_stats().
+  obs::Gauge* lag_gauge_{nullptr};
+  obs::Gauge* watermark_age_gauge_{nullptr};
+  obs::Gauge* caught_up_gauge_{nullptr};
+  obs::Gauge* assigned_gauge_{nullptr};
+  obs::Counter* records_polled_{nullptr};
 };
 
 }  // namespace approxiot::flowqueue

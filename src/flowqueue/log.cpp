@@ -38,4 +38,12 @@ std::uint64_t PartitionLog::bytes_appended() const {
   return bytes_appended_;
 }
 
+std::optional<SimTime> PartitionLog::timestamp_at(Offset at) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (at < 0 || static_cast<std::size_t>(at) >= records_.size()) {
+    return std::nullopt;
+  }
+  return records_[static_cast<std::size_t>(at)].timestamp;
+}
+
 }  // namespace approxiot::flowqueue

@@ -4,6 +4,7 @@
 
 #include <cstdint>
 #include <mutex>
+#include <optional>
 #include <vector>
 
 #include "common/status.hpp"
@@ -32,6 +33,11 @@ class PartitionLog {
 
   /// Total payload bytes appended so far (for bandwidth accounting).
   [[nodiscard]] std::uint64_t bytes_appended() const;
+
+  /// Timestamp of the record at offset `at` (nullopt when out of range) —
+  /// lets consumers compute watermark age (how far behind in *stream*
+  /// time their position is) without copying the record out.
+  [[nodiscard]] std::optional<SimTime> timestamp_at(Offset at) const;
 
  private:
   mutable std::mutex mutex_;

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/hooks.hpp"
+
 namespace approxiot::netsim {
 
 TreeNetwork::TreeNetwork(Simulator& sim, TreeNetConfig config,
@@ -147,6 +149,13 @@ TreeNetwork::TreeNetwork(Simulator& sim, TreeNetConfig config,
     for (auto& node : layer) node->start();
   }
   root_->start();
+
+  AIOT_OBS(if (config_.stats != nullptr) {
+    policy_prop_us_ =
+        &config_.stats->histogram("netsim/policy_propagation_us");
+    policy_publishes_ = &config_.stats->counter("netsim/policy_publishes");
+    windows_closed_ = &config_.stats->counter("netsim/windows_closed");
+  });
 }
 
 void TreeNetwork::source_tick(std::size_t source) {
@@ -205,16 +214,42 @@ void TreeNetwork::close_window() {
     }
     windows_.push_back(std::move(wr));
     theta_.clear();
+    AIOT_OBS(if (windows_closed_ != nullptr) windows_closed_->increment(););
   }
+  update_link_stats();
   if (sim_->now() < drain_until_) {
     sim_->schedule_after(config_.interval, [this]() { close_window(); });
   }
+}
+
+void TreeNetwork::update_link_stats() {
+  AIOT_OBS(
+      if (config_.stats == nullptr) return;
+      const double elapsed_s = sim_->now().seconds();
+      if (elapsed_s <= 0.0) return;
+      for (std::size_t hop = 0; hop < links_.size(); ++hop) {
+        std::uint64_t bytes = 0;
+        for (const auto& link : links_[hop]) bytes += link->bytes_sent();
+        const std::string base = "netsim/hop" + std::to_string(hop);
+        config_.stats->gauge(base + "/bytes")
+            .set(static_cast<double>(bytes));
+        // Mean utilization over the run: bits carried vs. the hop's
+        // aggregate capacity-time.
+        const double capacity_bits =
+            config_.bandwidth_bps * elapsed_s *
+            static_cast<double>(links_[hop].size());
+        config_.stats->gauge(base + "/utilization")
+            .set(capacity_bits > 0.0
+                     ? static_cast<double>(bytes) * 8.0 / capacity_bits
+                     : 0.0);
+      });
 }
 
 void TreeNetwork::propagate_policy(double fraction) {
   fraction_history_.emplace_back(sim_->now(), fraction);
   // The controller runs at the root: its own plane switches immediately.
   root_plane_->publish_fraction(fraction);
+  AIOT_OBS(if (policy_publishes_ != nullptr) policy_publishes_->increment(););
   // Edge nodes learn about epoch N+1 only after the update crosses the
   // WAN: a node at layer L waits for the one-way latencies of every hop
   // between it and the root, so lower layers keep sampling under the old
@@ -227,6 +262,9 @@ void TreeNetwork::propagate_policy(double fraction) {
     const std::size_t hop_above = layer + 1;  // link towards the parent
     delay = delay + SimTime{config_.hop_rtts[hop_above].us / 2};
     for (const auto& plane : planes_[layer]) {
+      AIOT_OBS(if (policy_prop_us_ != nullptr) {
+        policy_prop_us_->record(static_cast<double>(delay.us));
+      });
       sim_->schedule_after(delay, [plane, fraction]() {
         plane->publish_fraction(fraction);
       });
@@ -274,6 +312,7 @@ void TreeNetwork::drain() {
   // One last flush for anything that reached Θ after the final scheduled
   // window close.
   close_window();
+  update_link_stats();
 }
 
 SimTime TreeNetwork::root_backlog() const { return root_->backlog(); }

@@ -22,6 +22,7 @@
 #include "netsim/link.hpp"
 #include "netsim/sim.hpp"
 #include "netsim/sim_node.hpp"
+#include "obs/stats.hpp"
 #include "stats/moments.hpp"
 #include "stats/summary.hpp"
 
@@ -62,6 +63,19 @@ struct TreeNetConfig {
   /// leaves sample under the old epoch while the update is in flight).
   bool adaptive{false};
   core::AdaptiveConfig adaptive_config{};
+
+  /// Optional stats sink (must outlive the network). Registers under
+  /// "netsim/":
+  ///   netsim/policy_publishes        counter, root policy publishes
+  ///   netsim/policy_propagation_us   histogram, one sample per edge-node
+  ///                                  delivery: simulated delay between the
+  ///                                  root publish and that node's adoption
+  ///   netsim/hop{h}/bytes            gauge, bytes carried across hop h
+  ///   netsim/hop{h}/utilization      gauge, mean link utilization of hop h
+  ///                                  over the simulated run so far [0,1]
+  ///   netsim/windows_closed          counter
+  /// Hop gauges refresh at every window close and at drain.
+  obs::StatsRegistry* stats{nullptr};
 };
 
 /// Generates the items one source emits at one tick. Receives the source
@@ -136,6 +150,8 @@ class TreeNetwork {
  private:
   void source_tick(std::size_t source);
   void close_window();
+  /// Refreshes per-hop bytes/utilization gauges (no-op when stats unset).
+  void update_link_stats();
   /// Publishes `fraction` at the root now and schedules delivery to every
   /// edge node after its downlink latency (sum of one-way hop latencies
   /// from the root down to the node's layer).
@@ -159,6 +175,11 @@ class TreeNetwork {
   std::shared_ptr<core::ControlPlane> root_plane_;
   std::unique_ptr<core::AdaptiveController> controller_;
   std::vector<std::pair<SimTime, double>> fraction_history_;
+
+  // Observability sinks (null unless config.stats is set).
+  obs::Histogram* policy_prop_us_{nullptr};
+  obs::Counter* policy_publishes_{nullptr};
+  obs::Counter* windows_closed_{nullptr};
 
   std::uint64_t items_generated_{0};
   std::uint64_t items_processed_at_root_{0};

@@ -1,0 +1,40 @@
+// Compile-time instrumentation switch.
+//
+// Every stats/tracing site in the runtimes goes through these macros, so
+// building a translation unit with -DAPPROXIOT_NO_STATS strips its
+// instrumentation to literally nothing — no atomic ops, no clock reads,
+// no branches. Only the *macro expansions* change; every obs class stays
+// defined identically in both modes, so objects compiled with and without
+// the flag link into one binary without ODR violations (bench_overhead
+// relies on this to compare all three modes in a single run).
+//
+//   AIOT_OBS(stmt;...)               statement block, removed when off
+//   AIOT_OBS_SPAN(var, tracer, track, name)
+//                                    declares `var` as a ScopedSpan
+//                                    (or an inert NullSpan when off);
+//                                    var.set_epoch(e) works either way
+//
+// Instrumentation must never perturb sampling: hooks may read clocks and
+// counters but never touch RNG streams — sampling output is bit-identical
+// with stats on or off, which tests/obs and bench_overhead assert.
+#pragma once
+
+#include "obs/stats.hpp"
+#include "obs/trace.hpp"
+
+#ifndef APPROXIOT_NO_STATS
+#define AIOT_OBS_ENABLED 1
+#define AIOT_OBS(...)  \
+  do {                 \
+    __VA_ARGS__        \
+  } while (false)
+#define AIOT_OBS_SPAN(var, tracer, track, name) \
+  ::approxiot::obs::ScopedSpan var((tracer), (track), (name))
+#else
+#define AIOT_OBS_ENABLED 0
+#define AIOT_OBS(...) \
+  do {                \
+  } while (false)
+#define AIOT_OBS_SPAN(var, tracer, track, name)                            \
+  [[maybe_unused]] ::approxiot::obs::NullSpan var((tracer), (track), (name))
+#endif

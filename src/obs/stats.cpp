@@ -1,0 +1,516 @@
+#include "obs/stats.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <sstream>
+
+namespace approxiot::obs {
+namespace {
+
+// Lock-free accumulate for atomic<double> (no fetch_add pre-C++20 on all
+// targets; CAS loop matches the old runtime::Histogram idiom).
+void atomic_fadd(std::atomic<double>& target, double delta) noexcept {
+  double cur = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(cur, cur + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_fmax(std::atomic<double>& target, double value) noexcept {
+  double cur = target.load(std::memory_order_relaxed);
+  while (cur < value && !target.compare_exchange_weak(
+                            cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_fmin(std::atomic<double>& target, double value) noexcept {
+  double cur = target.load(std::memory_order_relaxed);
+  while (cur > value && !target.compare_exchange_weak(
+                            cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+std::size_t base2_bucket_of(double value) noexcept {
+  if (!(value > 1.0)) return 0;  // [0,2) and non-finite negatives
+  const int exp = std::ilogb(value);
+  if (exp < 1) return 0;
+  return std::min<std::size_t>(static_cast<std::size_t>(exp),
+                               Histogram::kBuckets - 1);
+}
+
+// Shared interpolating quantile over an ordered bucket walk. `lows[i]` /
+// `ups[i]` bound bucket i; the result is clamped to the observed
+// [min, max] so single samples and one-bucket distributions report
+// exactly what was recorded instead of a bucket-midpoint guess.
+template <typename LowFn, typename UpFn, typename CountFn>
+double bucketed_percentile(double q, std::uint64_t total, double min_v,
+                           double max_v, std::size_t n_buckets, LowFn low_of,
+                           UpFn up_of, CountFn count_of) noexcept {
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  if (q <= 0.0) return min_v;
+  if (q >= 1.0) return max_v;
+  const double target = q * static_cast<double>(total);
+  std::uint64_t running = 0;
+  for (std::size_t b = 0; b < n_buckets; ++b) {
+    const std::uint64_t in_bucket = count_of(b);
+    if (in_bucket == 0) continue;
+    running += in_bucket;
+    if (static_cast<double>(running) >= target) {
+      // Interpolate within the winning bucket, but never outside the
+      // observed range (fixes the single-sample / all-in-one-bucket
+      // cases where the bucket bounds overshoot reality).
+      const double lo = std::max(low_of(b), min_v);
+      const double hi = std::min(up_of(b), max_v);
+      if (hi <= lo) return std::clamp(lo, min_v, max_v);
+      const double before = static_cast<double>(running - in_bucket);
+      const double frac =
+          (target - before) / static_cast<double>(in_bucket);
+      return std::clamp(lo + frac * (hi - lo), min_v, max_v);
+    }
+  }
+  return max_v;
+}
+
+std::string format_double(double v) {
+  if (v == static_cast<double>(static_cast<long long>(v)) &&
+      std::abs(v) < 1e15) {
+    std::ostringstream os;
+    os << static_cast<long long>(v);
+    return os.str();
+  }
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+std::string sanitize_prom(const std::string& name) {
+  std::string out = "approxiot_";
+  out.reserve(out.size() + name.size());
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Histogram
+
+void Histogram::record(double value) noexcept {
+  if (!(value >= 0.0)) value = 0.0;  // clamp negatives and NaN
+  buckets_[base2_bucket_of(value)].fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t prev = count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_fadd(sum_, value);
+  if (prev == 0) {
+    // First sample seeds min; racing recorders still converge because
+    // both fmin and fmax run unconditionally below.
+    min_.store(value, std::memory_order_relaxed);
+  }
+  atomic_fmin(min_, value);
+  atomic_fmax(max_, value);
+}
+
+double Histogram::mean() const noexcept {
+  const std::uint64_t n = count();
+  return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+}
+
+double Histogram::min_value() const noexcept {
+  return count() == 0 ? 0.0 : min_.load(std::memory_order_relaxed);
+}
+
+double Histogram::max_value() const noexcept {
+  return max_.load(std::memory_order_relaxed);
+}
+
+double Histogram::bucket_upper(std::size_t bucket) noexcept {
+  return std::ldexp(1.0, static_cast<int>(bucket) + 1);  // 2^(b+1)
+}
+
+double Histogram::percentile(double q) const noexcept {
+  return bucketed_percentile(
+      q, count(), min_value(), max_value(), kBuckets,
+      [](std::size_t b) {
+        return b == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(b));
+      },
+      [](std::size_t b) { return bucket_upper(b); },
+      [this](std::size_t b) { return bucket_count(b); });
+}
+
+// ---------------------------------------------------------------------------
+// LinearHistogram
+
+LinearHistogram::LinearHistogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo),
+      width_((hi - lo) / static_cast<double>(buckets == 0 ? 1 : buckets)),
+      buckets_(buckets == 0 ? 1 : buckets) {}
+
+void LinearHistogram::record(double value) noexcept {
+  if (std::isnan(value)) value = lo_;
+  const double offset = (value - lo_) / width_;
+  std::size_t b = 0;
+  if (offset > 0.0) {
+    b = std::min(static_cast<std::size_t>(offset), buckets_.size() - 1);
+  }
+  buckets_[b].fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t prev = count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_fadd(sum_, value);
+  if (prev == 0) min_.store(value, std::memory_order_relaxed);
+  atomic_fmin(min_, value);
+  atomic_fmax(max_, value);
+}
+
+double LinearHistogram::mean() const noexcept {
+  const std::uint64_t n = count();
+  return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+}
+
+double LinearHistogram::min_value() const noexcept {
+  return count() == 0 ? 0.0 : min_.load(std::memory_order_relaxed);
+}
+
+double LinearHistogram::max_value() const noexcept {
+  return count() == 0 ? 0.0 : max_.load(std::memory_order_relaxed);
+}
+
+double LinearHistogram::bucket_upper(std::size_t bucket) const noexcept {
+  return lo_ + width_ * static_cast<double>(bucket + 1);
+}
+
+double LinearHistogram::percentile(double q) const noexcept {
+  return bucketed_percentile(
+      q, count(), min_value(), max_value(), buckets_.size(),
+      [this](std::size_t b) { return lo_ + width_ * static_cast<double>(b); },
+      [this](std::size_t b) { return bucket_upper(b); },
+      [this](std::size_t b) { return bucket_count(b); });
+}
+
+// ---------------------------------------------------------------------------
+// EwmaRate
+
+EwmaRate::EwmaRate(double tau_seconds)
+    : tau_(tau_seconds > 0.0 ? tau_seconds : 1.0) {}
+
+double EwmaRate::now_seconds() const {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void EwmaRate::record(double amount) { record_at(now_seconds(), amount); }
+
+void EwmaRate::record_at(double now_s, double amount) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (touched_ && now_s > last_update_s_) {
+    accum_ *= std::exp(-(now_s - last_update_s_) / tau_);
+  }
+  accum_ += amount;
+  last_update_s_ = touched_ ? std::max(last_update_s_, now_s) : now_s;
+  touched_ = true;
+}
+
+double EwmaRate::rate_per_s() const { return rate_at(now_seconds()); }
+
+double EwmaRate::rate_at(double now_s) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!touched_) return 0.0;
+  double a = accum_;
+  if (now_s > last_update_s_) {
+    a *= std::exp(-(now_s - last_update_s_) / tau_);
+  }
+  // Steady-state: a continuous r events/s input converges accum -> r*tau.
+  return a / tau_;
+}
+
+// ---------------------------------------------------------------------------
+// ScopedStats
+
+Counter* ScopedStats::counter(const std::string& name) const {
+  return registry_ == nullptr ? nullptr : &registry_->counter(full(name));
+}
+
+Gauge* ScopedStats::gauge(const std::string& name) const {
+  return registry_ == nullptr ? nullptr : &registry_->gauge(full(name));
+}
+
+Histogram* ScopedStats::histogram(const std::string& name) const {
+  return registry_ == nullptr ? nullptr : &registry_->histogram(full(name));
+}
+
+LinearHistogram* ScopedStats::linear_histogram(const std::string& name,
+                                               double lo, double hi,
+                                               std::size_t buckets) const {
+  return registry_ == nullptr
+             ? nullptr
+             : &registry_->linear_histogram(full(name), lo, hi, buckets);
+}
+
+EwmaRate* ScopedStats::rate(const std::string& name,
+                            double tau_seconds) const {
+  return registry_ == nullptr ? nullptr
+                              : &registry_->rate(full(name), tau_seconds);
+}
+
+// ---------------------------------------------------------------------------
+// StatsRegistry
+
+Counter& StatsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& StatsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& StatsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+LinearHistogram& StatsRegistry::linear_histogram(const std::string& name,
+                                                 double lo, double hi,
+                                                 std::size_t buckets) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = linear_histograms_[name];
+  if (!slot) slot = std::make_unique<LinearHistogram>(lo, hi, buckets);
+  return *slot;
+}
+
+EwmaRate& StatsRegistry::rate(const std::string& name, double tau_seconds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = rates_[name];
+  if (!slot) slot = std::make_unique<EwmaRate>(tau_seconds);
+  return *slot;
+}
+
+void StatsRegistry::formula(const std::string& name, FormulaFn fn) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  formulas_[name] = std::move(fn);
+}
+
+namespace {
+
+template <typename H>
+HistogramStats snapshot_histogram(const H& h, std::size_t n_buckets) {
+  HistogramStats out;
+  out.count = h.count();
+  out.sum = h.sum();
+  out.mean = h.mean();
+  out.min = h.min_value();
+  out.max = h.max_value();
+  out.p50 = h.percentile(0.50);
+  out.p90 = h.percentile(0.90);
+  out.p99 = h.percentile(0.99);
+  for (std::size_t b = 0; b < n_buckets; ++b) {
+    const std::uint64_t c = h.bucket_count(b);
+    if (c != 0) out.buckets.emplace_back(h.bucket_upper(b), c);
+  }
+  return out;
+}
+
+}  // namespace
+
+StatsSnapshot StatsRegistry::snapshot() const {
+  StatsSnapshot snap;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, c] : counters_) snap.counters[name] = c->value();
+  for (const auto& [name, g] : gauges_) snap.gauges[name] = g->value();
+  for (const auto& [name, r] : rates_) snap.rates[name] = r->rate_per_s();
+  for (const auto& [name, h] : histograms_) {
+    snap.histograms[name] = snapshot_histogram(*h, Histogram::kBuckets);
+  }
+  for (const auto& [name, h] : linear_histograms_) {
+    snap.histograms[name] = snapshot_histogram(*h, h->bucket_count_total());
+  }
+  for (const auto& [name, fn] : formulas_) {
+    snap.formulas[name] = fn ? fn() : 0.0;
+  }
+  return snap;
+}
+
+// ---------------------------------------------------------------------------
+// StatsSnapshot
+
+StatsSnapshot StatsSnapshot::delta_since(const StatsSnapshot& prev) const {
+  StatsSnapshot out;
+  out.gauges = gauges;
+  out.rates = rates;
+  out.formulas = formulas;
+  for (const auto& [name, value] : counters) {
+    auto it = prev.counters.find(name);
+    const std::uint64_t base = it == prev.counters.end() ? 0 : it->second;
+    out.counters[name] = value >= base ? value - base : value;
+  }
+  for (const auto& [name, cur] : histograms) {
+    auto it = prev.histograms.find(name);
+    if (it == prev.histograms.end()) {
+      out.histograms[name] = cur;
+      continue;
+    }
+    const HistogramStats& old = it->second;
+    if (cur.count < old.count) {  // registry was replaced; treat as fresh
+      out.histograms[name] = cur;
+      continue;
+    }
+    HistogramStats d;
+    d.count = cur.count - old.count;
+    d.sum = cur.sum - old.sum;
+    d.mean = d.count == 0 ? 0.0 : d.sum / static_cast<double>(d.count);
+    // Per-interval extrema are unrecoverable from cumulative snapshots;
+    // fall back to bucket bounds for the delta distribution.
+    std::map<double, std::uint64_t> merged;
+    for (const auto& [upper, c] : cur.buckets) merged[upper] += c;
+    for (const auto& [upper, c] : old.buckets) {
+      auto& slot = merged[upper];
+      slot = slot >= c ? slot - c : 0;
+    }
+    double lo_bound = 0.0;
+    double hi_bound = 0.0;
+    double prev_upper = 0.0;
+    bool first = true;
+    for (const auto& [upper, c] : merged) {
+      if (c != 0) {
+        d.buckets.emplace_back(upper, c);
+        if (first) {
+          lo_bound = prev_upper;
+          first = false;
+        }
+        hi_bound = upper;
+      }
+      prev_upper = upper;
+    }
+    d.min = lo_bound;
+    d.max = hi_bound;
+    if (d.count > 0) {
+      auto low_of = [&](std::size_t b) {
+        return b == 0 ? lo_bound : d.buckets[b - 1].first;
+      };
+      d.p50 = bucketed_percentile(
+          0.50, d.count, d.min, d.max, d.buckets.size(), low_of,
+          [&](std::size_t b) { return d.buckets[b].first; },
+          [&](std::size_t b) { return d.buckets[b].second; });
+      d.p90 = bucketed_percentile(
+          0.90, d.count, d.min, d.max, d.buckets.size(), low_of,
+          [&](std::size_t b) { return d.buckets[b].first; },
+          [&](std::size_t b) { return d.buckets[b].second; });
+      d.p99 = bucketed_percentile(
+          0.99, d.count, d.min, d.max, d.buckets.size(), low_of,
+          [&](std::size_t b) { return d.buckets[b].first; },
+          [&](std::size_t b) { return d.buckets[b].second; });
+    }
+    out.histograms[name] = std::move(d);
+  }
+  return out;
+}
+
+std::string StatsSnapshot::to_json() const {
+  std::ostringstream os;
+  os << '{';
+  bool outer_first = true;
+  auto section = [&](const char* key) {
+    if (!outer_first) os << ',';
+    outer_first = false;
+    os << '"' << key << "\":{";
+  };
+  section("counters");
+  bool first = true;
+  for (const auto& [name, v] : counters) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << name << "\":" << v;
+  }
+  os << '}';
+  section("gauges");
+  first = true;
+  for (const auto& [name, v] : gauges) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << name << "\":" << format_double(v);
+  }
+  os << '}';
+  section("rates");
+  first = true;
+  for (const auto& [name, v] : rates) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << name << "\":" << format_double(v);
+  }
+  os << '}';
+  section("formulas");
+  first = true;
+  for (const auto& [name, v] : formulas) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << name << "\":" << format_double(v);
+  }
+  os << '}';
+  section("histograms");
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << name << "\":{\"count\":" << h.count
+       << ",\"sum\":" << format_double(h.sum)
+       << ",\"mean\":" << format_double(h.mean)
+       << ",\"min\":" << format_double(h.min)
+       << ",\"max\":" << format_double(h.max)
+       << ",\"p50\":" << format_double(h.p50)
+       << ",\"p90\":" << format_double(h.p90)
+       << ",\"p99\":" << format_double(h.p99) << '}';
+  }
+  os << '}';
+  os << '}';
+  return os.str();
+}
+
+std::string StatsSnapshot::to_prometheus() const {
+  std::ostringstream os;
+  for (const auto& [name, v] : counters) {
+    const std::string prom = sanitize_prom(name);
+    os << "# TYPE " << prom << " counter\n" << prom << ' ' << v << '\n';
+  }
+  for (const auto& [name, v] : gauges) {
+    const std::string prom = sanitize_prom(name);
+    os << "# TYPE " << prom << " gauge\n"
+       << prom << ' ' << format_double(v) << '\n';
+  }
+  for (const auto& [name, v] : rates) {
+    const std::string prom = sanitize_prom(name) + "_per_second";
+    os << "# TYPE " << prom << " gauge\n"
+       << prom << ' ' << format_double(v) << '\n';
+  }
+  for (const auto& [name, v] : formulas) {
+    const std::string prom = sanitize_prom(name);
+    os << "# TYPE " << prom << " gauge\n"
+       << prom << ' ' << format_double(v) << '\n';
+  }
+  for (const auto& [name, h] : histograms) {
+    const std::string prom = sanitize_prom(name);
+    os << "# TYPE " << prom << " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (const auto& [upper, c] : h.buckets) {
+      cumulative += c;
+      os << prom << "_bucket{le=\"" << format_double(upper) << "\"} "
+         << cumulative << '\n';
+    }
+    os << prom << "_bucket{le=\"+Inf\"} " << h.count << '\n';
+    os << prom << "_sum " << format_double(h.sum) << '\n';
+    os << prom << "_count " << h.count << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace approxiot::obs

@@ -1,0 +1,309 @@
+// Hierarchical stats registry: one instrumentation layer for every
+// runtime (gem5's base/statistics.hh discipline, adapted to a streaming
+// system).
+//
+// Names are scoped paths ("tree/L0/n3/exec_us", "flowqueue/consumer/lag")
+// so one registry can hold every runtime's stats and exporters can group
+// by subsystem. Five typed stats:
+//
+//   Counter         monotonic event count (items, intervals, drops)
+//   Gauge           last-write-wins instantaneous value (depth, fraction)
+//   Histogram       base-2 exponential buckets (latencies, batch sizes)
+//   LinearHistogram fixed-range linear buckets (fractions, utilisation)
+//   EwmaRate        exponentially-decayed events/s (throughput)
+//
+// plus Formula — a derived stat evaluated at snapshot time from a
+// caller-supplied closure (ratios, normalised rates), so reports never
+// hand-compute what the registry can derive.
+//
+// Concurrency: counters and gauges are single relaxed atomics; histograms
+// are arrays of atomic bucket counts — every node/worker thread can record
+// without blocking, and snapshot() never blocks writers. The registry
+// mutex guards only name->stat registration; returned references stay
+// valid for the registry's lifetime, so hot paths capture them once.
+//
+// Interval semantics: snapshot() is a point-in-time view;
+// snapshot.delta_since(prev) subtracts counters and histogram buckets so
+// per-window reporting (what happened THIS interval) needs no stat
+// resets — writers never pause for a reporting boundary.
+//
+// Exporters: to_json() (one line, stable key order — the bench harness
+// format), to_prometheus() (text exposition format, scrapeable), and the
+// span tracer in obs/trace.hpp for chrome://tracing timelines.
+//
+// Compile-time off switch: building with -DAPPROXIOT_NO_STATS reduces
+// every AIOT_OBS* hook (obs/hooks.hpp) to nothing. The classes here stay
+// defined either way — only the instrumentation sites vanish — so mixed
+// builds never violate the one-definition rule.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace approxiot::obs {
+
+/// Monotonic event count (items forwarded, intervals processed, drops).
+class Counter {
+ public:
+  void increment(std::uint64_t by = 1) noexcept {
+    value_.fetch_add(by, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value (queue depth, sampling fraction).
+class Gauge {
+ public:
+  void set(double value) noexcept {
+    value_.store(value, std::memory_order_relaxed);
+  }
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Exponential-bucket histogram over non-negative values (latencies in
+/// microseconds, batch sizes). Bucket b holds values in [2^b, 2^(b+1))
+/// with bucket 0 covering [0, 2). Percentiles interpolate within the
+/// winning bucket, clamped to the observed [min, max] — so a single
+/// sample reports itself exactly and an all-in-one-bucket distribution
+/// never extrapolates past what was recorded.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 64;
+
+  void record(double value) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double mean() const noexcept;
+  [[nodiscard]] double min_value() const noexcept;
+  [[nodiscard]] double max_value() const noexcept;
+
+  /// Approximate q-quantile, q in [0, 1]. Returns 0 when empty; the
+  /// result always lies within [min_value(), max_value()].
+  [[nodiscard]] double percentile(double q) const noexcept;
+
+  [[nodiscard]] std::uint64_t bucket_count(std::size_t bucket) const noexcept {
+    return buckets_[bucket].load(std::memory_order_relaxed);
+  }
+  /// Exclusive upper bound of bucket b (2^(b+1); bucket 0 is [0, 2)).
+  [[nodiscard]] static double bucket_upper(std::size_t bucket) noexcept;
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{0.0};  // valid only while count_ > 0
+  std::atomic<double> max_{0.0};
+};
+
+/// Fixed-range linear histogram: `buckets` equal-width bins over
+/// [lo, hi); values outside the range clamp into the first/last bin.
+/// For bounded quantities where base-2 resolution is wrong — sampling
+/// fractions, utilisations, occupancy ratios.
+class LinearHistogram {
+ public:
+  LinearHistogram(double lo, double hi, std::size_t buckets);
+
+  void record(double value) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double mean() const noexcept;
+  [[nodiscard]] double min_value() const noexcept;
+  [[nodiscard]] double max_value() const noexcept;
+  [[nodiscard]] double percentile(double q) const noexcept;
+
+  [[nodiscard]] std::size_t bucket_count_total() const noexcept {
+    return buckets_.size();
+  }
+  [[nodiscard]] std::uint64_t bucket_count(std::size_t bucket) const noexcept {
+    return buckets_[bucket].load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double bucket_upper(std::size_t bucket) const noexcept;
+
+ private:
+  double lo_;
+  double width_;  // per-bucket
+  std::vector<std::atomic<std::uint64_t>> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{0.0};
+  std::atomic<double> max_{0.0};
+};
+
+/// Exponentially-weighted event rate: record(amount) folds events into a
+/// decayed accumulator with time constant `tau` seconds, so rate_per_s()
+/// tracks recent throughput and forgets ancient history. Deterministic
+/// variants (record_at / rate_at) take explicit timestamps for tests and
+/// simulated clocks.
+class EwmaRate {
+ public:
+  explicit EwmaRate(double tau_seconds = 5.0);
+
+  /// Wall-clock record (steady_clock internally).
+  void record(double amount);
+  /// Explicit-clock record; `now_seconds` must not decrease across calls.
+  void record_at(double now_seconds, double amount);
+
+  [[nodiscard]] double rate_per_s() const;
+  [[nodiscard]] double rate_at(double now_seconds) const;
+
+ private:
+  [[nodiscard]] double now_seconds() const;
+
+  double tau_;
+  mutable std::mutex mutex_;
+  double accum_{0.0};
+  double last_update_s_{0.0};
+  bool touched_{false};
+};
+
+/// Derived stat: evaluated at snapshot() time. Capture the stats it reads
+/// by reference (registry references are stable).
+using FormulaFn = std::function<double()>;
+
+/// Point-in-time histogram view, including raw buckets so deltas and the
+/// Prometheus exporter can reconstruct distributions.
+struct HistogramStats {
+  std::uint64_t count{0};
+  double sum{0.0};
+  double mean{0.0};
+  double min{0.0};
+  double max{0.0};
+  double p50{0.0};
+  double p90{0.0};
+  double p99{0.0};
+  /// (exclusive upper bound, count) for every non-empty bucket, ascending.
+  std::vector<std::pair<double, std::uint64_t>> buckets;
+};
+
+/// Point-in-time view of every stat in a registry.
+struct StatsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, double> rates;
+  std::map<std::string, double> formulas;
+  std::map<std::string, HistogramStats> histograms;
+
+  /// Interval view: counters and histogram buckets become differences
+  /// against `prev` (a stat absent from `prev` contributes its full
+  /// value); gauges, rates and formulas keep their current values.
+  /// Delta-histogram percentiles are recomputed from the bucket
+  /// differences (bucket-bound resolution — the per-interval min/max are
+  /// not recoverable from two cumulative snapshots).
+  [[nodiscard]] StatsSnapshot delta_since(const StatsSnapshot& prev) const;
+
+  /// One-line JSON object, stable key order (the bench-artifact format).
+  [[nodiscard]] std::string to_json() const;
+
+  /// Prometheus text exposition format. Scoped names are sanitised
+  /// ('/', '.', '-' -> '_') and prefixed "approxiot_"; histograms emit
+  /// cumulative _bucket{le=...} series plus _sum and _count.
+  [[nodiscard]] std::string to_prometheus() const;
+};
+
+class StatsRegistry;
+
+/// A prefixing view of a registry: scope("tree/L0/n3").counter("items")
+/// registers "tree/L0/n3/items". Unbound (default-constructed) scopes
+/// return nullptr from every accessor, so instrumentation sites can hold
+/// one ScopedStats and null-check instead of threading registry+prefix
+/// pairs around.
+class ScopedStats {
+ public:
+  ScopedStats() = default;
+  ScopedStats(StatsRegistry* registry, std::string prefix)
+      : registry_(registry), prefix_(std::move(prefix)) {}
+
+  [[nodiscard]] bool bound() const noexcept { return registry_ != nullptr; }
+  [[nodiscard]] StatsRegistry* registry() const noexcept { return registry_; }
+  [[nodiscard]] const std::string& prefix() const noexcept { return prefix_; }
+
+  [[nodiscard]] Counter* counter(const std::string& name) const;
+  [[nodiscard]] Gauge* gauge(const std::string& name) const;
+  [[nodiscard]] Histogram* histogram(const std::string& name) const;
+  [[nodiscard]] LinearHistogram* linear_histogram(const std::string& name,
+                                                  double lo, double hi,
+                                                  std::size_t buckets) const;
+  [[nodiscard]] EwmaRate* rate(const std::string& name,
+                               double tau_seconds = 5.0) const;
+
+  [[nodiscard]] ScopedStats scope(const std::string& suffix) const {
+    if (registry_ == nullptr) return {};
+    return ScopedStats(registry_,
+                       prefix_.empty() ? suffix : prefix_ + "/" + suffix);
+  }
+
+ private:
+  [[nodiscard]] std::string full(const std::string& name) const {
+    return prefix_.empty() ? name : prefix_ + "/" + name;
+  }
+
+  StatsRegistry* registry_{nullptr};
+  std::string prefix_;
+};
+
+/// Create-or-get registry of named stats. References remain valid until
+/// the registry dies; registration takes the mutex, recording never does.
+class StatsRegistry {
+ public:
+  StatsRegistry() = default;
+  StatsRegistry(const StatsRegistry&) = delete;
+  StatsRegistry& operator=(const StatsRegistry&) = delete;
+
+  [[nodiscard]] Counter& counter(const std::string& name);
+  [[nodiscard]] Gauge& gauge(const std::string& name);
+  [[nodiscard]] Histogram& histogram(const std::string& name);
+  /// Range/bucket parameters apply on first registration; later calls
+  /// with the same name return the existing histogram unchanged.
+  [[nodiscard]] LinearHistogram& linear_histogram(const std::string& name,
+                                                  double lo, double hi,
+                                                  std::size_t buckets);
+  [[nodiscard]] EwmaRate& rate(const std::string& name,
+                               double tau_seconds = 5.0);
+  /// (Re-)registers a derived stat evaluated at snapshot time.
+  void formula(const std::string& name, FormulaFn fn);
+
+  [[nodiscard]] ScopedStats scope(const std::string& prefix) {
+    return ScopedStats(this, prefix);
+  }
+
+  [[nodiscard]] StatsSnapshot snapshot() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::unique_ptr<LinearHistogram>> linear_histograms_;
+  std::map<std::string, std::unique_ptr<EwmaRate>> rates_;
+  std::map<std::string, FormulaFn> formulas_;
+};
+
+}  // namespace approxiot::obs

@@ -12,6 +12,7 @@
 // count is surfaced so operators can see exactly how much was shed.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -19,7 +20,19 @@
 #include <optional>
 #include <utility>
 
+#include "obs/hooks.hpp"
+
 namespace approxiot::runtime {
+
+/// Optional per-channel instrumentation, bound after construction by the
+/// runtime that owns the channel (the tree binds one per edge). All
+/// pointers may be null; unbound channels pay nothing beyond a null check,
+/// and APPROXIOT_NO_STATS compiles the checks away entirely.
+struct ChannelStats {
+  obs::Gauge* depth{nullptr};            ///< queue size after push/pop
+  obs::Histogram* block_wait_us{nullptr};  ///< producer stall (kBlock, full)
+  obs::Counter* dropped{nullptr};        ///< kDropNewest discards
+};
 
 /// What a producer does when the channel is full.
 enum class BackpressurePolicy {
@@ -48,6 +61,10 @@ class BoundedChannel {
   BoundedChannel(const BoundedChannel&) = delete;
   BoundedChannel& operator=(const BoundedChannel&) = delete;
 
+  /// Binds observability sinks. Call before producers/consumers start
+  /// (the struct is copied; later rebinding would race with push/pop).
+  void bind_stats(const ChannelStats& stats) { stats_ = stats; }
+
   /// Enqueues `value`. Under kBlock, waits until space or close; under
   /// kDropNewest a full channel discards the value immediately. Returns
   /// true iff the value was enqueued (false == dropped or channel closed).
@@ -57,15 +74,35 @@ class BoundedChannel {
       if (closed_) return false;
       if (queue_.size() >= capacity_) {
         ++dropped_;
+        AIOT_OBS(if (stats_.dropped != nullptr) stats_.dropped->increment(););
         return false;
       }
     } else {
+      if (closed_ || queue_.size() >= capacity_) {
+        // Producer is about to stall (or learn of close); time the wait
+        // only on this slow path so uncontended pushes read no clock.
+        AIOT_OBS(
+            if (stats_.block_wait_us != nullptr && !closed_ &&
+                queue_.size() >= capacity_) {
+              const auto begin = std::chrono::steady_clock::now();
+              not_full_.wait(lock, [this] {
+                return closed_ || queue_.size() < capacity_;
+              });
+              stats_.block_wait_us->record(
+                  std::chrono::duration<double, std::micro>(
+                      std::chrono::steady_clock::now() - begin)
+                      .count());
+            });
+      }
       not_full_.wait(lock,
                      [this] { return closed_ || queue_.size() < capacity_; });
       if (closed_) return false;
     }
     queue_.push_back(std::move(value));
     ++pushed_;
+    AIOT_OBS(if (stats_.depth != nullptr) {
+      stats_.depth->set(static_cast<double>(queue_.size()));
+    });
     lock.unlock();
     not_empty_.notify_one();
     return true;
@@ -92,6 +129,9 @@ class BoundedChannel {
     T value = std::move(queue_.front());
     queue_.pop_front();
     ++popped_;
+    AIOT_OBS(if (stats_.depth != nullptr) {
+      stats_.depth->set(static_cast<double>(queue_.size()));
+    });
     lock.unlock();
     not_full_.notify_one();
     return value;
@@ -106,6 +146,9 @@ class BoundedChannel {
       value.emplace(std::move(queue_.front()));
       queue_.pop_front();
       ++popped_;
+      AIOT_OBS(if (stats_.depth != nullptr) {
+        stats_.depth->set(static_cast<double>(queue_.size()));
+      });
     }
     not_full_.notify_one();
     return value;
@@ -153,6 +196,7 @@ class BoundedChannel {
  private:
   const std::size_t capacity_;
   const BackpressurePolicy policy_;
+  ChannelStats stats_;
 
   mutable std::mutex mutex_;
   std::condition_variable not_full_;

@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/hooks.hpp"
+
 namespace approxiot::runtime {
 
 namespace {
@@ -21,6 +23,12 @@ ConcurrentEdgeTree::ConcurrentEdgeTree(ConcurrentTreeConfig config,
     : config_(std::move(config)), metrics_(metrics) {
   core::validate_edge_tree_config(config_.tree);
   const auto& widths = config_.tree.layer_widths;
+
+  // Resolve observability sinks before anything that registers against
+  // them (the executor binds lanes at stage construction time).
+  stats_ = config_.stats;
+  if (stats_ == nullptr && metrics_ != nullptr) stats_ = &metrics_->stats();
+  tracer_ = config_.tracer;
 
   // Live feedback needs a control plane to publish on. When none was
   // supplied, seed one whose epoch-0 policy mirrors the tree config —
@@ -53,6 +61,12 @@ ConcurrentEdgeTree::ConcurrentEdgeTree(ConcurrentTreeConfig config,
     // trees would spawn pool threads nothing ever dispatches to.
     sampling_executor_ = core::PooledSamplingExecutor::for_seed(
         config_.workers_per_node, config_.tree.rng_seed);
+    // Privately constructed substrate: safe to bind our sinks (a shared,
+    // caller-owned executor may already be bound elsewhere — hands off).
+    AIOT_OBS(if (sampling_executor_ != nullptr &&
+                 (stats_ != nullptr || tracer_ != nullptr)) {
+      sampling_executor_->bind_obs(stats_, tracer_, "executor");
+    });
   }
 
   auto new_channel = [this]() {
@@ -99,6 +113,10 @@ ConcurrentEdgeTree::ConcurrentEdgeTree(ConcurrentTreeConfig config,
     }
   }
 
+  // Register stats and trace tracks before any worker exists — the node
+  // loops read their NodeRuntime sinks without synchronisation.
+  bind_observability();
+
   // One long-running worker per node; the pool is sized to match, so each
   // node loop owns a thread for the runtime's lifetime.
   std::size_t total_nodes = 0;
@@ -109,6 +127,79 @@ ConcurrentEdgeTree::ConcurrentEdgeTree(ConcurrentTreeConfig config,
       pool_->submit([this, &node](WorkerContext&) { node_loop(node); });
     }
   }
+}
+
+std::string ConcurrentEdgeTree::node_scope(std::size_t layer,
+                                           std::size_t index) const {
+  if (layer + 1 == nodes_.size()) return "tree/root";
+  return "tree/L" + std::to_string(layer) + "/n" + std::to_string(index);
+}
+
+std::int64_t ConcurrentEdgeTree::obs_now_us() const {
+  return tracer_ != nullptr ? tracer_->now_us() : now_us();
+}
+
+void ConcurrentEdgeTree::bind_observability() {
+  AIOT_OBS(
+      if (stats_ == nullptr && tracer_ == nullptr) return;
+      for (std::size_t layer = 0; layer < nodes_.size(); ++layer) {
+        for (std::size_t i = 0; i < nodes_[layer].size(); ++i) {
+          NodeRuntime& node = nodes_[layer][i];
+          const std::string scope = node_scope(layer, i);
+          if (stats_ != nullptr) {
+            node.exec_us = &stats_->histogram(scope + "/exec_us");
+            node.wait_us = &stats_->histogram(scope + "/wait_us");
+            node.occupancy =
+                &stats_->linear_histogram(scope + "/occupancy", 0.0, 1.0, 20);
+            node.items_in = &stats_->counter(scope + "/items_in");
+            node.intervals = &stats_->counter(scope + "/intervals");
+            for (std::size_t c = 0; c < node.inputs.size(); ++c) {
+              const std::string edge = scope + "/in" + std::to_string(c);
+              ChannelStats cs;
+              cs.depth = &stats_->gauge(edge + "/depth");
+              cs.block_wait_us = &stats_->histogram(edge + "/block_wait_us");
+              cs.dropped = &stats_->counter(edge + "/dropped");
+              node.inputs[c]->bind_stats(cs);
+            }
+          }
+          if (tracer_ != nullptr) node.track = tracer_->register_track(scope);
+        }
+      }
+      if (stats_ != nullptr) {
+        windows_closed_ = &stats_->counter("tree/windows_closed");
+      }
+      if (tracer_ != nullptr) {
+        control_track_ = tracer_->register_track("tree/control");
+      }
+      // Epoch-publish events: observed at the plane itself, so manual
+      // publish_fraction() calls are recorded exactly like the adaptive
+      // loop's. (Rebinds any hook a caller set on a shared plane.)
+      if (config_.tree.control_plane != nullptr) {
+        obs::Counter* publishes =
+            stats_ != nullptr ? &stats_->counter("tree/policy/publishes")
+                              : nullptr;
+        obs::Gauge* epoch_gauge =
+            stats_ != nullptr ? &stats_->gauge("tree/policy/epoch") : nullptr;
+        obs::Gauge* fraction_gauge =
+            stats_ != nullptr ? &stats_->gauge("tree/policy/fraction")
+                              : nullptr;
+        config_.tree.control_plane->set_publish_hook(
+            [publishes, epoch_gauge, fraction_gauge, tracer = tracer_,
+             track = control_track_](const core::SamplingPolicy& policy) {
+              if (publishes != nullptr) publishes->increment();
+              if (epoch_gauge != nullptr) {
+                epoch_gauge->set(static_cast<double>(policy.epoch));
+              }
+              if (fraction_gauge != nullptr) {
+                fraction_gauge->set(policy.budget.sampling_fraction);
+              }
+              if (tracer != nullptr &&
+                  track != obs::ScopedSpan::kNoTrack) {
+                tracer->instant(track, "policy-publish",
+                                static_cast<std::int64_t>(policy.epoch));
+              }
+            });
+      });
 }
 
 ConcurrentEdgeTree::~ConcurrentEdgeTree() { stop(); }
@@ -199,6 +290,8 @@ void ConcurrentEdgeTree::stop() {
 }
 
 core::ApproxResult ConcurrentEdgeTree::close_window(double confidence) {
+  [[maybe_unused]] std::int64_t t_close = 0;
+  AIOT_OBS(t_close = obs_now_us(););
   // Under kDropNewest a shed trailing interval never completes, so a full
   // drain() could wait forever; the window then closes over whatever
   // reached the root (the drop already was a sampling decision).
@@ -209,6 +302,14 @@ core::ApproxResult ConcurrentEdgeTree::close_window(double confidence) {
     result = core::approximate_query(theta_, confidence);
     theta_.clear();
   }
+  AIOT_OBS(
+      if (windows_closed_ != nullptr) windows_closed_->increment();
+      if (tracer_ != nullptr &&
+          control_track_ != obs::ScopedSpan::kNoTrack) {
+        tracer_->complete(control_track_, "window-close", t_close,
+                          obs_now_us(),
+                          static_cast<std::int64_t>(policy_epoch()));
+      });
   // §IV-B: the closed window's error bound drives the next policy epoch.
   // Outside theta_mutex_ — publishing must never block the root worker's
   // Θ additions.
@@ -296,6 +397,9 @@ void ConcurrentEdgeTree::node_loop(NodeRuntime& node) {
   std::vector<bool> finished(n_inputs, false);
 
   for (std::int64_t interval = 0;; ++interval) {
+    [[maybe_unused]] std::int64_t t_phase = 0;
+    AIOT_OBS(t_phase = obs_now_us(););
+
     // Assemble this interval's Ψ: one contribution per child, in child
     // order. A child whose message for this interval was shed (drop
     // policy) shows up as a held message for a later interval — it then
@@ -342,6 +446,39 @@ void ConcurrentEdgeTree::node_loop(NodeRuntime& node) {
     }
     if (all_finished && !any_held && psi.empty()) break;
 
+    // The gather phase is over: everything between t_phase and here was
+    // spent blocked on (or checking) the input channels.
+    AIOT_OBS(
+        if (node.wait_us != nullptr || node.track != obs::ScopedSpan::kNoTrack ||
+            node.occupancy != nullptr || node.items_in != nullptr) {
+          const std::int64_t t_ready = obs_now_us();
+          if (node.wait_us != nullptr) {
+            node.wait_us->record(static_cast<double>(t_ready - t_phase));
+          }
+          if (tracer_ != nullptr &&
+              node.track != obs::ScopedSpan::kNoTrack && t_ready > t_phase) {
+            tracer_->complete(node.track, "channel-wait", t_phase, t_ready);
+          }
+          if (node.occupancy != nullptr && n_inputs > 0) {
+            double depth = 0.0;
+            double capacity = 0.0;
+            for (auto* input : node.inputs) {
+              depth += static_cast<double>(input->size());
+              capacity += static_cast<double>(input->capacity());
+            }
+            node.occupancy->record(capacity > 0.0 ? depth / capacity : 0.0);
+          }
+          if (node.items_in != nullptr) {
+            std::uint64_t gathered = 0;
+            for (const core::ItemBundle& bundle : psi) {
+              gathered += bundle.items.size();
+            }
+            node.items_in->increment(gathered);
+          }
+          if (node.intervals != nullptr) node.intervals->increment();
+          t_phase = t_ready;  // the execute phase starts here
+        });
+
     // Run the stage even on an empty Ψ — interval bookkeeping (budget
     // history, snapshot periods) must advance exactly as in EdgeTree.
     if (is_root) {
@@ -351,12 +488,32 @@ void ConcurrentEdgeTree::node_loop(NodeRuntime& node) {
       }
       std::vector<core::SampledBundle> outputs =
           node.stage->process_interval(psi);
+      AIOT_OBS(
+          const std::int64_t epoch =
+              static_cast<std::int64_t>(node.stage->policy_epoch());
+          const std::int64_t t_done = obs_now_us();
+          if (node.exec_us != nullptr) {
+            node.exec_us->record(static_cast<double>(t_done - t_phase));
+          }
+          if (tracer_ != nullptr &&
+              node.track != obs::ScopedSpan::kNoTrack) {
+            tracer_->complete(node.track, "stage-execute", t_phase, t_done,
+                              epoch);
+          }
+          t_phase = t_done;);
       {
         std::lock_guard<std::mutex> lock(theta_mutex_);
         for (const core::SampledBundle& bundle : outputs) {
           theta_.add(bundle);
         }
       }
+      AIOT_OBS(
+          if (tracer_ != nullptr &&
+              node.track != obs::ScopedSpan::kNoTrack) {
+            tracer_->complete(
+                node.track, "root-merge", t_phase, obs_now_us(),
+                static_cast<std::int64_t>(node.stage->policy_epoch()));
+          });
       if (config_.root_tap) {
         for (const core::SampledBundle& bundle : outputs) {
           config_.root_tap(bundle);
@@ -372,6 +529,20 @@ void ConcurrentEdgeTree::node_loop(NodeRuntime& node) {
       out.interval = interval;
       std::vector<core::SampledBundle> outputs =
           node.stage->process_interval(psi);
+      AIOT_OBS(
+          if (node.exec_us != nullptr ||
+              node.track != obs::ScopedSpan::kNoTrack) {
+            const std::int64_t t_done = obs_now_us();
+            if (node.exec_us != nullptr) {
+              node.exec_us->record(static_cast<double>(t_done - t_phase));
+            }
+            if (tracer_ != nullptr &&
+                node.track != obs::ScopedSpan::kNoTrack) {
+              tracer_->complete(
+                  node.track, "stage-execute", t_phase, t_done,
+                  static_cast<std::int64_t>(node.stage->policy_epoch()));
+            }
+          });
       out.bundles.reserve(outputs.size());
       for (core::SampledBundle& bundle : outputs) {
         out.bundles.push_back(std::move(bundle).to_bundle());

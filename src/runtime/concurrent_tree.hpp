@@ -32,6 +32,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "common/types.hpp"
@@ -40,6 +41,7 @@
 #include "core/control_plane.hpp"
 #include "core/pipeline.hpp"
 #include "core/theta_store.hpp"
+#include "obs/trace.hpp"
 #include "runtime/bounded_channel.hpp"
 #include "runtime/metrics.hpp"
 #include "runtime/thread_pool.hpp"
@@ -94,6 +96,21 @@ struct ConcurrentTreeConfig {
     double confidence{stats::kConfidence95};
   };
   AdaptiveFeedback adaptive{};
+
+  /// Observability (optional, unowned; must outlive the tree). When
+  /// `stats` is null the tree falls back to the `metrics` registry passed
+  /// to the constructor (its obs backend), so existing call sites get the
+  /// hierarchical stats for free. Per node "tree/L{layer}/n{i}" (root:
+  /// "tree/root"): exec/wait-latency histograms, an input-occupancy
+  /// histogram, item/interval counters, and per-edge channel depth/block/
+  /// drop stats. A `tracer` additionally gives every node its own track
+  /// with channel-wait / stage-execute / root-merge spans (plus
+  /// window-close and policy-publish events on "tree/control"), each
+  /// annotated with the resolved policy_epoch. Instrumentation reads
+  /// clocks and counters only — sampling output is bit-identical with or
+  /// without it.
+  obs::StatsRegistry* stats{nullptr};
+  obs::Tracer* tracer{nullptr};
 };
 
 class ConcurrentEdgeTree {
@@ -191,10 +208,29 @@ class ConcurrentEdgeTree {
     std::vector<BoundedChannel<IntervalMessage>*> inputs;
     BoundedChannel<IntervalMessage>* output{nullptr};  // null at the root
     std::size_t layer{0};
+    // Per-node observability sinks, resolved once at construction (null /
+    // kNoTrack when unbound — the loop hooks then cost one null check,
+    // and APPROXIOT_NO_STATS compiles even that away).
+    obs::Histogram* exec_us{nullptr};
+    obs::Histogram* wait_us{nullptr};
+    obs::LinearHistogram* occupancy{nullptr};
+    obs::Counter* items_in{nullptr};
+    obs::Counter* intervals{nullptr};
+    obs::TrackId track{obs::ScopedSpan::kNoTrack};
   };
 
   void node_loop(NodeRuntime& node);
   void complete_root_interval(std::int64_t interval);
+  /// Registers per-node/per-edge stats and trace tracks; called from the
+  /// constructor before any worker starts (registration is not
+  /// synchronised against the node loops).
+  void bind_observability();
+  [[nodiscard]] std::string node_scope(std::size_t layer,
+                                       std::size_t index) const;
+  /// Timestamp source for spans/latency: tracer-relative when tracing
+  /// (span timestamps must share the tracer's epoch), steady-clock
+  /// microseconds otherwise. Durations are valid on either.
+  [[nodiscard]] std::int64_t obs_now_us() const;
   /// Feeds one observed result into the controller and publishes a new
   /// epoch when the proposed fraction moved. Called from the root worker
   /// (mid-window observations) and from close_window() callers.
@@ -202,6 +238,13 @@ class ConcurrentEdgeTree {
 
   ConcurrentTreeConfig config_;
   MetricsRegistry* metrics_{nullptr};
+
+  /// Resolved observability sinks (config_.stats, or the metrics
+  /// registry's obs backend, or null).
+  obs::StatsRegistry* stats_{nullptr};
+  obs::Tracer* tracer_{nullptr};
+  obs::TrackId control_track_{obs::ScopedSpan::kNoTrack};
+  obs::Counter* windows_closed_{nullptr};
 
   /// §IV-B loop state; adaptive_mutex_ serialises the root worker's
   /// mid-window observations against close_window() observations.

@@ -1,42 +1,10 @@
 #include "runtime/metrics.hpp"
 
-#include <algorithm>
-#include <cmath>
 #include <cstdio>
 
 namespace approxiot::runtime {
 
 namespace {
-
-std::size_t bucket_of(double value) noexcept {
-  if (value < 2.0) return 0;
-  const int exponent = std::ilogb(value);
-  return std::min<std::size_t>(static_cast<std::size_t>(exponent),
-                               Histogram::kBuckets - 1);
-}
-
-double bucket_low(std::size_t bucket) noexcept {
-  return bucket == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(bucket));
-}
-
-double bucket_high(std::size_t bucket) noexcept {
-  return std::ldexp(1.0, static_cast<int>(bucket) + 1);
-}
-
-void atomic_fmax(std::atomic<double>& target, double value) noexcept {
-  double current = target.load(std::memory_order_relaxed);
-  while (value > current &&
-         !target.compare_exchange_weak(current, value,
-                                       std::memory_order_relaxed)) {
-  }
-}
-
-void atomic_fadd(std::atomic<double>& target, double value) noexcept {
-  double current = target.load(std::memory_order_relaxed);
-  while (!target.compare_exchange_weak(current, current + value,
-                                       std::memory_order_relaxed)) {
-  }
-}
 
 void append_double(std::string& out, double v) {
   char buf[32];
@@ -46,85 +14,18 @@ void append_double(std::string& out, double v) {
 
 }  // namespace
 
-void Histogram::record(double value) noexcept {
-  if (value < 0.0 || std::isnan(value)) value = 0.0;
-  buckets_[bucket_of(value)].fetch_add(1, std::memory_order_relaxed);
-  count_.fetch_add(1, std::memory_order_relaxed);
-  atomic_fadd(sum_, value);
-  atomic_fmax(max_, value);
-}
-
-double Histogram::mean() const noexcept {
-  const std::uint64_t n = count();
-  return n > 0 ? sum() / static_cast<double>(n) : 0.0;
-}
-
-double Histogram::max_value() const noexcept {
-  return max_.load(std::memory_order_relaxed);
-}
-
-double Histogram::percentile(double q) const noexcept {
-  q = std::clamp(q, 0.0, 1.0);
-  const std::uint64_t n = count();
-  if (n == 0) return 0.0;
-
-  const double target = q * static_cast<double>(n);
-  double seen = 0.0;
-  for (std::size_t b = 0; b < kBuckets; ++b) {
-    const auto in_bucket = static_cast<double>(
-        buckets_[b].load(std::memory_order_relaxed));
-    if (in_bucket == 0.0) continue;
-    if (seen + in_bucket >= target) {
-      // Linear interpolation inside the winning bucket, clamped to the
-      // observed max so p100 never exceeds a real value.
-      const double fraction =
-          in_bucket > 0.0 ? (target - seen) / in_bucket : 0.0;
-      const double low = bucket_low(b);
-      const double high = std::min(bucket_high(b), max_value());
-      return low + fraction * std::max(0.0, high - low);
-    }
-    seen += in_bucket;
-  }
-  return max_value();
-}
-
-Counter& MetricsRegistry::counter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto& slot = counters_[name];
-  if (!slot) slot = std::make_unique<Counter>();
-  return *slot;
-}
-
-Gauge& MetricsRegistry::gauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto& slot = gauges_[name];
-  if (!slot) slot = std::make_unique<Gauge>();
-  return *slot;
-}
-
-Histogram& MetricsRegistry::histogram(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto& slot = histograms_[name];
-  if (!slot) slot = std::make_unique<Histogram>();
-  return *slot;
-}
-
 MetricsSnapshot MetricsRegistry::snapshot() const {
+  const obs::StatsSnapshot full = stats_.snapshot();
   MetricsSnapshot snap;
-  std::lock_guard<std::mutex> lock(mutex_);
-  for (const auto& [name, counter] : counters_) {
-    snap.counters[name] = counter->value();
-  }
-  for (const auto& [name, gauge] : gauges_) {
-    snap.gauges[name] = gauge->value();
-  }
-  for (const auto& [name, histogram] : histograms_) {
+  snap.counters = full.counters;
+  snap.gauges = full.gauges;
+  for (const auto& [name, h] : full.histograms) {
     MetricsSnapshot::HistogramStats stats;
-    stats.count = histogram->count();
-    stats.mean = histogram->mean();
-    stats.p50 = histogram->percentile(0.50);
-    stats.p99 = histogram->percentile(0.99);
-    stats.max = histogram->max_value();
+    stats.count = h.count;
+    stats.mean = h.mean;
+    stats.p50 = h.p50;
+    stats.p99 = h.p99;
+    stats.max = h.max;
     snap.histograms[name] = stats;
   }
   return snap;

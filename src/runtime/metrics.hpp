@@ -1,83 +1,29 @@
-// MetricsRegistry: process-wide observability for the concurrent runtime.
+// MetricsRegistry: compatibility facade over the obs stats registry.
 //
-// Counters and gauges are single atomics (lock-free fast path — safe to
-// bump from every node thread on every interval). Histograms bucket
-// values into base-2 exponential bins with atomic counts, so recording a
-// latency is a handful of atomic adds and percentile queries never block
-// writers. The registry itself only takes a mutex on first registration;
-// returned references stay valid for the registry's lifetime, so hot
-// paths capture them once.
+// The concurrent runtime grew up with this interface (counter/gauge/
+// histogram + MetricsSnapshot::to_json), and every bench and example
+// threads a MetricsRegistry* around. The actual stats now live in
+// obs::StatsRegistry (src/obs/stats.hpp) — hierarchical names, linear
+// histograms, EWMA rates, formulas, Prometheus export — and this header
+// keeps the old surface as aliases plus a thin wrapper so existing call
+// sites and tests keep working unchanged. New instrumentation should use
+// `stats()` (or obs::ScopedStats) directly.
 #pragma once
 
-#include <array>
-#include <atomic>
 #include <cstdint>
 #include <map>
-#include <memory>
-#include <mutex>
 #include <string>
-#include <vector>
+
+#include "obs/stats.hpp"
 
 namespace approxiot::runtime {
 
-/// Monotonic event count (items forwarded, intervals processed, drops).
-class Counter {
- public:
-  void increment(std::uint64_t by = 1) noexcept {
-    value_.fetch_add(by, std::memory_order_relaxed);
-  }
-  [[nodiscard]] std::uint64_t value() const noexcept {
-    return value_.load(std::memory_order_relaxed);
-  }
-
- private:
-  std::atomic<std::uint64_t> value_{0};
-};
-
-/// Last-write-wins instantaneous value (queue depth, sampling fraction).
-class Gauge {
- public:
-  void set(double value) noexcept {
-    value_.store(value, std::memory_order_relaxed);
-  }
-  [[nodiscard]] double value() const noexcept {
-    return value_.load(std::memory_order_relaxed);
-  }
-
- private:
-  std::atomic<double> value_{0.0};
-};
-
-/// Exponential-bucket histogram over non-negative values (latencies in
-/// microseconds, batch sizes). Bucket b holds values in [2^b, 2^(b+1))
-/// with bucket 0 covering [0, 2). Percentiles interpolate within the
-/// winning bucket — ~2x relative resolution, plenty for p50/p99 curves.
-class Histogram {
- public:
-  static constexpr std::size_t kBuckets = 64;
-
-  void record(double value) noexcept;
-
-  [[nodiscard]] std::uint64_t count() const noexcept {
-    return count_.load(std::memory_order_relaxed);
-  }
-  [[nodiscard]] double sum() const noexcept {
-    return sum_.load(std::memory_order_relaxed);
-  }
-  [[nodiscard]] double mean() const noexcept;
-  [[nodiscard]] double max_value() const noexcept;
-
-  /// Approximate q-quantile, q in [0, 1]. Returns 0 when empty.
-  [[nodiscard]] double percentile(double q) const noexcept;
-
- private:
-  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
-  std::atomic<std::uint64_t> count_{0};
-  std::atomic<double> sum_{0.0};
-  std::atomic<double> max_{0.0};
-};
+using Counter = obs::Counter;
+using Gauge = obs::Gauge;
+using Histogram = obs::Histogram;
 
 /// Point-in-time view of every metric, for reports and the bench JSON.
+/// (Legacy shape; obs::StatsSnapshot carries the full detail.)
 struct MetricsSnapshot {
   std::map<std::string, std::uint64_t> counters;
   std::map<std::string, double> gauges;
@@ -101,17 +47,27 @@ class MetricsRegistry {
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
   /// Create-or-get. References remain valid until the registry dies.
-  [[nodiscard]] Counter& counter(const std::string& name);
-  [[nodiscard]] Gauge& gauge(const std::string& name);
-  [[nodiscard]] Histogram& histogram(const std::string& name);
+  [[nodiscard]] Counter& counter(const std::string& name) {
+    return stats_.counter(name);
+  }
+  [[nodiscard]] Gauge& gauge(const std::string& name) {
+    return stats_.gauge(name);
+  }
+  [[nodiscard]] Histogram& histogram(const std::string& name) {
+    return stats_.histogram(name);
+  }
+
+  /// The full registry behind the facade: hierarchical scopes, linear
+  /// histograms, rates, formulas, Prometheus/JSON exporters.
+  [[nodiscard]] obs::StatsRegistry& stats() noexcept { return stats_; }
+  [[nodiscard]] const obs::StatsRegistry& stats() const noexcept {
+    return stats_;
+  }
 
   [[nodiscard]] MetricsSnapshot snapshot() const;
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  obs::StatsRegistry stats_;
 };
 
 }  // namespace approxiot::runtime

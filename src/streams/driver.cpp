@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 
 #include "common/logging.hpp"
+#include "obs/hooks.hpp"
 
 namespace approxiot::streams {
 
@@ -88,7 +90,31 @@ Status TopologyDriver::start() {
     }
   }
   started_ = true;
+  AIOT_OBS(if (obs_stats_ != nullptr) {
+    for (auto& [name, consumer] : consumers_) {
+      consumer->bind_stats(*obs_stats_,
+                           "streams/" + application_id_ + "/source/" + name);
+    }
+  });
   return Status::ok();
+}
+
+void TopologyDriver::bind_obs(obs::StatsRegistry* stats, obs::Tracer* tracer) {
+  AIOT_OBS(
+      obs_stats_ = stats; obs_tracer_ = tracer;
+      const std::string scope = "streams/" + application_id_;
+      if (stats != nullptr) {
+        punctuate_us_ = &stats->histogram(scope + "/punctuate_us");
+        punctuate_lateness_us_ =
+            &stats->histogram(scope + "/punctuate_lateness_us");
+        records_processed_ = &stats->counter(scope + "/records_processed");
+        punctuations_fired_ = &stats->counter(scope + "/punctuations");
+        for (auto& [name, consumer] : consumers_) {
+          consumer->bind_stats(*stats, scope + "/source/" + name);
+        }
+      } if (tracer != nullptr) { track_ = tracer->register_track(scope); });
+  (void)stats;
+  (void)tracer;
 }
 
 void TopologyDriver::route(const std::string& node_name,
@@ -131,7 +157,26 @@ void TopologyDriver::maybe_punctuate() {
     if (!due_node.empty()) {
       Punctuation& p = punctuations_.at(due_node);
       p.next_fire = p.next_fire + p.interval;
+      [[maybe_unused]] std::chrono::steady_clock::time_point t0{};
+      [[maybe_unused]] std::int64_t trace_begin = 0;
+      AIOT_OBS(if (punctuate_us_ != nullptr) t0 =
+                   std::chrono::steady_clock::now();
+               if (obs_tracer_ != nullptr) trace_begin = obs_tracer_->now_us(););
       processors_.at(due_node)->punctuate(due_time);
+      AIOT_OBS(
+          if (punctuate_us_ != nullptr) {
+            const auto dt = std::chrono::steady_clock::now() - t0;
+            punctuate_us_->record(
+                std::chrono::duration<double, std::micro>(dt).count());
+          } if (punctuate_lateness_us_ != nullptr) {
+            punctuate_lateness_us_->record(
+                static_cast<double>((stream_time_ - due_time).us));
+          } if (punctuations_fired_ != nullptr) {
+            punctuations_fired_->increment();
+          } if (obs_tracer_ != nullptr) {
+            obs_tracer_->complete(track_, "punctuate", trace_begin,
+                                  obs_tracer_->now_us());
+          });
       fired = true;
     }
   }
@@ -156,6 +201,9 @@ Result<std::size_t> TopologyDriver::run_once(std::size_t max_records) {
       maybe_punctuate();
     }
   }
+  AIOT_OBS(if (records_processed_ != nullptr) {
+    records_processed_->increment(consumed);
+  });
   return consumed;
 }
 

@@ -18,6 +18,8 @@
 #include "flowqueue/broker.hpp"
 #include "flowqueue/consumer.hpp"
 #include "flowqueue/producer.hpp"
+#include "obs/stats.hpp"
+#include "obs/trace.hpp"
 #include "streams/topology.hpp"
 
 namespace approxiot::streams {
@@ -51,6 +53,18 @@ class TopologyDriver {
 
   [[nodiscard]] SimTime stream_time() const noexcept { return stream_time_; }
 
+  /// Hooks this driver up to observability. Under "streams/{application_id}":
+  ///   .../punctuate_us           wall-clock time spent inside punctuate()
+  ///   .../punctuate_lateness_us  stream-time distance past the scheduled
+  ///                              fire point when a punctuation ran
+  ///   .../records_processed      counter, records routed from sources
+  ///   .../punctuations           counter, punctuations fired
+  ///   .../source/{node}/...      consumer watermarks (Consumer::bind_stats)
+  /// Either pointer may be null. Works before or after start(); source
+  /// consumers are (re)bound on start(). With a tracer, each punctuation
+  /// emits a "punctuate" span on the driver's track.
+  void bind_obs(obs::StatsRegistry* stats, obs::Tracer* tracer);
+
  private:
   class ContextImpl;
 
@@ -74,6 +88,15 @@ class TopologyDriver {
   std::map<std::string, Punctuation> punctuations_;
 
   SimTime stream_time_{SimTime::zero()};
+
+  // Observability sinks (null until bind_obs). See bind_obs().
+  obs::StatsRegistry* obs_stats_{nullptr};
+  obs::Tracer* obs_tracer_{nullptr};
+  obs::Histogram* punctuate_us_{nullptr};
+  obs::Histogram* punctuate_lateness_us_{nullptr};
+  obs::Counter* records_processed_{nullptr};
+  obs::Counter* punctuations_fired_{nullptr};
+  obs::TrackId track_{0};
 };
 
 }  // namespace approxiot::streams

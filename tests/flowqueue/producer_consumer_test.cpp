@@ -228,6 +228,52 @@ TEST_F(ProducerConsumerTest, ProducerCountsBytesAndRecords) {
   EXPECT_GT(producer.bytes_sent(), 11u);
 }
 
+TEST_F(ProducerConsumerTest, BoundStatsTrackLagAndWatermarkAge) {
+#ifdef APPROXIOT_NO_STATS
+  GTEST_SKIP() << "observability hooks compiled out";
+#endif
+  Producer producer(broker_);
+  Consumer consumer(broker_, "c");
+  ASSERT_TRUE(consumer.subscribe("g", {"t"}).is_ok());
+
+  obs::StatsRegistry stats;
+  consumer.bind_stats(stats, "flowqueue/c");
+  obs::Gauge& lag = stats.gauge("flowqueue/c/lag");
+  obs::Gauge& age = stats.gauge("flowqueue/c/watermark_age_us");
+  obs::Gauge& caught_up = stats.gauge("flowqueue/c/caught_up");
+
+  // Freshly subscribed against an empty topic: caught up, no lag.
+  EXPECT_DOUBLE_EQ(lag.value(), 0.0);
+  EXPECT_DOUBLE_EQ(age.value(), 0.0);
+  EXPECT_DOUBLE_EQ(caught_up.value(), 1.0);
+  EXPECT_DOUBLE_EQ(stats.gauge("flowqueue/c/assigned_partitions").value(),
+                   2.0);
+
+  // Appends with spread-out stream timestamps: lag counts records, age is
+  // the stream-time distance from the next unread record to the newest.
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(producer
+                    .send_to_partition("t", 0, "k", payload("x"),
+                                       SimTime::from_micros(1000 * i))
+                    .is_ok());
+  }
+  consumer.update_stats();
+  EXPECT_DOUBLE_EQ(lag.value(), 4.0);
+  EXPECT_DOUBLE_EQ(age.value(), 3000.0);  // ts 0 .. 3000us unread
+  EXPECT_DOUBLE_EQ(caught_up.value(), 0.0);
+
+  // Gauges refresh at the end of every poll without explicit updates.
+  ASSERT_TRUE(consumer.poll(3).is_ok());
+  EXPECT_DOUBLE_EQ(lag.value(), 1.0);
+  EXPECT_DOUBLE_EQ(age.value(), 0.0);  // only the newest record is unread
+  EXPECT_EQ(stats.counter("flowqueue/c/records_polled").value(), 3u);
+
+  ASSERT_TRUE(consumer.poll(10).is_ok());
+  EXPECT_DOUBLE_EQ(lag.value(), 0.0);
+  EXPECT_DOUBLE_EQ(caught_up.value(), 1.0);
+  EXPECT_EQ(stats.counter("flowqueue/c/records_polled").value(), 4u);
+}
+
 TEST_F(ProducerConsumerTest, LagReflectsUnconsumedRecords) {
   Producer producer(broker_);
   Consumer consumer(broker_, "c");

@@ -59,7 +59,7 @@ TEST(MetricsTest, HistogramPercentilesAreOrderedAndBounded) {
   EXPECT_GT(p50, 250.0);
   EXPECT_LT(p50, 1024.0);
   EXPECT_GT(p99, 500.0);
-  EXPECT_EQ(h.percentile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), h.min_value());
   EXPECT_DOUBLE_EQ(h.percentile(1.0), h.max_value());
 }
 
@@ -68,6 +68,41 @@ TEST(MetricsTest, EmptyHistogramIsZero) {
   EXPECT_EQ(h.count(), 0u);
   EXPECT_DOUBLE_EQ(h.mean(), 0.0);
   EXPECT_DOUBLE_EQ(h.percentile(0.99), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 0.0);
+}
+
+TEST(MetricsTest, SingleSampleHistogramReturnsThatSampleAtEveryQuantile) {
+  Histogram h;
+  h.record(42.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 42.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 42.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.99), 42.0);
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 42.0);
+}
+
+TEST(MetricsTest, AllSamplesInOneBucketStayWithinObservedRange) {
+  // 1000..1023 all land in the same base-2 bucket (512, 1024]. Every
+  // quantile must stay inside [min, max] — the old implementation
+  // interpolated across the whole bucket and could report values below
+  // the smallest recorded sample.
+  Histogram h;
+  for (int i = 1000; i <= 1023; ++i) h.record(static_cast<double>(i));
+  for (double q : {0.0, 0.1, 0.5, 0.9, 0.99, 1.0}) {
+    const double p = h.percentile(q);
+    EXPECT_GE(p, 1000.0) << "q=" << q;
+    EXPECT_LE(p, 1023.0) << "q=" << q;
+  }
+}
+
+TEST(MetricsTest, PercentileIsClampedToMinEvenBelowBucketBoundary) {
+  // A lone small value in the first bucket: quantiles must never report
+  // below it (the bucket's nominal range starts at 0).
+  Histogram h;
+  h.record(0.25);
+  h.record(0.75);
+  EXPECT_GE(h.percentile(0.01), 0.25);
+  EXPECT_LE(h.percentile(0.99), 0.75);
 }
 
 TEST(MetricsTest, SnapshotAndJsonIncludeEveryMetric) {
