@@ -1,0 +1,299 @@
+// Per-kernel microbench for src/core/kernels: one JSON row per kernel
+// (count, scatter, algo_r, algo_l, encode) with items/s at every dispatch
+// tier this CPU supports, so a regression in a single kernel/tier is
+// visible instead of averaged into bench_hotpath's end-to-end rate.
+//
+// Before timing anything each tier's output is asserted bit-identical to
+// the scalar oracle on the same inputs — the kernels' core contract —
+// including RNG-state continuation for the reservoir kernels (a second
+// span is offered after the first and must still agree).
+//
+// Output: human table + one bench_util JSON line per kernel (x-axis =
+// tier index, see kernels::Tier) + a stats-registry snapshot from the
+// PR 6 obs:: hooks. `--smoke` shrinks the run for CI.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "core/kernels/kernels.hpp"
+#include "obs/stats.hpp"
+#include "sampling/reservoir.hpp"
+
+namespace {
+
+using namespace approxiot;
+namespace kernels = approxiot::core::kernels;
+
+constexpr std::uint64_t kSeed = 20180701;
+constexpr std::uint64_t kStreams = 16;
+
+std::vector<Item> make_interval(std::size_t n) {
+  Rng rng(7);
+  std::vector<Item> items;
+  items.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    items.push_back(Item{SubStreamId{1 + rng.next_below(kStreams)},
+                         rng.next_double(),
+                         static_cast<std::int64_t>(i)});
+  }
+  return items;
+}
+
+[[noreturn]] void die(const char* kernel, kernels::Tier tier,
+                      const char* what) {
+  std::fprintf(stderr, "%s@%s diverged from scalar oracle: %s\n", kernel,
+               kernels::tier_name(tier), what);
+  std::exit(1);
+}
+
+// --- Counting pass ----------------------------------------------------------
+
+struct CountBuffers {
+  std::vector<SubStreamId> ids;
+  std::vector<std::size_t> counts;
+  std::vector<std::uint32_t> index;
+  std::vector<std::uint32_t> item_slots;
+
+  explicit CountBuffers(std::size_t n) : index(256, 0), item_slots(n) {}
+
+  kernels::CountScratch scratch() {
+    return kernels::CountScratch{&ids, &counts, &index};
+  }
+  void reset() {
+    ids.clear();
+    counts.clear();
+    std::fill(index.begin(), index.end(), 0);
+  }
+};
+
+void run_count(kernels::Tier tier, const std::vector<Item>& items,
+               CountBuffers& b) {
+  b.reset();
+  kernels::count_pass(tier, items.data(), items.size(), b.scratch(),
+                      b.item_slots.data());
+}
+
+void check_count(kernels::Tier tier, const std::vector<Item>& items) {
+  CountBuffers oracle(items.size()), got(items.size());
+  run_count(kernels::Tier::kScalar, items, oracle);
+  run_count(tier, items, got);
+  if (got.ids != oracle.ids || got.counts != oracle.counts) {
+    die("count", tier, "slot directory");
+  }
+  if (got.item_slots != oracle.item_slots) die("count", tier, "item slots");
+}
+
+// --- Scatter pass -----------------------------------------------------------
+
+std::vector<std::size_t> seed_cursors(const std::vector<std::size_t>& counts) {
+  std::vector<std::size_t> cursors(counts.size());
+  std::size_t offset = 0;
+  for (std::size_t k = 0; k < counts.size(); ++k) {
+    cursors[k] = offset;
+    offset += counts[k];
+  }
+  return cursors;
+}
+
+void check_scatter(kernels::Tier tier, const std::vector<Item>& items,
+                   const CountBuffers& counted) {
+  std::vector<Item> oracle(items.size()), got(items.size());
+  auto c1 = seed_cursors(counted.counts);
+  auto c2 = c1;
+  kernels::scatter_pass(kernels::Tier::kScalar, items.data(), items.size(),
+                        counted.item_slots.data(), c1.data(), oracle.data());
+  kernels::scatter_pass(tier, items.data(), items.size(),
+                        counted.item_slots.data(), c2.data(), got.data());
+  if (std::memcmp(got.data(), oracle.data(), got.size() * sizeof(Item)) != 0) {
+    die("scatter", tier, "arena permutation");
+  }
+  if (c1 != c2) die("scatter", tier, "final cursors");
+}
+
+// --- Reservoir kernels (through the real offer_span call path) --------------
+
+std::vector<Item> run_reservoir(kernels::Tier tier,
+                                sampling::ReservoirAlgorithm algorithm,
+                                const std::vector<Item>& items,
+                                std::size_t cap, std::size_t spans) {
+  kernels::force_tier(tier);
+  sampling::ReservoirSampler<Item> res(cap, Rng(kSeed), algorithm);
+  // Split the input into several spans: the kernel must leave (seen, rng,
+  // and Algorithm L's w/skip) exactly where the scalar loop would, or the
+  // later spans diverge.
+  const std::size_t chunk = items.size() / spans;
+  for (std::size_t s = 0; s < spans; ++s) {
+    const std::size_t begin = s * chunk;
+    const std::size_t end = s + 1 == spans ? items.size() : begin + chunk;
+    res.offer_span(items.data() + begin, end - begin);
+  }
+  std::vector<Item> out(res.contents().begin(), res.contents().end());
+  kernels::force_tier(kernels::detected_tier());
+  return out;
+}
+
+void check_reservoir(kernels::Tier tier,
+                     sampling::ReservoirAlgorithm algorithm, const char* name,
+                     const std::vector<Item>& items, std::size_t cap) {
+  const auto oracle =
+      run_reservoir(kernels::Tier::kScalar, algorithm, items, cap, 3);
+  const auto got = run_reservoir(tier, algorithm, items, cap, 3);
+  if (!(oracle == got)) die(name, tier, "reservoir contents");
+}
+
+// --- Encoder ----------------------------------------------------------------
+
+void check_encode(kernels::Tier tier, const std::vector<Item>& items) {
+  std::vector<std::uint8_t> oracle(items.size() * kernels::kMaxItemWireBytes);
+  std::vector<std::uint8_t> got(oracle.size());
+  const std::size_t n1 = kernels::encode_items(
+      kernels::Tier::kScalar, oracle.data(), items.data(), items.size());
+  const std::size_t n2 =
+      kernels::encode_items(tier, got.data(), items.data(), items.size());
+  if (n1 != n2 || std::memcmp(oracle.data(), got.data(), n1) != 0) {
+    die("encode", tier, "wire bytes");
+  }
+}
+
+// --- Timing -----------------------------------------------------------------
+
+/// Best-of-`reps` items/s for `fn`, each rep looping `fn` until it has
+/// run at least `min_seconds` (one untimed warmup call first).
+template <typename Fn>
+double best_rate(std::size_t items_per_call, std::size_t reps,
+                 double min_seconds, Fn&& fn) {
+  fn();
+  double best = 0.0;
+  for (std::size_t r = 0; r < reps; ++r) {
+    std::size_t calls = 0;
+    const auto t0 = std::chrono::steady_clock::now();
+    std::chrono::duration<double> elapsed{};
+    do {
+      fn();
+      ++calls;
+      elapsed = std::chrono::steady_clock::now() - t0;
+    } while (elapsed.count() < min_seconds);
+    best = std::max(best, static_cast<double>(items_per_call * calls) /
+                              elapsed.count());
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke]\n", argv[0]);
+      return 2;
+    }
+  }
+  approxiot::bench::pin_allocator();
+
+  const std::size_t n = smoke ? 16384 : 262144;
+  const std::size_t cap = n / 10;
+  const std::size_t reps = smoke ? 2 : 5;
+  const double min_seconds = smoke ? 0.002 : 0.010;
+  const auto items = make_interval(n);
+
+  obs::StatsRegistry stats;
+  kernels::bind_stats(&stats);
+
+  const auto max_tier = static_cast<int>(kernels::detected_tier());
+  std::vector<int> tiers;
+  for (int t = 0; t <= max_tier; ++t) tiers.push_back(t);
+
+  approxiot::bench::print_header(
+      "sampling kernels: items/sec per kernel per dispatch tier",
+      "count/scatter = stratification build, algo_r/algo_l = reservoir "
+      "span ingestion, encode = wire bytes");
+  std::printf("detected tier: %s  (%zu items, %zu streams, cap %zu)\n",
+              kernels::tier_name(kernels::detected_tier()), n, kStreams, cap);
+
+  CountBuffers counted(n);
+  run_count(kernels::Tier::kScalar, items, counted);
+
+  struct Row {
+    const char* name;
+    std::vector<double> rate;
+  };
+  std::vector<Row> rows = {{"count", {}},
+                           {"scatter", {}},
+                           {"algo_r", {}},
+                           {"algo_l", {}},
+                           {"encode", {}}};
+
+  for (const int t : tiers) {
+    const auto tier = static_cast<kernels::Tier>(t);
+    // Identity first: a kernel that is fast but wrong must not get a row.
+    check_count(tier, items);
+    check_scatter(tier, items, counted);
+    check_reservoir(tier, sampling::ReservoirAlgorithm::kAlgorithmR,
+                    "algo_r", items, cap);
+    check_reservoir(tier, sampling::ReservoirAlgorithm::kAlgorithmL,
+                    "algo_l", items, cap);
+    check_encode(tier, items);
+
+    CountBuffers b(n);
+    rows[0].rate.push_back(best_rate(n, reps, min_seconds, [&] {
+      run_count(tier, items, b);
+    }));
+
+    std::vector<Item> arena(n);
+    std::vector<std::size_t> cursors;
+    rows[1].rate.push_back(best_rate(n, reps, min_seconds, [&] {
+      cursors = seed_cursors(counted.counts);
+      kernels::scatter_pass(tier, items.data(), n, counted.item_slots.data(),
+                            cursors.data(), arena.data());
+    }));
+
+    kernels::force_tier(tier);
+    sampling::ReservoirSampler<Item> res_r(
+        cap, Rng(kSeed), sampling::ReservoirAlgorithm::kAlgorithmR);
+    rows[2].rate.push_back(best_rate(n, reps, min_seconds, [&] {
+      res_r.rearm(cap, Rng(kSeed));
+      res_r.offer_span(items.data(), n);
+    }));
+    sampling::ReservoirSampler<Item> res_l(
+        cap, Rng(kSeed), sampling::ReservoirAlgorithm::kAlgorithmL);
+    rows[3].rate.push_back(best_rate(n, reps, min_seconds, [&] {
+      res_l.rearm(cap, Rng(kSeed));
+      res_l.offer_span(items.data(), n);
+    }));
+    kernels::force_tier(kernels::detected_tier());
+
+    std::vector<std::uint8_t> wire(n * kernels::kMaxItemWireBytes);
+    rows[4].rate.push_back(best_rate(n, reps, min_seconds, [&] {
+      kernels::encode_items(tier, wire.data(), items.data(), n);
+    }));
+  }
+
+  for (const Row& row : rows) {
+    std::printf("%-8s", row.name);
+    for (std::size_t i = 0; i < row.rate.size(); ++i) {
+      std::printf("  %s %10.0f it/s",
+                  kernels::tier_name(static_cast<kernels::Tier>(tiers[i])),
+                  row.rate[i]);
+    }
+    std::printf("  (%.2fx)\n",
+                row.rate.front() > 0.0 ? row.rate.back() / row.rate.front()
+                                       : 0.0);
+    std::vector<double> speedup;
+    for (const double r : row.rate) {
+      speedup.push_back(row.rate.front() > 0.0 ? r / row.rate.front() : 0.0);
+    }
+    approxiot::bench::print_json_result(
+        std::string("kernels/") + row.name, "ApproxIoT", "tier", tiers,
+        {{"items_per_s", row.rate}, {"speedup_vs_scalar", speedup}});
+  }
+  approxiot::bench::print_stats_json("kernels", "ApproxIoT", stats.snapshot());
+  kernels::bind_stats(nullptr);
+  return 0;
+}

@@ -3,11 +3,16 @@
 // runner used by the throughput/latency/bandwidth figures.
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
 #include <functional>
 #include <memory>
 #include <string>
 #include <vector>
+
+#ifdef __GLIBC__
+#include <malloc.h>
+#endif
 
 #include "analytics/experiment.hpp"
 #include "core/pipeline.hpp"
@@ -16,6 +21,31 @@
 #include "workload/substream.hpp"
 
 namespace approxiot::bench {
+
+/// Pins glibc malloc's mmap/trim thresholds for the bench processes.
+/// The interval loops allocate and free a few multi-hundred-KB buffers
+/// (bundle arena, wire payload) every iteration; under the default
+/// dynamic thresholds those land exactly in the band where glibc
+/// alternates between mmap/munmap churn and brk-top trimming, so every
+/// interval re-faults ~300 pages and the tax lands unevenly across
+/// interleaved modes (it drove stats_on_overhead_pct negative). Pinning
+/// the thresholds keeps the buffers heap-resident; measured effect on
+/// bench_hotpath at 262144 items: ~290 minor faults/interval -> 0.
+inline void pin_allocator() {
+#ifdef __GLIBC__
+  mallopt(M_MMAP_THRESHOLD, 8 << 20);
+  mallopt(M_TRIM_THRESHOLD, 64 << 20);
+#endif
+}
+
+/// Median over a sample set (copies; input order preserved for callers).
+inline double median(std::vector<double> values) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const std::size_t mid = values.size() / 2;
+  return values.size() % 2 == 1 ? values[mid]
+                                : 0.5 * (values[mid - 1] + values[mid]);
+}
 
 /// The paper's x-axis in Figs. 5-8: sampling fractions in percent.
 inline const std::vector<int>& paper_fractions() {

@@ -13,13 +13,17 @@ ControlPlane::ControlPlane() : ControlPlane(SamplingPolicy{}) {}
 
 ControlPlane::ControlPlane(SamplingPolicy initial) {
   initial.epoch = 0;
-  current_.store(std::make_shared<const SamplingPolicy>(std::move(initial)),
-                 std::memory_order_release);
+  retained_.push_back(
+      std::make_shared<const SamplingPolicy>(std::move(initial)));
+  current_.store(&retained_.back(), std::memory_order_release);
 }
 
 std::shared_ptr<const SamplingPolicy> ControlPlane::snapshot()
     const noexcept {
-  return current_.load(std::memory_order_acquire);
+  // The pointed-at shared_ptr was fully constructed before the release
+  // store that published it and is never written again, so copying it
+  // here races with nothing; the refcount bump is atomic.
+  return *current_.load(std::memory_order_acquire);
 }
 
 PolicyEpoch ControlPlane::epoch() const noexcept {
@@ -27,11 +31,12 @@ PolicyEpoch ControlPlane::epoch() const noexcept {
 }
 
 PolicyEpoch ControlPlane::publish_locked(SamplingPolicy next) {
-  next.epoch = current_.load(std::memory_order_relaxed)->epoch + 1;
+  next.epoch =
+      (*current_.load(std::memory_order_relaxed))->epoch + 1;
   const PolicyEpoch assigned = next.epoch;
-  auto stored = std::make_shared<const SamplingPolicy>(std::move(next));
-  current_.store(stored, std::memory_order_release);
-  if (publish_hook_) publish_hook_(*stored);
+  retained_.push_back(std::make_shared<const SamplingPolicy>(std::move(next)));
+  current_.store(&retained_.back(), std::memory_order_release);
+  if (publish_hook_) publish_hook_(*retained_.back());
   return assigned;
 }
 
@@ -42,7 +47,7 @@ PolicyEpoch ControlPlane::publish(SamplingPolicy next) {
 
 PolicyEpoch ControlPlane::publish_fraction(double end_to_end_fraction) {
   std::lock_guard<std::mutex> lock(publish_mutex_);
-  SamplingPolicy next = *current_.load(std::memory_order_relaxed);
+  SamplingPolicy next = **current_.load(std::memory_order_relaxed);
   next.budget.sampling_fraction = end_to_end_fraction;
   return publish_locked(std::move(next));
 }

@@ -28,6 +28,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -101,7 +102,20 @@ class ControlPlane {
 
   /// Serialises publishers so epochs are dense; readers never take it.
   std::mutex publish_mutex_;
-  std::atomic<std::shared_ptr<const SamplingPolicy>> current_;
+  /// Every snapshot ever published, in epoch order. Entries are immutable
+  /// once inserted and a deque never relocates them, so readers copy the
+  /// current shared_ptr through `current_` without synchronising with
+  /// publishers. The plane retains ~100 bytes per epoch for its lifetime
+  /// — trivial at adaptation cadence (a handful of epochs per run).
+  ///
+  /// Not std::atomic<std::shared_ptr>: libstdc++ implements that with an
+  /// embedded lock bit whose hand-rolled spinning ThreadSanitizer cannot
+  /// see through, so a perfectly-synchronised publish/snapshot pair still
+  /// reported a race a few percent of runs. This layout is equivalent
+  /// (epoch-ordered release-publish of an immutable record) and every
+  /// synchronising edge is a plain atomic TSan models exactly.
+  std::deque<std::shared_ptr<const SamplingPolicy>> retained_;
+  std::atomic<const std::shared_ptr<const SamplingPolicy>*> current_;
   PublishHook publish_hook_;
 };
 

@@ -333,11 +333,14 @@ class PooledLane final : public SamplingLane {
     // Line 7: per-sub-stream reservoir sizes N_i. The infos carry the
     // resolved W^in_i so the merge loop does not re-query the weight map
     // per stratum.
+    weights_scratch_.resize(dir.size());
+    w_in.get_for_strata(dir, weights_scratch_.data());
     infos_.clear();
     infos_.reserve(dir.size());
-    for (const Stratum& s : dir) {
+    for (std::size_t k = 0; k < dir.size(); ++k) {
+      const Stratum& s = dir[k];
       infos_.push_back(
-          sampling::SubStreamInfo{s.id, s.len, 0.0, w_in.get(s.id)});
+          sampling::SubStreamInfo{s.id, s.len, 0.0, weights_scratch_[k]});
     }
     const sampling::SizeMap sizes = policy_->allocate(sample_size, infos_);
 
@@ -484,6 +487,8 @@ class PooledLane final : public SamplingLane {
   /// the per-stratum counts and resolved weights, route_groups_ the
   /// per-stratum shard group. Both are read-only while shard tasks run.
   std::vector<sampling::SubStreamInfo> infos_;
+  /// Per-interval W^in_i from get_for_strata()'s block merge.
+  std::vector<double> weights_scratch_;
   std::vector<ShardGroup*> route_groups_;
   LaneObs obs_;
 };

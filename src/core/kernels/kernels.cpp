@@ -1,0 +1,456 @@
+// Kernel dispatch, the portable (non-intrinsic) kernels, and the scalar
+// reference implementations. The AVX2/AVX-512 counting passes and the
+// SSE4.2 scatter live in kernels_<tier>.cpp, each compiled with its own
+// -m flags; everything here builds with the project's baseline flags so
+// the binary never executes an illegal instruction before dispatch.
+#include "core/kernels/kernels.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+
+#include "core/kernels/kernels_impl.hpp"
+#include "obs/hooks.hpp"
+#include "obs/stats.hpp"
+
+namespace approxiot::core::kernels {
+
+namespace {
+
+Tier cap_from_env(Tier best) noexcept {
+  const char* env = std::getenv("APPROXIOT_SIMD_TIER");
+  if (env == nullptr || *env == '\0') return best;
+  Tier cap = best;
+  if (std::strcmp(env, "scalar") == 0) {
+    cap = Tier::kScalar;
+  } else if (std::strcmp(env, "sse42") == 0) {
+    cap = Tier::kSse42;
+  } else if (std::strcmp(env, "avx2") == 0) {
+    cap = Tier::kAvx2;
+  } else if (std::strcmp(env, "avx512") == 0) {
+    cap = Tier::kAvx512;
+  }
+  return std::min(best, cap);
+}
+
+Tier detect() noexcept {
+  Tier best = Tier::kScalar;
+#if AIOT_KERNELS_X86
+  if (__builtin_cpu_supports("sse4.2")) best = Tier::kSse42;
+  if (__builtin_cpu_supports("avx2")) best = Tier::kAvx2;
+  // The 512-bit counting pass needs DQ (vpmullq in the hash fallback's
+  // neighbours) and VL (masked 256-bit ops) beyond the foundation set.
+  if (__builtin_cpu_supports("avx512f") &&
+      __builtin_cpu_supports("avx512dq") &&
+      __builtin_cpu_supports("avx512vl")) {
+    best = Tier::kAvx512;
+  }
+#endif
+  return cap_from_env(best);
+}
+
+std::atomic<Tier>& active_slot() noexcept {
+  static std::atomic<Tier> slot{detect()};
+  return slot;
+}
+
+// Observability: one process-wide set of bound pointers, matching the
+// process-wide dispatch tier. Atomic so benches can bind while sampler
+// threads run; unbound (nullptr) costs one relaxed load per kernel call.
+struct BoundStats {
+  std::atomic<obs::Counter*> count_items{nullptr};
+  std::atomic<obs::Counter*> scatter_items{nullptr};
+  std::atomic<obs::Counter*> reservoir_items{nullptr};
+  std::atomic<obs::Counter*> encode_items{nullptr};
+};
+
+BoundStats& bound_stats() noexcept {
+  static BoundStats stats;
+  return stats;
+}
+
+inline void bump(std::atomic<obs::Counter*>& slot,
+                 [[maybe_unused]] std::size_t n) noexcept {
+  AIOT_OBS(if (obs::Counter* c = slot.load(std::memory_order_relaxed))
+               c->increment(n););
+  (void)slot;
+}
+
+}  // namespace
+
+const char* tier_name(Tier tier) noexcept {
+  switch (tier) {
+    case Tier::kScalar:
+      return "scalar";
+    case Tier::kSse42:
+      return "sse42";
+    case Tier::kAvx2:
+      return "avx2";
+    case Tier::kAvx512:
+      return "avx512";
+  }
+  return "unknown";
+}
+
+Tier detected_tier() noexcept {
+  static const Tier tier = detect();
+  return tier;
+}
+
+Tier active_tier() noexcept {
+  return active_slot().load(std::memory_order_relaxed);
+}
+
+Tier force_tier(Tier tier) noexcept {
+  const Tier clamped = std::min(tier, detected_tier());
+  active_slot().store(clamped, std::memory_order_relaxed);
+  return clamped;
+}
+
+void bind_stats(obs::StatsRegistry* registry) {
+  BoundStats& stats = bound_stats();
+  if (registry == nullptr) {
+    stats.count_items.store(nullptr, std::memory_order_relaxed);
+    stats.scatter_items.store(nullptr, std::memory_order_relaxed);
+    stats.reservoir_items.store(nullptr, std::memory_order_relaxed);
+    stats.encode_items.store(nullptr, std::memory_order_relaxed);
+    return;
+  }
+  registry->gauge("core/kernels/active_tier")
+      .set(static_cast<double>(active_tier()));
+  stats.count_items.store(&registry->counter("core/kernels/count_items"),
+                          std::memory_order_relaxed);
+  stats.scatter_items.store(&registry->counter("core/kernels/scatter_items"),
+                            std::memory_order_relaxed);
+  stats.reservoir_items.store(
+      &registry->counter("core/kernels/reservoir_items"),
+      std::memory_order_relaxed);
+  stats.encode_items.store(&registry->counter("core/kernels/encode_items"),
+                           std::memory_order_relaxed);
+}
+
+// --- Counting pass ----------------------------------------------------------
+
+namespace detail {
+
+void reindex(CountScratch s) {
+  // Same sizing discipline as StratifyScratch::reindex: never shrink,
+  // keep 4x headroom so probes stay short for the rest of the pass.
+  std::size_t size = std::max<std::size_t>(s.slot_index->size(), 16);
+  while (size < (s.slot_ids->size() + 1) * 4) size *= 2;
+  s.slot_index->assign(size, 0);
+  const std::size_t mask = size - 1;
+  for (std::uint32_t k = 0; k < s.slot_ids->size(); ++k) {
+    std::size_t probe =
+        static_cast<std::size_t>(mix64((*s.slot_ids)[k].value())) & mask;
+    while ((*s.slot_index)[probe] != 0) probe = (probe + 1) & mask;
+    (*s.slot_index)[probe] = k + 1;
+  }
+}
+
+void count_pass_hash(const Item* data, std::size_t n, CountScratch s,
+                     std::uint32_t* item_slots) {
+  std::vector<SubStreamId>& ids = *s.slot_ids;
+  std::vector<std::size_t>& counts = *s.slot_counts;
+  std::vector<std::uint32_t>& index = *s.slot_index;
+  for (std::size_t i = 0; i < n; ++i) {
+    const SubStreamId id = data[i].source;
+    std::size_t mask = index.size() - 1;
+    std::size_t probe = static_cast<std::size_t>(mix64(id.value())) & mask;
+    std::uint32_t slot;
+    while (true) {
+      const std::uint32_t entry = index[probe];
+      if (entry == 0) {
+        // First sight: next dense slot; regrow the index past half load
+        // (the oracle's exact growth rule, so probe histories match).
+        slot = static_cast<std::uint32_t>(ids.size());
+        ids.push_back(id);
+        counts.push_back(0);
+        if ((ids.size() + 1) * 2 > index.size()) {
+          reindex(s);
+        } else {
+          index[probe] = slot + 1;
+        }
+        break;
+      }
+      if (ids[entry - 1] == id) {
+        slot = entry - 1;
+        break;
+      }
+      probe = (probe + 1) & mask;
+    }
+    ++counts[slot];
+    item_slots[i] = slot;
+  }
+}
+
+}  // namespace detail
+
+void count_pass(Tier tier, const Item* data, std::size_t n, CountScratch s,
+                std::uint32_t* item_slots) {
+  bump(bound_stats().count_items, n);
+#if AIOT_KERNELS_X86
+  if (tier == Tier::kAvx512) {
+    detail::count_pass_avx512(data, n, s, item_slots);
+    return;
+  }
+  if (tier == Tier::kAvx2) {
+    detail::count_pass_avx2(data, n, s, item_slots);
+    return;
+  }
+#endif
+  (void)tier;
+  detail::count_pass_hash(data, n, s, item_slots);
+}
+
+// --- Scatter pass -----------------------------------------------------------
+
+void scatter_pass(Tier tier, const Item* data, std::size_t n,
+                  const std::uint32_t* item_slots, std::size_t* cursors,
+                  Item* arena) {
+  bump(bound_stats().scatter_items, n);
+#if AIOT_KERNELS_X86
+  if (tier != Tier::kScalar) {
+    detail::scatter_pass_sse42(data, n, item_slots, cursors, arena);
+    return;
+  }
+#endif
+  (void)tier;
+  for (std::size_t i = 0; i < n; ++i) {
+    arena[cursors[item_slots[i]]++] = data[i];
+  }
+}
+
+// --- Algorithm R over a full reservoir --------------------------------------
+
+namespace {
+
+constexpr std::size_t kRing = 16;
+
+void algo_r_scalar(Item* res, std::size_t cap, const Item* d, std::size_t n,
+                   std::uint64_t& seen, Rng& rng) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t j = rng.next_below(++seen);
+    if (j < cap) res[j] = d[i];
+  }
+}
+
+/// Items `k0..chunk` of one chunk, replaying pre-drawn ring words from
+/// position `rc` and falling through to live draws when the ring runs
+/// dry. This is the exact-but-slower path: the fast loop below bails
+/// here on the first Lemire pre-filter hit (or for short tails), and
+/// the word-consumption order stays precisely the scalar oracle's.
+void algo_r_replay(Item* res, std::size_t cap, const Item* d, Item* sink,
+                   const std::uint64_t* ring, std::size_t chunk,
+                   std::size_t k0, std::size_t rc, std::uint64_t& seen,
+                   Rng& rng) {
+  for (std::size_t k = k0; k < chunk; ++k) {
+    const std::uint64_t bound = ++seen;
+    std::uint64_t x = rc < chunk ? ring[rc++] : rng.next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    std::uint64_t l = static_cast<std::uint64_t>(m);
+    if (__builtin_expect(l < bound, 0)) {
+      const std::uint64_t t = (0 - bound) % bound;
+      while (l < t) {
+        x = rc < chunk ? ring[rc++] : rng.next();
+        m = static_cast<__uint128_t>(x) * bound;
+        l = static_cast<std::uint64_t>(m);
+      }
+    }
+    const std::uint64_t j = static_cast<std::uint64_t>(m >> 64);
+    Item* dst = j < cap ? res + j : sink;
+    *dst = d[k];
+  }
+}
+
+void algo_r_ring(Item* res, std::size_t cap, const Item* d, std::size_t n,
+                 std::uint64_t& seen_io, Rng& rng_io) {
+  // Local copies keep the generator state and counter in registers for
+  // the whole span; written back once on exit.
+  Rng rng = rng_io;
+  std::uint64_t seen = seen_io;
+  std::uint64_t ring[kRing];
+  Item sink{};
+  std::size_t i = 0;
+  // Full chunks: draw exactly kRing raw words up front — the ring is
+  // simply the next stretch of the RNG stream. Each item consumes one
+  // word in the (overwhelmingly likely, P[hit] = bound / 2^64 per item)
+  // rejection-free case, so the constant-bound loop below indexes the
+  // ring directly with no replay-cursor bookkeeping; the compiler
+  // unrolls it flat. The first Lemire pre-filter hit breaks out to the
+  // replay path, which re-examines item k with the same word and
+  // consumes follow-up words in ring order — total words drawn is
+  // therefore exactly the oracle's on every control path.
+  while (n - i >= kRing && i < n) {
+    for (std::size_t k = 0; k < kRing; ++k) ring[k] = rng.next();
+    std::size_t k = 0;
+    for (; k < kRing; ++k) {
+      const std::uint64_t bound = seen + 1 + k;
+      const __uint128_t m = static_cast<__uint128_t>(ring[k]) * bound;
+      if (__builtin_expect(static_cast<std::uint64_t>(m) < bound, 0)) break;
+      const std::uint64_t j = static_cast<std::uint64_t>(m >> 64);
+      // Branchless: misses land in a local sink, so the store itself
+      // never mispredicts (j < cap is true for ~cap/seen of items).
+      Item* dst = j < cap ? res + j : &sink;
+      *dst = d[i + k];
+    }
+    if (__builtin_expect(k < kRing, 0)) {
+      seen += k;
+      algo_r_replay(res, cap, d + i, &sink, ring, kRing, k, k, seen, rng);
+    } else {
+      seen += kRing;
+    }
+    i += kRing;
+  }
+  // Tail: same contract with a short chunk.
+  if (i < n) {
+    const std::size_t chunk = n - i;
+    for (std::size_t k = 0; k < chunk; ++k) ring[k] = rng.next();
+    algo_r_replay(res, cap, d + i, &sink, ring, chunk, 0, 0, seen, rng);
+  }
+  seen_io = seen;
+  rng_io = rng;
+}
+
+}  // namespace
+
+void algo_r_full(Tier tier, Item* reservoir, std::size_t capacity,
+                 const Item* data, std::size_t n, std::uint64_t& seen,
+                 Rng& rng) {
+  bump(bound_stats().reservoir_items, n);
+  if (tier == Tier::kScalar) {
+    algo_r_scalar(reservoir, capacity, data, n, seen, rng);
+    return;
+  }
+  algo_r_ring(reservoir, capacity, data, n, seen, rng);
+}
+
+// --- Algorithm L over a full reservoir --------------------------------------
+
+namespace {
+
+constexpr std::size_t kLBatch = 8;
+
+inline double uniform_nonzero(Rng& rng) noexcept {
+  double u;
+  do {
+    u = rng.next_double();
+  } while (u <= 0.0);
+  return u;
+}
+
+inline std::uint64_t saturate_gap(double gap) noexcept {
+  return gap > 1e18 ? static_cast<std::uint64_t>(1e18)
+                    : static_cast<std::uint64_t>(gap);
+}
+
+void algo_l_scalar(Item* res, std::size_t cap, const Item* d, std::size_t n,
+                   std::uint64_t& seen, double& w, std::uint64_t& skip,
+                   Rng& rng) {
+  const double r = static_cast<double>(cap);
+  std::size_t i = 0;
+  while (i < n) {
+    const std::uint64_t remaining = n - i;
+    if (skip >= remaining) {
+      skip -= remaining;
+      seen += remaining;
+      break;
+    }
+    i += static_cast<std::size_t>(skip);
+    seen += skip + 1;
+    skip = 0;
+    const std::uint64_t victim = rng.next_below(cap);
+    res[victim] = d[i++];
+    w *= std::exp(std::log(uniform_nonzero(rng)) / r);
+    const double gap =
+        std::floor(std::log(uniform_nonzero(rng)) / std::log(1.0 - w));
+    skip = saturate_gap(gap);
+  }
+}
+
+void algo_l_batched(Item* res, std::size_t cap, const Item* d, std::size_t n,
+                    std::uint64_t& seen_io, double& w_io,
+                    std::uint64_t& skip_io, Rng& rng) {
+  std::uint64_t seen = seen_io;
+  double w = w_io;
+  std::uint64_t skip = skip_io;
+  const double r = static_cast<double>(cap);
+  struct Decision {
+    std::uint64_t victim;
+    std::size_t pos;
+  };
+  Decision batch[kLBatch];
+  std::size_t i = 0;
+  while (i < n) {
+    // Precompute up to kLBatch (victim, position) acceptances. Only
+    // draws the scalar path would make within THIS span are taken: the
+    // generator stops the moment the pending skip walks past the end,
+    // so RNG/skip/w state is bit-identical at every exit.
+    std::size_t nd = 0;
+    while (nd < kLBatch) {
+      const std::uint64_t remaining = n - i;
+      if (skip >= remaining) {
+        skip -= remaining;
+        seen += remaining;
+        i = n;
+        break;
+      }
+      i += static_cast<std::size_t>(skip);
+      seen += skip + 1;
+      skip = 0;
+      batch[nd].victim = rng.next_below(cap);
+      batch[nd].pos = i++;
+      ++nd;
+      w *= std::exp(std::log(uniform_nonzero(rng)) / r);
+      const double gap =
+          std::floor(std::log(uniform_nonzero(rng)) / std::log(1.0 - w));
+      skip = saturate_gap(gap);
+    }
+    for (std::size_t k = 0; k < nd; ++k) {
+      res[batch[k].victim] = d[batch[k].pos];
+    }
+  }
+  seen_io = seen;
+  w_io = w;
+  skip_io = skip;
+}
+
+}  // namespace
+
+void algo_l_full(Tier tier, Item* reservoir, std::size_t capacity,
+                 const Item* data, std::size_t n, std::uint64_t& seen,
+                 double& w, std::uint64_t& skip, Rng& rng) {
+  bump(bound_stats().reservoir_items, n);
+  if (tier == Tier::kScalar) {
+    algo_l_scalar(reservoir, capacity, data, n, seen, w, skip, rng);
+    return;
+  }
+  algo_l_batched(reservoir, capacity, data, n, seen, w, skip, rng);
+}
+
+// --- Bulk wire encoding -----------------------------------------------------
+
+std::size_t encode_items(Tier tier, std::uint8_t* out, const Item* items,
+                         std::size_t n) {
+  bump(bound_stats().encode_items, n);
+  (void)tier;  // raw pointer writes already saturate the store ports
+  std::uint8_t* p = out;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t v = items[i].source.value();
+    while (v >= 0x80) {
+      *p++ = static_cast<std::uint8_t>(v) | 0x80;
+      v >>= 7;
+    }
+    *p++ = static_cast<std::uint8_t>(v);
+    std::memcpy(p, &items[i].value, 8);
+    p += 8;
+    const auto ts = static_cast<std::uint64_t>(items[i].created_at_us);
+    std::memcpy(p, &ts, 8);
+    p += 8;
+  }
+  return static_cast<std::size_t>(p - out);
+}
+
+}  // namespace approxiot::core::kernels

@@ -1,0 +1,125 @@
+// Vectorized, cache-conscious hot-path kernels behind runtime CPU
+// dispatch (the ROADMAP "SIMD + cache-conscious sampling kernels" item).
+//
+// Every kernel here is a drop-in replacement for a scalar loop that
+// still lives, verbatim, at its original call site — StratifiedBatch's
+// counting build, ReservoirSampler's full-reservoir span loops, the wire
+// item encoder. The scalar code is the ORACLE: kernels must produce
+// bit-identical output (same arena permutation, same RNG consumption
+// draw for draw, same wire bytes), which the property tests in
+// tests/core/kernels_test.cpp assert across tiers, span lengths and
+// stratum shapes. Tier selection never changes results, only speed.
+//
+// Dispatch tiers, picked once per process (highest supported wins):
+//
+//   kScalar   the oracle loops themselves; the only tier when the build
+//             sets -DAPPROXIOT_SIMD=OFF or the target is not x86-64.
+//   kSse42    cache-conscious scalar: software-prefetched scatter,
+//             16-byte copies, block-drawn RNG rings.
+//   kAvx2     + the counting pass hashes ids 4 at a time (mix64 with
+//             synthesized 64-bit multiplies; AVX2 has no vpmullq).
+//   kAvx512   + the counting pass drops hashing entirely for intervals
+//             with <= kMaxInlineStrata sub-streams: ids compare against
+//             the known-id list with 8-wide vpcmpeqq.
+//
+// `APPROXIOT_SIMD_TIER=scalar|sse42|avx2|avx512` caps the detected tier
+// at startup; force_tier() does the same at runtime (tests/bench).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace approxiot::obs {
+class StatsRegistry;
+}
+
+namespace approxiot::core::kernels {
+
+enum class Tier : int { kScalar = 0, kSse42 = 1, kAvx2 = 2, kAvx512 = 3 };
+
+[[nodiscard]] const char* tier_name(Tier tier) noexcept;
+
+/// Best tier this build + CPU + APPROXIOT_SIMD_TIER cap supports.
+/// Detected once; constant for the process lifetime.
+[[nodiscard]] Tier detected_tier() noexcept;
+
+/// Tier the dispatching call sites use right now (detected unless
+/// forced lower).
+[[nodiscard]] Tier active_tier() noexcept;
+
+/// Caps the active tier at `tier` (clamped to detected — a tier the CPU
+/// lacks cannot be forced on). Returns the tier actually in force.
+/// For tests and benches; safe to call while samplers run.
+Tier force_tier(Tier tier) noexcept;
+
+/// The AVX-512 counting pass keeps the known-id list in registers; past
+/// this many distinct sub-streams in one interval it falls back to the
+/// hash-probe pass (identical output, slot numbering included).
+inline constexpr std::size_t kMaxInlineStrata = 64;
+
+/// Worst-case wire bytes per item: 10 (varint id) + 8 (double) + 8
+/// (fixed64 timestamp). Sizes the encoder's bulk reservation.
+inline constexpr std::size_t kMaxItemWireBytes = 26;
+
+/// Borrowed view of StratifyScratch's counting buffers. The kernel owns
+/// the pass: it may clear/append ids and counts and regrow the
+/// open-addressing index (entries are slot+1, 0 = empty, power-of-two
+/// size), but must leave slot_ids in first-seen order with slot_counts
+/// aligned — exactly the oracle's contract.
+struct CountScratch {
+  std::vector<SubStreamId>* slot_ids;
+  std::vector<std::size_t>* slot_counts;
+  std::vector<std::uint32_t>* slot_index;
+};
+
+/// Counting pass of the stable stratification build: records each
+/// item's dense first-seen slot in `item_slots` and the per-slot counts.
+/// Expects slot_ids/slot_counts cleared and slot_index zeroed (>= 16
+/// slots); grows the index itself past half load.
+void count_pass(Tier tier, const Item* data, std::size_t n, CountScratch s,
+                std::uint32_t* item_slots);
+
+/// Scatter pass: stable permutation of `data` into `arena` through the
+/// per-slot write cursors (cursors[slot] pre-seeded with each stratum's
+/// arena offset; advanced past-the-end on return, as the oracle leaves
+/// them).
+void scatter_pass(Tier tier, const Item* data, std::size_t n,
+                  const std::uint32_t* item_slots, std::size_t* cursors,
+                  Item* arena);
+
+/// Algorithm R over a full reservoir: bit-identical to
+///   for each item: j = rng.next_below(++seen); if (j < capacity)
+///   reservoir[j] = item;
+/// but the raw RNG words are drawn in blocks into a small ring (the
+/// ring IS the stream, so Lemire rejection retries simply consume the
+/// following entries) and the store is branchless via a dummy sink.
+void algo_r_full(Tier tier, Item* reservoir, std::size_t capacity,
+                 const Item* data, std::size_t n, std::uint64_t& seen,
+                 Rng& rng);
+
+/// Algorithm L over a full reservoir: bit-identical to the scalar
+/// skip-consuming span loop, but (victim, position) acceptance decisions
+/// are precomputed in small blocks — only draws the scalar path would
+/// make within this span are taken, so RNG state matches at every exit.
+void algo_l_full(Tier tier, Item* reservoir, std::size_t capacity,
+                 const Item* data, std::size_t n, std::uint64_t& seen,
+                 double& w, std::uint64_t& skip, Rng& rng);
+
+/// Bulk wire encoding of items (varint source id, double value, fixed64
+/// timestamp — byte-identical to Encoder::put_varint/put_double/
+/// put_fixed64 per item). Writes at most kMaxItemWireBytes * n bytes
+/// into `out`; returns the bytes actually written.
+std::size_t encode_items(Tier tier, std::uint8_t* out, const Item* items,
+                         std::size_t n);
+
+/// Binds the kernels' observability to `registry` (pass nullptr to
+/// unbind): a gauge for the active tier plus per-kernel item counters
+/// under core/kernels/. Safe to rebind while samplers run; counters are
+/// shared process-wide like the dispatch tier itself.
+void bind_stats(obs::StatsRegistry* registry);
+
+}  // namespace approxiot::core::kernels

@@ -1,0 +1,99 @@
+// AVX2-tier counting pass (compiled with -mavx2; empty without SIMD
+// support): the open-addressing probe stays scalar — AVX2 has no
+// efficient gather-compare loop for it — but the mix64 hash runs four
+// ids per vector, with the 64x64 multiply synthesized from 32-bit
+// pieces (AVX2 lacks vpmullq). Hashing is roughly half the scalar
+// pass's work, and probes on a half-loaded table almost never chain.
+#include "core/kernels/kernels_impl.hpp"
+
+#if AIOT_KERNELS_X86
+
+#include <immintrin.h>
+
+namespace approxiot::core::kernels::detail {
+
+namespace {
+
+/// Low 64 bits of a*c per lane, c a broadcast constant:
+/// lo32(a)*lo32(c) + ((hi32(a)*lo32(c) + lo32(a)*hi32(c)) << 32).
+inline __m256i mullo64(__m256i a, __m256i c) noexcept {
+  const __m256i lo = _mm256_mul_epu32(a, c);
+  const __m256i cross = _mm256_add_epi64(
+      _mm256_mul_epu32(_mm256_srli_epi64(a, 32), c),
+      _mm256_mul_epu32(a, _mm256_srli_epi64(c, 32)));
+  return _mm256_add_epi64(lo, _mm256_slli_epi64(cross, 32));
+}
+
+/// Four mix64() evaluations per call — identical avalanche to the
+/// scalar constexpr in common/rng.hpp (same constants, same shifts).
+inline __m256i mix64x4(__m256i z, __m256i c1, __m256i c2) noexcept {
+  z = mullo64(_mm256_xor_si256(z, _mm256_srli_epi64(z, 30)), c1);
+  z = mullo64(_mm256_xor_si256(z, _mm256_srli_epi64(z, 27)), c2);
+  return _mm256_xor_si256(z, _mm256_srli_epi64(z, 31));
+}
+
+/// The oracle's probe-or-insert step with the hash precomputed.
+inline std::uint32_t probe_insert(CountScratch s, SubStreamId id,
+                                  std::uint64_t hash) {
+  std::vector<SubStreamId>& ids = *s.slot_ids;
+  std::vector<std::uint32_t>& index = *s.slot_index;
+  const std::size_t mask = index.size() - 1;
+  std::size_t probe = static_cast<std::size_t>(hash) & mask;
+  while (true) {
+    const std::uint32_t entry = index[probe];
+    if (entry == 0) {
+      const std::uint32_t slot = static_cast<std::uint32_t>(ids.size());
+      ids.push_back(id);
+      s.slot_counts->push_back(0);
+      if ((ids.size() + 1) * 2 > index.size()) {
+        reindex(s);
+      } else {
+        index[probe] = slot + 1;
+      }
+      return slot;
+    }
+    if (ids[entry - 1] == id) return entry - 1;
+    probe = (probe + 1) & mask;
+  }
+}
+
+}  // namespace
+
+void count_pass_avx2(const Item* data, std::size_t n, CountScratch s,
+                     std::uint32_t* item_slots) {
+  const __m256i c1 = _mm256_set1_epi64x(
+      static_cast<long long>(0xbf58476d1ce4e5b9ULL));
+  const __m256i c2 = _mm256_set1_epi64x(
+      static_cast<long long>(0x94d049bb133111ebULL));
+  alignas(32) std::uint64_t keys[16];
+  alignas(32) std::uint64_t hashes[16];
+  std::vector<std::size_t>& counts = *s.slot_counts;
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    for (std::size_t k = 0; k < 16; ++k) {
+      keys[k] = data[i + k].source.value();
+    }
+    for (std::size_t k = 0; k < 16; k += 4) {
+      const __m256i z = _mm256_load_si256(
+          reinterpret_cast<const __m256i*>(keys + k));
+      _mm256_store_si256(reinterpret_cast<__m256i*>(hashes + k),
+                         mix64x4(z, c1, c2));
+    }
+    for (std::size_t k = 0; k < 16; ++k) {
+      const std::uint32_t slot =
+          probe_insert(s, SubStreamId{keys[k]}, hashes[k]);
+      ++counts[slot];
+      item_slots[i + k] = slot;
+    }
+  }
+  for (; i < n; ++i) {
+    const SubStreamId id = data[i].source;
+    const std::uint32_t slot = probe_insert(s, id, mix64(id.value()));
+    ++counts[slot];
+    item_slots[i] = slot;
+  }
+}
+
+}  // namespace approxiot::core::kernels::detail
+
+#endif  // AIOT_KERNELS_X86

@@ -1,0 +1,47 @@
+// Internal seams of the kernel layer: the per-tier entry points that
+// live in their own translation units (each compiled with exactly the
+// -m flags its intrinsics need) and the helpers they share. Nothing
+// here is part of the library API — include kernels.hpp instead.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/kernels/kernels.hpp"
+
+// Compiled-in SIMD support: the build opts in (APPROXIOT_SIMD=1 from
+// CMake) and the target is x86-64. The per-tier TUs compile to nothing
+// without it and dispatch never leaves kScalar.
+#if defined(APPROXIOT_SIMD) && APPROXIOT_SIMD && defined(__x86_64__)
+#define AIOT_KERNELS_X86 1
+#else
+#define AIOT_KERNELS_X86 0
+#endif
+
+namespace approxiot::core::kernels::detail {
+
+/// Hash-probe counting pass (the oracle's algorithm, re-rolled here so
+/// tier TUs can fall back to it): one mix64 + short linear probe per
+/// item, growing the index past half load. Appends new ids first-seen.
+void count_pass_hash(const Item* data, std::size_t n, CountScratch s,
+                     std::uint32_t* item_slots);
+
+/// Rebuilds the open-addressing index from slot_ids (used after the
+/// index grows). Mirrors StratifyScratch::reindex sizing: never
+/// shrinks, 4x headroom over the live slot count.
+void reindex(CountScratch s);
+
+#if AIOT_KERNELS_X86
+// Tier entry points — defined in kernels_<tier>.cpp with matching
+// target flags. Only dispatch (kernels.cpp) may call them, and only
+// after __builtin_cpu_supports confirmed the tier.
+void count_pass_avx2(const Item* data, std::size_t n, CountScratch s,
+                     std::uint32_t* item_slots);
+void count_pass_avx512(const Item* data, std::size_t n, CountScratch s,
+                       std::uint32_t* item_slots);
+void scatter_pass_sse42(const Item* data, std::size_t n,
+                        const std::uint32_t* item_slots, std::size_t* cursors,
+                        Item* arena);
+#endif
+
+}  // namespace approxiot::core::kernels::detail

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "common/rng.hpp"
+#include "core/kernels/kernels.hpp"
 
 namespace approxiot::core {
 
@@ -61,6 +62,20 @@ void StratifyScratch::reindex() {
 
 void StratifiedBatch::assign(const Item* data, std::size_t n,
                              StratifyScratch& scratch) {
+  const kernels::Tier tier = kernels::active_tier();
+  if (tier == kernels::Tier::kScalar) {
+    assign_scalar(data, n, scratch);
+  } else {
+    assign_kernel(data, n, scratch, tier);
+  }
+}
+
+// The scalar counting build, kept verbatim as the kernel layer's
+// reference oracle: tests/core/kernels_test.cpp asserts every dispatch
+// tier reproduces this batch bit for bit, and -DAPPROXIOT_SIMD=OFF
+// builds run only this path.
+void StratifiedBatch::assign_scalar(const Item* data, std::size_t n,
+                                    StratifyScratch& scratch) {
   dir_.clear();
   arena_.resize(n);
 
@@ -107,6 +122,51 @@ void StratifiedBatch::assign(const Item* data, std::size_t n,
   for (std::size_t i = 0; i < n; ++i) {
     arena_[scratch.cursors_[scratch.item_slots_[i]]++] = data[i];
   }
+}
+
+// The kernel build: same two passes, same scratch contract, but the
+// counting and scatter loops run through the dispatched kernels (SIMD
+// hashing / list-compare counting, prefetched scatter). The middle
+// section — slot ordering, directory, cursor seeding — is the oracle's
+// code repeated: it is O(strata), not O(items), and sharing it would
+// mean carving up the oracle above.
+void StratifiedBatch::assign_kernel(const Item* data, std::size_t n,
+                                    StratifyScratch& scratch,
+                                    kernels::Tier tier) {
+  dir_.clear();
+  arena_.resize(n);
+
+  scratch.slot_counts_.clear();
+  scratch.slot_ids_.clear();
+  scratch.item_slots_.resize(n);
+  scratch.reindex();
+  kernels::count_pass(tier, data, n,
+                      kernels::CountScratch{&scratch.slot_ids_,
+                                            &scratch.slot_counts_,
+                                            &scratch.slot_index_},
+                      scratch.item_slots_.data());
+
+  const std::size_t s = scratch.slot_ids_.size();
+  scratch.sorted_slots_.resize(s);
+  for (std::size_t k = 0; k < s; ++k) {
+    scratch.sorted_slots_[k] = static_cast<std::uint32_t>(k);
+  }
+  std::sort(scratch.sorted_slots_.begin(), scratch.sorted_slots_.end(),
+            [&scratch](std::uint32_t a, std::uint32_t b) {
+              return scratch.slot_ids_[a] < scratch.slot_ids_[b];
+            });
+
+  scratch.cursors_.resize(s);
+  dir_.reserve(s);
+  std::size_t offset = 0;
+  for (const std::uint32_t slot : scratch.sorted_slots_) {
+    dir_.push_back(Stratum{scratch.slot_ids_[slot], offset,
+                           scratch.slot_counts_[slot]});
+    scratch.cursors_[slot] = offset;
+    offset += scratch.slot_counts_[slot];
+  }
+  kernels::scatter_pass(tier, data, n, scratch.item_slots_.data(),
+                        scratch.cursors_.data(), arena_.data());
 }
 
 void StratifiedBatch::assign(const Item* data, std::size_t n) {

@@ -40,6 +40,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "core/kernels/kernels.hpp"
 
 namespace approxiot::core {
 
@@ -173,6 +174,9 @@ class StratifiedBatch {
   /// counting build, see header comment) using the caller's reusable
   /// scratch. Arena, directory and scratch buffers are all reused;
   /// steady-state calls allocate nothing once capacity has grown.
+  /// Dispatches the counting and scatter passes through the kernel layer
+  /// (core/kernels) when a SIMD tier is active; the result is
+  /// bit-identical to the retained scalar build either way.
   void assign(const Item* data, std::size_t n, StratifyScratch& scratch);
   void assign(const std::vector<Item>& items, StratifyScratch& scratch) {
     assign(items.data(), items.size(), scratch);
@@ -315,6 +319,13 @@ class StratifiedBatch {
 
  private:
   static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  /// The verbatim scalar counting build (the kernel oracle) and the
+  /// kernel-dispatched build; assign() picks by active tier.
+  void assign_scalar(const Item* data, std::size_t n,
+                     StratifyScratch& scratch);
+  void assign_kernel(const Item* data, std::size_t n,
+                     StratifyScratch& scratch, kernels::Tier tier);
 
   [[nodiscard]] std::size_t find_index(SubStreamId id) const noexcept;
   [[nodiscard]] std::size_t find_or_insert(SubStreamId id);

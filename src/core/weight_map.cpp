@@ -2,7 +2,24 @@
 
 #include <algorithm>
 
+#include "core/stratified.hpp"
+
 namespace approxiot::core {
+
+void WeightMap::get_for_strata(const std::vector<Stratum>& dir,
+                               double* out) const noexcept {
+  // Two-pointer merge: both sequences ascend, so each sorted-index entry
+  // is visited at most once across the whole directory.
+  std::size_t oi = 0;
+  const std::size_t m = order_.size();
+  for (std::size_t k = 0; k < dir.size(); ++k) {
+    const SubStreamId id = dir[k].id;
+    while (oi < m && slots_[order_[oi]].id < id) ++oi;
+    out[k] = (oi < m && slots_[order_[oi]].id == id)
+                 ? slots_[order_[oi]].weight
+                 : 1.0;
+  }
+}
 
 std::size_t WeightMap::find_slot(SubStreamId id) const noexcept {
   if (slots_.empty()) return npos;

@@ -31,6 +31,8 @@
 
 namespace approxiot::core {
 
+struct Stratum;
+
 class WeightMap {
  public:
   WeightMap() = default;
@@ -45,6 +47,15 @@ class WeightMap {
   [[nodiscard]] bool contains(SubStreamId id) const noexcept {
     return find_slot(id) != npos;
   }
+
+  /// Weights for a whole stratum directory at once. `dir` is ascending
+  /// by id (the StratifiedBatch invariant), so instead of one hash +
+  /// probe per stratum this merges dir against the sorted slot index in
+  /// a single linear pass — the samplers' per-interval block lookup.
+  /// Writes dir.size() weights to `out`; absent ids get 1 (same default
+  /// as get()).
+  void get_for_strata(const std::vector<Stratum>& dir,
+                      double* out) const noexcept;
 
   void set(SubStreamId id, double weight);
 

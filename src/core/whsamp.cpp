@@ -37,11 +37,17 @@ SampledBundle WHSampler::sample_strata(const StratifiedBatch& strata,
 
   // Line 7: decide each sub-stream's reservoir size N_i. The infos also
   // carry the resolved W^in_i so the merge loop below does not re-query
-  // the weight map per stratum.
+  // the weight map per stratum. W^in resolves for the whole ascending
+  // directory in one merge pass rather than a hash probe per stratum.
+  const auto& strata_dir = strata.strata();
+  weights_scratch_.resize(strata_dir.size());
+  w_in.get_for_strata(strata_dir, weights_scratch_.data());
   infos_.clear();
   infos_.reserve(strata.size());
-  for (const Stratum& s : strata.strata()) {
-    infos_.push_back(sampling::SubStreamInfo{s.id, s.len, 0.0, w_in.get(s.id)});
+  for (std::size_t k = 0; k < strata_dir.size(); ++k) {
+    const Stratum& s = strata_dir[k];
+    infos_.push_back(
+        sampling::SubStreamInfo{s.id, s.len, 0.0, weights_scratch_[k]});
   }
   const sampling::SizeMap sizes = policy_->allocate(sample_size, infos_);
 

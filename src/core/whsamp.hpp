@@ -68,6 +68,8 @@ class WHSampler {
   /// Reused stratification arena for the vector entry point.
   StratifiedBatch scratch_;
   std::vector<sampling::SubStreamInfo> infos_;
+  /// Per-interval W^in_i, resolved in one get_for_strata() block pass.
+  std::vector<double> weights_scratch_;
 };
 
 /// Stratifies a flat item vector by source id (Algorithm 1 line 5) into a

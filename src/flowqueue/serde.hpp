@@ -23,6 +23,19 @@ class Encoder {
   void put_string(const std::string& s);
   void put_bytes(const std::vector<std::uint8_t>& bytes);
 
+  /// Bulk-append seam for block encoders (the core/kernels item
+  /// encoder): grows the buffer by `max_bytes` and returns the write
+  /// cursor. The caller writes up to max_bytes sequentially and then
+  /// calls commit_tail() with the count actually written; the buffer
+  /// shrinks back to exactly the bytes produced. No other Encoder call
+  /// may intervene between the pair.
+  [[nodiscard]] std::uint8_t* reserve_tail(std::size_t max_bytes) {
+    committed_ = buffer_.size();
+    buffer_.resize(committed_ + max_bytes);
+    return buffer_.data() + committed_;
+  }
+  void commit_tail(std::size_t used) { buffer_.resize(committed_ + used); }
+
   [[nodiscard]] const std::vector<std::uint8_t>& bytes() const noexcept {
     return buffer_;
   }
@@ -33,6 +46,9 @@ class Encoder {
 
  private:
   std::vector<std::uint8_t> buffer_;
+  /// Buffer size at the last reserve_tail(), the base commit_tail()
+  /// truncates back to.
+  std::size_t committed_{0};
 };
 
 /// Cursor-based decoder over a byte span.

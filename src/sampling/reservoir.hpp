@@ -19,10 +19,12 @@
 #include <cassert>
 #include <cmath>
 #include <cstdint>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
 #include "common/rng.hpp"
+#include "core/kernels/kernels.hpp"
 
 namespace approxiot::sampling {
 
@@ -71,10 +73,21 @@ class ReservoirSampler {
   /// each in order, but the fill/capacity branches are hoisted out of the
   /// per-item loop and Algorithm L consumes its skip counter across the
   /// whole span at once (a full skip-over costs O(1), not O(n)).
+  /// For Item streams with a SIMD tier active, the full-reservoir loop
+  /// runs through the core/kernels block kernels (ring-buffered RNG
+  /// draws, branchless stores) — same results, draw for draw; the loop
+  /// below is the retained scalar oracle.
   void offer_span(const T* data, std::size_t n) {
     if (capacity_ == 0) {
       seen_ += n;
       return;
+    }
+    if constexpr (std::is_same_v<T, Item>) {
+      const core::kernels::Tier tier = core::kernels::active_tier();
+      if (tier != core::kernels::Tier::kScalar) {
+        offer_span_kernel(data, n, tier);
+        return;
+      }
     }
     std::size_t i = 0;
     // Fill phase: runs at most once per interval, not once per item.
@@ -168,6 +181,35 @@ class ReservoirSampler {
   }
 
  private:
+  /// The kernel-dispatched span path (T == Item, SIMD tier active).
+  /// Bulk-fills, then hands the full-reservoir loop to the block
+  /// kernels with this sampler's live state — counters, Algorithm L's
+  /// (w, skip) pair and the generator advance exactly as the scalar
+  /// loop advances them, so a later offer()/offer_span() continues the
+  /// identical random sequence.
+  void offer_span_kernel(const Item* data, std::size_t n,
+                         core::kernels::Tier tier) {
+    std::size_t i = 0;
+    if (reservoir_.size() < capacity_) {
+      const std::size_t take = std::min(n, capacity_ - reservoir_.size());
+      reservoir_.insert(reservoir_.end(), data, data + take);
+      seen_ += take;
+      i = take;
+      if (reservoir_.size() == capacity_ &&
+          algorithm_ == ReservoirAlgorithm::kAlgorithmL) {
+        init_skip();
+      }
+    }
+    if (i == n) return;
+    if (algorithm_ == ReservoirAlgorithm::kAlgorithmR) {
+      core::kernels::algo_r_full(tier, reservoir_.data(), capacity_,
+                                 data + i, n - i, seen_, rng_);
+    } else {
+      core::kernels::algo_l_full(tier, reservoir_.data(), capacity_,
+                                 data + i, n - i, seen_, w_, skip_, rng_);
+    }
+  }
+
   // Callers may pass a huge capacity to mean "keep everything" (native
   // execution); cap the eager reservation so that stays cheap.
   void reserve_bounded() {
