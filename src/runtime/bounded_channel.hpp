@@ -16,6 +16,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <mutex>
 #include <optional>
 #include <utility>
@@ -33,6 +34,17 @@ struct ChannelStats {
   obs::Histogram* block_wait_us{nullptr};  ///< producer stall (kBlock, full)
   obs::Counter* dropped{nullptr};        ///< kDropNewest discards
 };
+
+/// Readiness notification for event-driven endpoints. Waiters are plain
+/// callbacks, not condition variables: the channel invokes them OUTSIDE
+/// its lock after the state change that might unblock the other side
+/// (readable: a successful push, or close; writable: a pop that freed a
+/// slot, or close). Invocations are edge-triggered hints, never proofs —
+/// a racing consumer may empty the channel between the push and the
+/// waiter firing — so receivers must re-check with try_pop()/try_push()
+/// and treat a fruitless wake as spurious. A kDropNewest push that sheds
+/// its value raises no readable event (nothing became poppable).
+using ChannelWaiter = std::function<void()>;
 
 /// What a producer does when the channel is full.
 enum class BackpressurePolicy {
@@ -64,6 +76,16 @@ class BoundedChannel {
   /// Binds observability sinks. Call before producers/consumers start
   /// (the struct is copied; later rebinding would race with push/pop).
   void bind_stats(const ChannelStats& stats) { stats_ = stats; }
+
+  /// Installs the readiness waiters (see ChannelWaiter). Like bind_stats,
+  /// wiring happens before producers/consumers start; rebinding while the
+  /// channel is live would race with the un-locked invocation sites.
+  void set_readable_waiter(ChannelWaiter waiter) {
+    readable_waiter_ = std::move(waiter);
+  }
+  void set_writable_waiter(ChannelWaiter waiter) {
+    writable_waiter_ = std::move(waiter);
+  }
 
   /// Enqueues `value`. Under kBlock, waits until space or close; under
   /// kDropNewest a full channel discards the value immediately. Returns
@@ -105,6 +127,7 @@ class BoundedChannel {
     });
     lock.unlock();
     not_empty_.notify_one();
+    if (readable_waiter_) readable_waiter_();
     return true;
   }
 
@@ -115,8 +138,33 @@ class BoundedChannel {
       if (closed_ || queue_.size() >= capacity_) return false;
       queue_.push_back(std::move(value));
       ++pushed_;
+      AIOT_OBS(if (stats_.depth != nullptr) {
+        stats_.depth->set(static_cast<double>(queue_.size()));
+      });
     }
     not_empty_.notify_one();
+    if (readable_waiter_) readable_waiter_();
+    return true;
+  }
+
+  /// Non-blocking push that leaves `value` INTACT when the channel is
+  /// full, so an event-driven producer can park and re-offer the same
+  /// message after a writable wake (try_push would have consumed the
+  /// moved-in value on failure). On success the value is moved from and
+  /// true is returned. A closed channel returns false with the value
+  /// untouched — callers distinguish full from closed via closed().
+  bool try_push_from(T& value) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_ || queue_.size() >= capacity_) return false;
+      queue_.push_back(std::move(value));
+      ++pushed_;
+      AIOT_OBS(if (stats_.depth != nullptr) {
+        stats_.depth->set(static_cast<double>(queue_.size()));
+      });
+    }
+    not_empty_.notify_one();
+    if (readable_waiter_) readable_waiter_();
     return true;
   }
 
@@ -134,6 +182,7 @@ class BoundedChannel {
     });
     lock.unlock();
     not_full_.notify_one();
+    if (writable_waiter_) writable_waiter_();
     return value;
   }
 
@@ -151,6 +200,7 @@ class BoundedChannel {
       });
     }
     not_full_.notify_one();
+    if (writable_waiter_) writable_waiter_();
     return value;
   }
 
@@ -164,11 +214,25 @@ class BoundedChannel {
     }
     not_full_.notify_all();
     not_empty_.notify_all();
+    // Close is both a readable and a writable event: a consumer parked on
+    // an empty channel must wake to observe end-of-stream, and a producer
+    // parked on a full one must wake to learn its pushes now fail.
+    if (readable_waiter_) readable_waiter_();
+    if (writable_waiter_) writable_waiter_();
   }
 
   [[nodiscard]] bool closed() const {
     std::lock_guard<std::mutex> lock(mutex_);
     return closed_;
+  }
+
+  /// Closed AND empty: a try_pop() that returned nullopt will never yield
+  /// again — the event-driven consumer's end-of-stream test. (A false
+  /// return is only a hint: a racing consumer may drain the last value
+  /// right after; re-check after the next failed try_pop.)
+  [[nodiscard]] bool drained() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_ && queue_.empty();
   }
 
   [[nodiscard]] std::size_t size() const {
@@ -197,6 +261,8 @@ class BoundedChannel {
   const std::size_t capacity_;
   const BackpressurePolicy policy_;
   ChannelStats stats_;
+  ChannelWaiter readable_waiter_;
+  ChannelWaiter writable_waiter_;
 
   mutable std::mutex mutex_;
   std::condition_variable not_full_;

@@ -1,7 +1,9 @@
 #include "runtime/concurrent_tree.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 
 #include "obs/hooks.hpp"
@@ -117,8 +119,13 @@ ConcurrentEdgeTree::ConcurrentEdgeTree(ConcurrentTreeConfig config,
   // loops read their NodeRuntime sinks without synchronisation.
   bind_observability();
 
-  // One long-running worker per node; the pool is sized to match, so each
-  // node loop owns a thread for the runtime's lifetime.
+  if (config_.runtime_mode == RuntimeMode::kEvents) {
+    start_event_runtime();
+    return;
+  }
+
+  // kThreads: one long-running worker per node; the pool is sized to
+  // match, so each node loop owns a thread for the runtime's lifetime.
   std::size_t total_nodes = 0;
   for (const auto& layer : nodes_) total_nodes += layer.size();
   pool_ = std::make_unique<ThreadPool>(total_nodes, config_.tree.rng_seed);
@@ -127,6 +134,62 @@ ConcurrentEdgeTree::ConcurrentEdgeTree(ConcurrentTreeConfig config,
       pool_->submit([this, &node](WorkerContext&) { node_loop(node); });
     }
   }
+}
+
+void ConcurrentEdgeTree::start_event_runtime() {
+  std::size_t total_nodes = 0;
+  for (const auto& layer : nodes_) total_nodes += layer.size();
+
+  std::size_t workers = config_.event_workers;
+  if (workers == 0) {
+    workers = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers = std::min(workers, total_nodes);
+
+  JobScheduler::Options options;
+  options.workers = workers;
+  options.stats = stats_;
+  options.tracer = tracer_;
+  options.scope = "tree/sched";
+  scheduler_ = std::make_unique<JobScheduler>(std::move(options));
+
+  // One task per node. The task body makes all possible progress and
+  // parks; channel readiness re-queues it. Registration happens before
+  // start(), so workers never see a half-built task table.
+  for (std::size_t layer = 0; layer < nodes_.size(); ++layer) {
+    for (std::size_t i = 0; i < nodes_[layer].size(); ++i) {
+      NodeRuntime& node = nodes_[layer][i];
+      node.event = std::make_unique<EventState>();
+      node.event->held.resize(node.inputs.size());
+      node.event->finished.assign(node.inputs.size(), false);
+      core::PipelineStage* stage = node.stage.get();
+      node.event->task = scheduler_->add_task(
+          node_scope(layer, i), [this, &node] { event_pump(node); },
+          [stage] {
+            return static_cast<std::int64_t>(stage->policy_epoch());
+          });
+    }
+  }
+
+  // Readiness wiring: a push into (or close of) any input wakes the
+  // consumer; a pop from (or close of) a node's output wakes the
+  // producer so a parked forward can be re-offered. Set before start()
+  // — waiter installation is not synchronised against channel traffic.
+  for (auto& layer : nodes_) {
+    for (NodeRuntime& node : layer) {
+      const JobScheduler::TaskId task = node.event->task;
+      for (auto* input : node.inputs) {
+        input->set_readable_waiter(
+            [this, task] { scheduler_->notify(task); });
+      }
+      if (node.output != nullptr) {
+        node.output->set_writable_waiter(
+            [this, task] { scheduler_->notify(task); });
+      }
+    }
+  }
+
+  scheduler_->start();
 }
 
 std::string ConcurrentEdgeTree::node_scope(std::size_t layer,
@@ -273,7 +336,20 @@ void ConcurrentEdgeTree::stop() {
     stopped_ = true;
   }
   for (auto* channel : leaf_inputs_) channel->close();
-  pool_->shutdown();
+  if (pool_ != nullptr) {
+    pool_->shutdown();
+  } else {
+    // kEvents: the closes cascade layer by layer (each finishing node
+    // closes its output, waking its parent) until the root task observes
+    // end-of-stream; only then is the worker pool quiescent and safe to
+    // join. Everything still in flight is flushed through, exactly like
+    // the thread-per-node shutdown.
+    {
+      std::unique_lock<std::mutex> lock(state_mutex_);
+      drained_cv_.wait(lock, [this] { return root_finished_; });
+    }
+    scheduler_->shutdown();
+  }
   drained_cv_.notify_all();
 
   if (metrics_ != nullptr) {
@@ -343,6 +419,10 @@ void ConcurrentEdgeTree::observe_and_publish(
   }
 }
 
+void ConcurrentEdgeTree::kick() {
+  if (scheduler_ != nullptr) scheduler_->notify_all();
+}
+
 core::PolicyEpoch ConcurrentEdgeTree::publish_fraction(double end_to_end) {
   if (config_.tree.control_plane == nullptr) {
     throw std::logic_error("publish_fraction() without a control plane");
@@ -392,7 +472,6 @@ ConcurrentEdgeTree::TreeMetrics ConcurrentEdgeTree::metrics() const {
 
 void ConcurrentEdgeTree::node_loop(NodeRuntime& node) {
   const std::size_t n_inputs = node.inputs.size();
-  const bool is_root = node.output == nullptr;
   std::vector<std::optional<IntervalMessage>> held(n_inputs);
   std::vector<bool> finished(n_inputs, false);
 
@@ -481,77 +560,212 @@ void ConcurrentEdgeTree::node_loop(NodeRuntime& node) {
 
     // Run the stage even on an empty Ψ — interval bookkeeping (budget
     // history, snapshot periods) must advance exactly as in EdgeTree.
-    if (is_root) {
-      std::uint64_t arrived = 0;
-      for (const core::ItemBundle& bundle : psi) {
-        arrived += bundle.items.size();
-      }
-      std::vector<core::SampledBundle> outputs =
-          node.stage->process_interval(psi);
-      AIOT_OBS(
-          const std::int64_t epoch =
-              static_cast<std::int64_t>(node.stage->policy_epoch());
-          const std::int64_t t_done = obs_now_us();
-          if (node.exec_us != nullptr) {
-            node.exec_us->record(static_cast<double>(t_done - t_phase));
-          }
-          if (tracer_ != nullptr &&
-              node.track != obs::ScopedSpan::kNoTrack) {
-            tracer_->complete(node.track, "stage-execute", t_phase, t_done,
-                              epoch);
-          }
-          t_phase = t_done;);
-      {
-        std::lock_guard<std::mutex> lock(theta_mutex_);
-        for (const core::SampledBundle& bundle : outputs) {
-          theta_.add(bundle);
-        }
-      }
-      AIOT_OBS(
-          if (tracer_ != nullptr &&
-              node.track != obs::ScopedSpan::kNoTrack) {
-            tracer_->complete(
-                node.track, "root-merge", t_phase, obs_now_us(),
-                static_cast<std::int64_t>(node.stage->policy_epoch()));
-          });
-      if (config_.root_tap) {
-        for (const core::SampledBundle& bundle : outputs) {
-          config_.root_tap(bundle);
-        }
-      }
-      {
-        std::lock_guard<std::mutex> lock(state_mutex_);
-        items_at_root_ += arrived;
-      }
-      complete_root_interval(interval);
-    } else {
-      IntervalMessage out;
-      out.interval = interval;
-      std::vector<core::SampledBundle> outputs =
-          node.stage->process_interval(psi);
-      AIOT_OBS(
-          if (node.exec_us != nullptr ||
-              node.track != obs::ScopedSpan::kNoTrack) {
-            const std::int64_t t_done = obs_now_us();
-            if (node.exec_us != nullptr) {
-              node.exec_us->record(static_cast<double>(t_done - t_phase));
-            }
-            if (tracer_ != nullptr &&
-                node.track != obs::ScopedSpan::kNoTrack) {
-              tracer_->complete(
-                  node.track, "stage-execute", t_phase, t_done,
-                  static_cast<std::int64_t>(node.stage->policy_epoch()));
-            }
-          });
-      out.bundles.reserve(outputs.size());
-      for (core::SampledBundle& bundle : outputs) {
-        out.bundles.push_back(std::move(bundle).to_bundle());
-      }
-      node.output->push(std::move(out));
-    }
+    std::optional<IntervalMessage> out =
+        execute_node_interval(node, interval, psi);
+    if (out.has_value()) node.output->push(std::move(*out));
   }
 
   if (node.output != nullptr) node.output->close();
+}
+
+std::optional<IntervalMessage> ConcurrentEdgeTree::execute_node_interval(
+    NodeRuntime& node, std::int64_t interval,
+    const std::vector<core::ItemBundle>& psi) {
+  const bool is_root = node.output == nullptr;
+  [[maybe_unused]] std::int64_t t_phase = 0;
+  AIOT_OBS(t_phase = obs_now_us(););
+
+  if (is_root) {
+    std::uint64_t arrived = 0;
+    for (const core::ItemBundle& bundle : psi) {
+      arrived += bundle.items.size();
+    }
+    std::vector<core::SampledBundle> outputs =
+        node.stage->process_interval(psi);
+    AIOT_OBS(
+        const std::int64_t epoch =
+            static_cast<std::int64_t>(node.stage->policy_epoch());
+        const std::int64_t t_done = obs_now_us();
+        if (node.exec_us != nullptr) {
+          node.exec_us->record(static_cast<double>(t_done - t_phase));
+        }
+        if (tracer_ != nullptr &&
+            node.track != obs::ScopedSpan::kNoTrack) {
+          tracer_->complete(node.track, "stage-execute", t_phase, t_done,
+                            epoch);
+        }
+        t_phase = t_done;);
+    {
+      std::lock_guard<std::mutex> lock(theta_mutex_);
+      for (const core::SampledBundle& bundle : outputs) {
+        theta_.add(bundle);
+      }
+    }
+    AIOT_OBS(
+        if (tracer_ != nullptr &&
+            node.track != obs::ScopedSpan::kNoTrack) {
+          tracer_->complete(
+              node.track, "root-merge", t_phase, obs_now_us(),
+              static_cast<std::int64_t>(node.stage->policy_epoch()));
+        });
+    if (config_.root_tap) {
+      for (const core::SampledBundle& bundle : outputs) {
+        config_.root_tap(bundle);
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(state_mutex_);
+      items_at_root_ += arrived;
+    }
+    complete_root_interval(interval);
+    return std::nullopt;
+  }
+
+  IntervalMessage out;
+  out.interval = interval;
+  std::vector<core::SampledBundle> outputs =
+      node.stage->process_interval(psi);
+  AIOT_OBS(
+      if (node.exec_us != nullptr ||
+          node.track != obs::ScopedSpan::kNoTrack) {
+        const std::int64_t t_done = obs_now_us();
+        if (node.exec_us != nullptr) {
+          node.exec_us->record(static_cast<double>(t_done - t_phase));
+        }
+        if (tracer_ != nullptr &&
+            node.track != obs::ScopedSpan::kNoTrack) {
+          tracer_->complete(
+              node.track, "stage-execute", t_phase, t_done,
+              static_cast<std::int64_t>(node.stage->policy_epoch()));
+        }
+      });
+  out.bundles.reserve(outputs.size());
+  for (core::SampledBundle& bundle : outputs) {
+    out.bundles.push_back(std::move(bundle).to_bundle());
+  }
+  return out;
+}
+
+void ConcurrentEdgeTree::event_pump(NodeRuntime& node) {
+  EventState& ev = *node.event;
+  if (ev.done) return;  // late spurious wake after end-of-stream
+
+  for (;;) {
+    // Phase 0: a forward parked on a full downstream channel (kBlock)
+    // must leave before anything else — output order is interval order.
+    if (ev.pending_out.has_value()) {
+      if (node.output->try_push_from(*ev.pending_out)) {
+        ev.pending_out.reset();
+      } else if (node.output->closed()) {
+        ev.pending_out.reset();  // undeliverable, same as a failed push()
+      } else {
+        return;  // parked; the consumer's next pop wakes us
+      }
+    }
+
+    // Phase 1: resolve inputs for ev.interval strictly in child order,
+    // parking at the FIRST unready one (not skipping ahead keeps Ψ — and
+    // every RNG draw — bit-identical to the thread-per-node gather).
+    // Identical per-child semantics to node_loop: a held later-interval
+    // message means the child contributes nothing this interval.
+    while (ev.gather_cursor < node.inputs.size()) {
+      const std::size_t c = ev.gather_cursor;
+      if (ev.held[c].has_value()) {
+        if (ev.held[c]->interval == ev.interval) {
+          for (core::ItemBundle& bundle : ev.held[c]->bundles) {
+            ev.psi.push_back(std::move(bundle));
+          }
+          ev.held[c].reset();
+        }
+        ++ev.gather_cursor;
+        continue;
+      }
+      if (ev.finished[c]) {
+        ++ev.gather_cursor;
+        continue;
+      }
+      bool resolved = false;
+      for (;;) {
+        auto msg = node.inputs[c]->try_pop();
+        if (!msg.has_value()) {
+          if (node.inputs[c]->drained()) {
+            ev.finished[c] = true;
+            resolved = true;
+          }
+          break;
+        }
+        if (msg->interval < ev.interval) continue;  // stale; cannot happen
+        if (msg->interval == ev.interval) {
+          for (core::ItemBundle& bundle : msg->bundles) {
+            ev.psi.push_back(std::move(bundle));
+          }
+        } else {
+          ev.held[c] = std::move(*msg);
+        }
+        resolved = true;
+        break;
+      }
+      if (!resolved) return;  // parked on input c; its next push wakes us
+      ++ev.gather_cursor;
+    }
+
+    // End-of-stream test — same placement as node_loop: after gathering,
+    // so the last real interval is in and phantom trailing ones are out.
+    bool all_finished = true;
+    bool any_held = false;
+    for (std::size_t c = 0; c < node.inputs.size(); ++c) {
+      all_finished = all_finished && ev.finished[c];
+      any_held = any_held || ev.held[c].has_value();
+    }
+    if (all_finished && !any_held && ev.psi.empty()) {
+      ev.done = true;
+      if (node.output != nullptr) {
+        node.output->close();  // cascades the shutdown to the parent
+      } else {
+        {
+          std::lock_guard<std::mutex> lock(state_mutex_);
+          root_finished_ = true;
+        }
+        drained_cv_.notify_all();  // stop() waits for the root to finish
+      }
+      return;
+    }
+
+    AIOT_OBS(
+        if (node.occupancy != nullptr && !node.inputs.empty()) {
+          double depth = 0.0;
+          double capacity = 0.0;
+          for (auto* input : node.inputs) {
+            depth += static_cast<double>(input->size());
+            capacity += static_cast<double>(input->capacity());
+          }
+          node.occupancy->record(capacity > 0.0 ? depth / capacity : 0.0);
+        } if (node.items_in != nullptr) {
+          std::uint64_t gathered = 0;
+          for (const core::ItemBundle& bundle : ev.psi) {
+            gathered += bundle.items.size();
+          }
+          node.items_in->increment(gathered);
+        } if (node.intervals != nullptr) node.intervals->increment(););
+
+    std::optional<IntervalMessage> out =
+        execute_node_interval(node, ev.interval, ev.psi);
+    ev.psi.clear();
+    ev.gather_cursor = 0;
+    ++ev.interval;
+
+    if (out.has_value()) {
+      if (config_.backpressure == BackpressurePolicy::kBlock) {
+        // Offer via the pending slot so a full channel parks us instead
+        // of blocking a pool worker (which could deadlock the pool).
+        ev.pending_out = std::move(out);
+      } else {
+        // kDropNewest never blocks: push() sheds at a full channel and
+        // counts the loss, exactly like the thread-per-node runtime.
+        node.output->push(std::move(*out));
+      }
+    }
+  }
 }
 
 void ConcurrentEdgeTree::complete_root_interval(std::int64_t interval) {

@@ -24,6 +24,20 @@
 // nothing. kDropNewest sheds whole interval messages at full channels and
 // counts them — a coarse extra sampling stage for overload; see
 // bounded_channel.hpp for why ApproxIoT can absorb that.
+//
+// Two execution substrates run the SAME logical node graph:
+//   kThreads — one long-running OS thread per node (the original
+//              runtime; node count capped by OS thread limits);
+//   kEvents  — every node is a parkable task on a fixed-size
+//              work-stealing JobScheduler, woken by channel readiness
+//              (see job_scheduler.hpp). Node count becomes a data-
+//              structure dimension: one process runs 10k+ logical nodes
+//              on an 8-worker pool.
+// Both modes produce bit-identical output for equal tree configs: a task
+// never runs on two workers at once, Ψ is assembled in child order either
+// way, and every RNG lives in the node's stage (not in any worker), so
+// the only thing the scheduler can change is wall-clock interleaving.
+// kThreads is kept as the oracle the equivalence tests pin kEvents to.
 #pragma once
 
 #include <condition_variable>
@@ -43,10 +57,28 @@
 #include "core/theta_store.hpp"
 #include "obs/trace.hpp"
 #include "runtime/bounded_channel.hpp"
+#include "runtime/job_scheduler.hpp"
 #include "runtime/metrics.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace approxiot::runtime {
+
+/// Which execution substrate runs the node graph (see file comment).
+enum class RuntimeMode {
+  kThreads,  ///< one OS thread per node — the oracle
+  kEvents,   ///< nodes are tasks on a work-stealing JobScheduler
+};
+
+[[nodiscard]] constexpr const char* runtime_mode_name(
+    RuntimeMode mode) noexcept {
+  switch (mode) {
+    case RuntimeMode::kThreads:
+      return "threads";
+    case RuntimeMode::kEvents:
+      return "events";
+  }
+  return "?";
+}
 
 /// One interval's worth of Ψ contribution travelling over one tree edge.
 /// `bundles` may be empty (an interval in which the child produced
@@ -62,6 +94,15 @@ struct ConcurrentTreeConfig {
   /// Interval messages in flight per edge before backpressure kicks in.
   std::size_t channel_capacity{8};
   BackpressurePolicy backpressure{BackpressurePolicy::kBlock};
+  /// Execution substrate. kThreads spends one OS thread per node (caps
+  /// trees at a few hundred nodes); kEvents multiplexes every node over
+  /// `event_workers` scheduler workers and is bit-identical to kThreads
+  /// for equal tree configs.
+  RuntimeMode runtime_mode{RuntimeMode::kThreads};
+  /// Worker pool size for kEvents (0 = hardware concurrency), clamped to
+  /// the node count. The pool size never changes the sampling output —
+  /// only how many nodes make progress at once.
+  std::size_t event_workers{0};
   /// Reservoir-sharding workers inside each WHS node (§III-E). With > 1
   /// the tree builds one shared PooledSamplingExecutor for all nodes
   /// (unless `sampling_executor` is supplied).
@@ -202,12 +243,44 @@ class ConcurrentEdgeTree {
   /// feedback path, so the history may grow concurrently.
   [[nodiscard]] std::vector<double> adaptive_history() const;
 
+  /// kEvents chaos/recovery hook: wakes every node task spuriously (see
+  /// JobScheduler::notify_all). Correctness must not depend on wake
+  /// precision, so a storm of kicks may change nothing but wasted cycles
+  /// — the property the chaos tests hammer on. No-op under kThreads.
+  /// Safe while workers run.
+  void kick();
+
  private:
+  /// Event-mode task state. Only the one worker currently running the
+  /// node's task touches it (the JobScheduler's state machine guarantees
+  /// a task never runs on two workers at once), so no locks: the hand-off
+  /// between successive runs synchronises through the scheduler.
+  struct EventState {
+    JobScheduler::TaskId task{0};
+    /// Interval currently being assembled.
+    std::int64_t interval{0};
+    /// Next input (child index) to resolve for `interval`. Parking at the
+    /// FIRST unready input — instead of taking whatever is ready — is
+    /// what keeps Ψ in child order, and therefore every RNG draw
+    /// bit-identical to the thread-per-node runtime.
+    std::size_t gather_cursor{0};
+    /// Ψ gathered so far for `interval`, in child order.
+    std::vector<core::ItemBundle> psi;
+    /// One buffered message per child that already sent a LATER interval.
+    std::vector<std::optional<IntervalMessage>> held;
+    std::vector<bool> finished;
+    /// Output built but not yet accepted by a full downstream channel
+    /// (kBlock only); re-offered on the next writable wake.
+    std::optional<IntervalMessage> pending_out;
+    bool done{false};
+  };
+
   struct NodeRuntime {
     std::unique_ptr<core::PipelineStage> stage;
     std::vector<BoundedChannel<IntervalMessage>*> inputs;
     BoundedChannel<IntervalMessage>* output{nullptr};  // null at the root
     std::size_t layer{0};
+    std::unique_ptr<EventState> event;  // kEvents only
     // Per-node observability sinks, resolved once at construction (null /
     // kNoTrack when unbound — the loop hooks then cost one null check,
     // and APPROXIOT_NO_STATS compiles even that away).
@@ -220,6 +293,20 @@ class ConcurrentEdgeTree {
   };
 
   void node_loop(NodeRuntime& node);
+  /// Event-mode task body: makes every kind of progress possible (flush
+  /// parked output, gather, execute, repeat) and returns when blocked;
+  /// channel readiness waiters re-queue it via the scheduler.
+  void event_pump(NodeRuntime& node);
+  /// Runs the node's stage over the assembled Ψ — shared by both modes so
+  /// the per-interval semantics (root Θ fold, tap, interval completion,
+  /// exec spans) cannot diverge. Root: returns nullopt after folding into
+  /// Θ; non-root: returns the message to forward upstream.
+  std::optional<IntervalMessage> execute_node_interval(
+      NodeRuntime& node, std::int64_t interval,
+      const std::vector<core::ItemBundle>& psi);
+  /// Builds the scheduler, registers one task per node, wires channel
+  /// readiness to task wakes, and starts the workers.
+  void start_event_runtime();
   void complete_root_interval(std::int64_t interval);
   /// Registers per-node/per-edge stats and trace tracks; called from the
   /// constructor before any worker starts (registration is not
@@ -278,9 +365,14 @@ class ConcurrentEdgeTree {
   std::uint64_t intervals_completed_{0};
   std::map<std::int64_t, std::int64_t> push_times_us_;
   bool stopped_{false};
+  /// kEvents: the root task observed end-of-stream (all closes cascaded
+  /// through); guarded by state_mutex_, signalled on drained_cv_.
+  bool root_finished_{false};
 
-  // Last member: joins in ~ThreadPool before channels/stages die.
-  std::unique_ptr<ThreadPool> pool_;
+  // Last members: one of these is the execution substrate, and its
+  // destructor joins every worker before channels/stages die.
+  std::unique_ptr<ThreadPool> pool_;          // kThreads
+  std::unique_ptr<JobScheduler> scheduler_;   // kEvents
 };
 
 }  // namespace approxiot::runtime

@@ -9,7 +9,14 @@ namespace approxiot::runtime {
 IntervalScheduler::IntervalScheduler(ConcurrentEdgeTree& tree,
                                      SchedulerConfig config,
                                      LeafSourceFn source)
-    : tree_(&tree), config_(config), source_(std::move(source)) {}
+    : tree_(&tree), config_(config), source_(std::move(source)) {
+  if (config_.tick.us <= 0) {
+    // A zero tick would freeze the logical clock (every interval covering
+    // [t, t)), a negative one would run it backwards; both would silently
+    // corrupt SimTime windowing, so reject them here instead.
+    throw std::invalid_argument("SchedulerConfig::tick must be positive");
+  }
+}
 
 IntervalScheduler::~IntervalScheduler() {
   request_stop();
@@ -30,7 +37,6 @@ void IntervalScheduler::run() {
     }
 
     const SimTime now{static_cast<std::int64_t>(k) * config_.tick.us};
-    now_us_.store(now.us);
 
     std::vector<std::vector<Item>> items_per_leaf(leaves);
     for (std::size_t leaf = 0; leaf < leaves; ++leaf) {
@@ -45,9 +51,14 @@ void IntervalScheduler::run() {
       break;
     }
     ticks_fired_.fetch_add(1);
+    // Advance the published clock only AFTER tick k landed in the tree:
+    // now() == ticks_fired() * tick at every observable instant, i.e. the
+    // next tick's interval start. (Storing before the push — the old
+    // behaviour — let an observer at the interval boundary see the clock
+    // one tick ahead of the data, reading k*tick while interval k's items
+    // did not exist yet.)
+    now_us_.store(now.us + config_.tick.us);
   }
-  now_us_.store(
-      static_cast<std::int64_t>(ticks_fired_.load()) * config_.tick.us);
 }
 
 void IntervalScheduler::start() {

@@ -26,6 +26,9 @@ using LeafSourceFn =
     std::function<std::vector<Item>(std::size_t leaf, SimTime now, SimTime dt)>;
 
 struct SchedulerConfig {
+  /// Logical interval length; must be positive (the constructor throws
+  /// std::invalid_argument otherwise — a zero-duration interval would
+  /// freeze the virtual clock, a negative one would run it backwards).
   SimTime tick{SimTime::from_millis(100)};
   /// Total ticks to run; run() returns after the last one.
   std::size_t ticks{0};
@@ -51,7 +54,10 @@ class IntervalScheduler {
   /// Asks a running scheduler to stop after the current tick.
   void request_stop() noexcept { stop_requested_.store(true); }
 
-  /// Logical time of the next tick's interval start.
+  /// Logical time of the next tick's interval start. Invariant at every
+  /// observable instant (mid-run, after stop, after the last tick):
+  /// now() == ticks_fired() * tick — the clock covers exactly the
+  /// intervals whose data has reached the tree, never one more.
   [[nodiscard]] SimTime now() const noexcept {
     return SimTime{now_us_.load()};
   }

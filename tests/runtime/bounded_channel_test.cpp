@@ -83,6 +83,125 @@ TEST(BoundedChannelTest, CloseWakesBlockedConsumer) {
   consumer.join();
 }
 
+TEST(BoundedChannelTest, TryPushFromLeavesValueIntactOnFailure) {
+  BoundedChannel<std::vector<int>> channel(1);
+  std::vector<int> payload{1, 2, 3};
+  EXPECT_TRUE(channel.try_push_from(payload));  // moved from on success
+
+  std::vector<int> parked{4, 5, 6};
+  EXPECT_FALSE(channel.try_push_from(parked));  // full
+  EXPECT_EQ(parked, (std::vector<int>{4, 5, 6}));  // value survives
+
+  channel.pop();
+  EXPECT_TRUE(channel.try_push_from(parked));  // re-offer succeeds
+  EXPECT_EQ(channel.pop().value(), (std::vector<int>{4, 5, 6}));
+
+  channel.close();
+  std::vector<int> rejected{7};
+  EXPECT_FALSE(channel.try_push_from(rejected));
+  EXPECT_EQ(rejected, (std::vector<int>{7}));  // intact on close too
+  EXPECT_TRUE(channel.closed());  // how callers tell closed from full
+}
+
+TEST(BoundedChannelTest, DrainedRequiresClosedAndEmpty) {
+  BoundedChannel<int> channel(2);
+  EXPECT_FALSE(channel.drained());  // open, empty
+  channel.push(1);
+  channel.close();
+  EXPECT_FALSE(channel.drained());  // closed, value still poppable
+  EXPECT_EQ(channel.try_pop().value(), 1);
+  EXPECT_TRUE(channel.drained());
+}
+
+TEST(BoundedChannelTest, ReadableWaiterFiresOnPushAndClose) {
+  BoundedChannel<int> channel(2);
+  int readable_events = 0;
+  channel.set_readable_waiter([&] { ++readable_events; });
+
+  channel.push(1);
+  EXPECT_EQ(readable_events, 1);
+  channel.try_push(2);
+  EXPECT_EQ(readable_events, 2);
+
+  channel.pop();  // pops raise only WRITABLE events
+  EXPECT_EQ(readable_events, 2);
+
+  channel.close();  // close is a readable event (end-of-stream observable)
+  EXPECT_EQ(readable_events, 3);
+  channel.close();  // idempotent close raises nothing new
+  EXPECT_EQ(readable_events, 3);
+}
+
+TEST(BoundedChannelTest, WritableWaiterFiresOnPopAndClose) {
+  BoundedChannel<int> channel(2);
+  int writable_events = 0;
+  channel.set_writable_waiter([&] { ++writable_events; });
+
+  channel.push(1);
+  channel.push(2);
+  EXPECT_EQ(writable_events, 0);  // pushes raise only readable events
+
+  channel.pop();
+  EXPECT_EQ(writable_events, 1);
+  channel.try_pop();
+  EXPECT_EQ(writable_events, 2);
+  EXPECT_EQ(channel.try_pop(), std::nullopt);  // fruitless pop: no event
+  EXPECT_EQ(writable_events, 2);
+
+  channel.close();  // close wakes parked producers too
+  EXPECT_EQ(writable_events, 3);
+}
+
+TEST(BoundedChannelTest, DroppedPushRaisesNoReadableEvent) {
+  BoundedChannel<int> channel(1, BackpressurePolicy::kDropNewest);
+  int readable_events = 0;
+  channel.set_readable_waiter([&] { ++readable_events; });
+
+  channel.push(1);
+  EXPECT_EQ(readable_events, 1);
+  EXPECT_FALSE(channel.push(2));  // shed — nothing became poppable
+  EXPECT_EQ(readable_events, 1);
+  EXPECT_EQ(channel.dropped(), 1u);
+
+  // A failed try_push (full, not counted as drop) is equally silent.
+  EXPECT_FALSE(channel.try_push(3));
+  int value = 4;
+  EXPECT_FALSE(channel.try_push_from(value));
+  EXPECT_EQ(readable_events, 1);
+}
+
+TEST(BoundedChannelTest, WaiterEventsAreHintsNotProofs) {
+  // The spurious-wake contract: a waiter invocation does NOT guarantee the
+  // next try_pop succeeds — a racing consumer may have drained the value
+  // first. Consumers must re-check and treat a fruitless wake as spurious.
+  BoundedChannel<int> channel(4);
+  std::atomic<int> readable_events{0};
+  std::atomic<int> successful_pops{0};
+  channel.set_readable_waiter([&] {
+    readable_events.fetch_add(1);
+    // Re-check from scratch, exactly like an event-driven task body; a
+    // nullopt here is the spurious case and must be harmless.
+    if (channel.try_pop().has_value()) successful_pops.fetch_add(1);
+  });
+
+  constexpr int kValues = 200;
+  std::thread racing_consumer([&] {
+    while (!channel.drained()) {
+      if (channel.try_pop().has_value()) successful_pops.fetch_add(1);
+    }
+  });
+  for (int i = 0; i < kValues; ++i) channel.push(i);
+  channel.close();
+  racing_consumer.join();
+
+  // Every value was consumed exactly once, no matter how the waiter's
+  // pops raced the consumer's; wakes beyond the successful pops were
+  // spurious and changed nothing.
+  EXPECT_EQ(successful_pops.load(), kValues);
+  EXPECT_EQ(channel.popped(), static_cast<std::uint64_t>(kValues));
+  EXPECT_GE(readable_events.load(), kValues);  // pushes + close, at least
+}
+
 TEST(BoundedChannelTest, MultiProducerStressDeliversEveryValue) {
   constexpr int kProducers = 4;
   constexpr int kPerProducer = 500;

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -44,6 +45,99 @@ TEST(IntervalSchedulerTest, VirtualPaceDrivesEveryTick) {
   }
   EXPECT_EQ(tree.metrics().intervals_completed, 25u);
   EXPECT_EQ(tree.metrics().items_at_root, 50u);  // 2 leaves x 25 ticks
+}
+
+TEST(IntervalSchedulerTest, RejectsZeroAndNegativeTick) {
+  ConcurrentEdgeTree tree(small_tree_config());
+  auto source = [](std::size_t, SimTime, SimTime) {
+    return std::vector<Item>{};
+  };
+
+  SchedulerConfig zero;
+  zero.tick = SimTime{0};  // zero-duration interval: [t, t) forever
+  EXPECT_THROW(IntervalScheduler(tree, zero, source), std::invalid_argument);
+
+  SchedulerConfig negative;
+  negative.tick = SimTime{-1000};  // clock running backwards
+  EXPECT_THROW(IntervalScheduler(tree, negative, source),
+               std::invalid_argument);
+  tree.stop();
+}
+
+TEST(IntervalSchedulerTest, ZeroTicksIsANoOp) {
+  ConcurrentEdgeTree tree(small_tree_config());
+  SchedulerConfig config;
+  config.ticks = 0;
+  bool source_called = false;
+  IntervalScheduler scheduler(tree, config,
+                              [&](std::size_t, SimTime, SimTime) {
+                                source_called = true;
+                                return std::vector<Item>{};
+                              });
+  scheduler.run();
+  tree.stop();
+
+  EXPECT_FALSE(source_called);
+  EXPECT_EQ(scheduler.ticks_fired(), 0u);
+  EXPECT_EQ(scheduler.now().us, 0);
+}
+
+TEST(IntervalSchedulerTest, ClockNeverRunsAheadOfTheData) {
+  // Regression: now() used to be stored BEFORE tick k's push, so at every
+  // interval boundary an observer could read k*tick while interval k's
+  // items did not exist yet. The invariant is now() == ticks_fired()*tick
+  // at every observable instant — checked here from inside the source
+  // callback, which runs exactly at the boundary.
+  ConcurrentEdgeTree tree(small_tree_config());
+  const SimTime tick = SimTime::from_millis(10);
+  SchedulerConfig config;
+  config.tick = tick;
+  config.ticks = 8;
+
+  IntervalScheduler* observer = nullptr;
+  IntervalScheduler scheduler(
+      tree, config, [&observer, tick](std::size_t, SimTime now, SimTime) {
+        // Tick k is firing: its data has not been pushed yet, so the
+        // published clock must still cover only the k intervals already
+        // in the tree — never the one being assembled.
+        EXPECT_EQ(observer->now().us,
+                  static_cast<std::int64_t>(observer->ticks_fired()) *
+                      tick.us);
+        EXPECT_EQ(observer->now().us, now.us);
+        return std::vector<Item>{};
+      });
+  observer = &scheduler;
+  scheduler.run();
+  tree.stop();
+
+  EXPECT_EQ(scheduler.ticks_fired(), 8u);
+  EXPECT_EQ(scheduler.now().us, 8 * tick.us);  // final boundary, not 7*tick
+}
+
+TEST(IntervalSchedulerTest, EarlyStopLeavesClockAtLastCompletedBoundary) {
+  ConcurrentEdgeTree tree(small_tree_config());
+  const SimTime tick = SimTime::from_millis(10);
+  SchedulerConfig config;
+  config.tick = tick;
+  config.ticks = 100;
+
+  IntervalScheduler* self = nullptr;
+  IntervalScheduler scheduler(tree, config,
+                              [&self](std::size_t leaf, SimTime, SimTime) {
+                                // Ask for a stop mid-run; the current tick
+                                // still completes (items already sourced).
+                                if (self->ticks_fired() == 4 && leaf == 0) {
+                                  self->request_stop();
+                                }
+                                return std::vector<Item>{};
+                              });
+  self = &scheduler;
+  scheduler.run();
+  tree.stop();
+
+  EXPECT_EQ(scheduler.ticks_fired(), 5u);
+  EXPECT_EQ(scheduler.now().us,
+            static_cast<std::int64_t>(scheduler.ticks_fired()) * tick.us);
 }
 
 TEST(IntervalSchedulerTest, WallClockPaceTakesAtLeastTheScheduledTime) {
