@@ -106,6 +106,28 @@ class Rng {
     return child;
   }
 
+  /// Complete serializable generator state: the four xoshiro256** words
+  /// plus the Marsaglia gaussian cache. The cache is part of the contract:
+  /// without it a restored generator would skip (or repeat) the second
+  /// variate of a polar-method pair and every later draw would diverge.
+  struct State {
+    std::array<std::uint64_t, 4> s{};
+    bool has_cached_gaussian{false};
+    double cached_gaussian{0.0};
+  };
+
+  [[nodiscard]] State save_state() const noexcept {
+    return State{state_, has_cached_gaussian_, cached_gaussian_};
+  }
+
+  /// Restoring a saved state reproduces the exact future draw sequence —
+  /// the bit-identity contract checkpoint/restore is built on.
+  void restore_state(const State& state) noexcept {
+    state_ = state.s;
+    has_cached_gaussian_ = state.has_cached_gaussian;
+    cached_gaussian_ = state.cached_gaussian;
+  }
+
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
     return (x << k) | (x >> (64 - k));

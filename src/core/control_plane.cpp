@@ -1,5 +1,6 @@
 #include "core/control_plane.hpp"
 
+#include <stdexcept>
 #include <utility>
 
 // For per_layer_fraction: the kPerLayer scope must use the *same*
@@ -50,6 +51,23 @@ PolicyEpoch ControlPlane::publish_fraction(double end_to_end_fraction) {
   SamplingPolicy next = **current_.load(std::memory_order_relaxed);
   next.budget.sampling_fraction = end_to_end_fraction;
   return publish_locked(std::move(next));
+}
+
+PolicyEpoch ControlPlane::restore_policy(SamplingPolicy policy) {
+  std::lock_guard<std::mutex> lock(publish_mutex_);
+  const PolicyEpoch current =
+      (*current_.load(std::memory_order_relaxed))->epoch;
+  if (policy.epoch < current) {
+    throw std::invalid_argument(
+        "ControlPlane::restore_policy: epochs never move backwards");
+  }
+  if (policy.epoch == current) return current;  // idempotent restore
+  const PolicyEpoch restored = policy.epoch;
+  retained_.push_back(
+      std::make_shared<const SamplingPolicy>(std::move(policy)));
+  current_.store(&retained_.back(), std::memory_order_release);
+  if (publish_hook_) publish_hook_(*retained_.back());
+  return restored;
 }
 
 PolicyHandle::PolicyHandle(std::shared_ptr<const ControlPlane> plane,

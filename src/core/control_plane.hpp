@@ -87,6 +87,16 @@ class ControlPlane {
   /// sampling fraction (the adaptive controller's output).
   PolicyEpoch publish_fraction(double end_to_end_fraction);
 
+  /// Checkpoint restore: installs `policy` with its epoch taken VERBATIM
+  /// instead of current+1, so a restored runtime resumes at the exact
+  /// epoch its checkpoint recorded (nodes stamp outputs with the resolved
+  /// epoch — bit-identity needs the numbers to match, not just the
+  /// budgets). Epochs still never move backwards: a target epoch below
+  /// the current one throws std::invalid_argument, and restoring the
+  /// current epoch is a no-op (idempotent restore). Returns the epoch in
+  /// force afterwards.
+  PolicyEpoch restore_policy(SamplingPolicy policy);
+
   /// Observation hook invoked after every publish (either path), with the
   /// policy as stored — epoch already assigned. Runs under the publish
   /// mutex, so hooks see epochs in order and must stay cheap (the

@@ -37,6 +37,15 @@ class CostFunction {
       SimTime interval) = 0;
 
   [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Cross-interval smoothing state, for checkpointing. Stateless cost
+  /// functions return 0; FractionCostFunction exposes its EWMA (with -1
+  /// meaning "no observation yet"). Restoring the saved value makes the
+  /// first post-restore budget identical to the uninterrupted run's.
+  [[nodiscard]] virtual double smoothing_state() const noexcept { return 0.0; }
+  virtual void set_smoothing_state(double state) noexcept {
+    static_cast<void>(state);
+  }
 };
 
 /// size = ceil(fraction × EWMA(items per interval)). The EWMA smooths rate
@@ -51,6 +60,11 @@ class FractionCostFunction final : public CostFunction {
   [[nodiscard]] std::string name() const override { return "fraction"; }
 
   [[nodiscard]] double smoothed_rate() const noexcept { return ewma_; }
+
+  [[nodiscard]] double smoothing_state() const noexcept override {
+    return ewma_;
+  }
+  void set_smoothing_state(double state) noexcept override { ewma_ = state; }
 
  private:
   double alpha_;

@@ -40,6 +40,18 @@ struct ApproxResult {
   /// policy generation; a span means the window straddled a live swap.
   std::uint64_t policy_epoch_min{0};
   std::uint64_t policy_epoch{0};  // == max epoch contributing
+  /// Original-stream weight swallowed by dead/detached subtrees while this
+  /// window accumulated: Σ over lost items of W^in(item.source). By Eq. 8
+  /// each lost bundle's Σ|I|·W equals the original item count its subtree
+  /// had delivered, so estimated_count + lost_weight reconstructs the full
+  /// pre-failure stream count exactly. The surviving sub-streams'
+  /// estimates stay exact — this term quantifies what they cannot see.
+  double lost_weight{0.0};
+  std::uint64_t lost_items{0};
+  /// True when any subtree was dead/detached during this window (even if
+  /// it happened to swallow nothing). Degraded results are still exact
+  /// for delivered data; the flag tells consumers coverage was partial.
+  bool degraded{false};
 };
 
 /// One-call helper: summarize Θ, compute estimators and error bounds.

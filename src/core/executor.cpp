@@ -7,6 +7,7 @@
 #include <thread>
 #include <utility>
 
+#include "core/checkpoint.hpp"
 #include "obs/hooks.hpp"
 #include "runtime/thread_pool.hpp"
 #include "sampling/allocation.hpp"
@@ -14,6 +15,12 @@
 namespace approxiot::core {
 
 namespace {
+
+/// Lane payload tags: a checkpoint records which lane implementation
+/// wrote it, so restores across lane types fail loudly instead of
+/// desynchronising RNG streams.
+constexpr std::uint64_t kSequentialLaneTag = 1;
+constexpr std::uint64_t kPooledLaneTag = 2;
 
 /// Per-lane observability sinks, resolved once at lane creation. All
 /// pointers may be null. Timing reads clocks only — never the lane RNG —
@@ -153,6 +160,20 @@ class SequentialLane final : public SamplingLane {
   }
 
   std::size_t workers() const noexcept override { return 1; }
+
+  void save_state(CheckpointWriter& writer) const override {
+    writer.put_u64(kSequentialLaneTag);
+    writer.put_rng(sampler_.rng_state());
+  }
+
+  void restore_state(CheckpointReader& reader) override {
+    if (reader.get_u64() != kSequentialLaneTag) {
+      throw CheckpointError(
+          "checkpoint: lane type mismatch (snapshot is not from a "
+          "sequential lane)");
+    }
+    sampler_.set_rng_state(reader.get_rng());
+  }
 
  private:
   WHSampler sampler_;
@@ -464,6 +485,34 @@ class PooledLane final : public SamplingLane {
   }
 
   std::size_t workers() const noexcept override { return workers_; }
+
+  void save_state(CheckpointWriter& writer) const override {
+    writer.put_u64(kPooledLaneTag);
+    writer.put_u64(workers_);
+    writer.put_rng(rng_.save_state());
+    // calls_ drives the eviction sweep cadence only, but restoring it
+    // keeps a restored lane's cache behaviour aligned with the
+    // uninterrupted run (groups_ itself is rearmed every call).
+    writer.put_u64(calls_);
+  }
+
+  void restore_state(CheckpointReader& reader) override {
+    if (reader.get_u64() != kPooledLaneTag) {
+      throw CheckpointError(
+          "checkpoint: lane type mismatch (snapshot is not from a pooled "
+          "lane)");
+    }
+    const std::uint64_t workers = reader.get_u64();
+    if (workers != workers_) {
+      // The shard count shapes RNG stream assignment (§III-E): restoring
+      // across worker counts would silently change every future sample.
+      throw CheckpointError(
+          "checkpoint: lane worker count mismatch (" +
+          std::to_string(workers) + " vs " + std::to_string(workers_) + ")");
+    }
+    rng_.restore_state(reader.get_rng());
+    calls_ = reader.get_u64();
+  }
 
  private:
   Rng rng_;

@@ -62,6 +62,9 @@ class Tracer;
 
 namespace approxiot::core {
 
+class CheckpointWriter;
+class CheckpointReader;
+
 /// One worker's state for one sub-stream: a reservoir of at most N_i/w
 /// items plus the local arrival counter. Single-threaded by itself; the
 /// group shards items across workers.
@@ -181,6 +184,15 @@ class SamplingLane {
 
   /// Reservoir shards per sub-stream (1 == the sequential path).
   [[nodiscard]] virtual std::size_t workers() const noexcept = 0;
+
+  /// Serializes the lane's cross-interval state — the RNG stream plus any
+  /// call counters; shard groups and scratch arenas are rearmed every
+  /// call and carry nothing forward. Implementations tag their payload so
+  /// a checkpoint taken on one lane type cannot be silently restored into
+  /// another. Pure virtual on purpose: a lane that forgot to implement
+  /// this would silently break checkpoint bit-identity.
+  virtual void save_state(CheckpointWriter& writer) const = 0;
+  virtual void restore_state(CheckpointReader& reader) = 0;
 
  private:
   StratifiedBatch scratch_;

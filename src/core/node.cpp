@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "common/logging.hpp"
+#include "core/checkpoint.hpp"
 
 namespace approxiot::core {
 
@@ -107,6 +108,29 @@ std::vector<SampledBundle> SamplingNode::process_interval(
       << "node " << config_.id << " interval done: in=" << items_this_interval
       << " budget=" << size << " pairs=" << outputs.size();
   return outputs;
+}
+
+void SamplingNode::save_state(CheckpointWriter& writer) const {
+  writer.put_double(config_.budget.sampling_fraction);
+  writer.put_double(config_.budget.max_items_per_second);
+  writer.put_u64(config_.budget.fixed_sample_size);
+  writer.put_double(cost_function_->smoothing_state());
+  writer.put_u64(last_interval_items_);
+  writer.put_u64(policy_epoch_);
+  writer.put_weight_map(remembered_weights_);
+  lane_->save_state(writer);
+}
+
+void SamplingNode::restore_state(CheckpointReader& reader) {
+  config_.budget.sampling_fraction = reader.get_double();
+  config_.budget.max_items_per_second = reader.get_double();
+  config_.budget.fixed_sample_size =
+      static_cast<std::size_t>(reader.get_u64());
+  cost_function_->set_smoothing_state(reader.get_double());
+  last_interval_items_ = reader.get_u64();
+  policy_epoch_ = reader.get_u64();
+  reader.get_weight_map(remembered_weights_);
+  lane_->restore_state(reader);
 }
 
 RootNode::RootNode(NodeConfig config) : node_(std::move(config)) {}

@@ -31,6 +31,9 @@
 
 namespace approxiot::core {
 
+class CheckpointWriter;
+class CheckpointReader;
+
 struct NodeConfig {
   NodeId id{};
   SimTime interval{SimTime::from_seconds(1.0)};
@@ -108,6 +111,13 @@ class SamplingNode {
   [[nodiscard]] const WeightMap& remembered_weights() const noexcept {
     return remembered_weights_;
   }
+
+  /// Checkpoint hooks: serialize/restore every piece of cross-interval
+  /// state (budget, cost-function EWMA, volume history, resolved epoch,
+  /// remembered weights, the lane's RNG stream). A restored node's next
+  /// process_interval is bit-identical to the uninterrupted run's.
+  void save_state(CheckpointWriter& writer) const;
+  void restore_state(CheckpointReader& reader);
 
  private:
   NodeConfig config_;

@@ -4,9 +4,41 @@
 #include <stdexcept>
 #include <utility>
 
+#include "core/checkpoint.hpp"
 #include "core/snapshot_node.hpp"
 
 namespace approxiot::core {
+
+namespace {
+
+/// Stage payload tags (part of the checkpoint format): restore_state
+/// validates the tag before reading, so a snapshot can never be decoded
+/// by the wrong engine's stage.
+constexpr std::uint64_t kStageTagNative = 0;
+constexpr std::uint64_t kStageTagWhs = 1;
+constexpr std::uint64_t kStageTagSrs = 2;
+constexpr std::uint64_t kStageTagSnapshot = 3;
+
+void check_stage_tag(CheckpointReader& reader, std::uint64_t expected) {
+  const std::uint64_t tag = reader.get_u64();
+  if (tag != expected) {
+    throw CheckpointError("checkpoint: stage engine mismatch (payload tag " +
+                          std::to_string(tag) + ", stage expects " +
+                          std::to_string(expected) + ")");
+  }
+}
+
+}  // namespace
+
+// Default: the stateless pass-through (NativeStage) — a tag and nothing
+// else, so even "no state" restores are format-checked.
+void PipelineStage::save_state(CheckpointWriter& writer) const {
+  writer.put_u64(kStageTagNative);
+}
+
+void PipelineStage::restore_state(CheckpointReader& reader) {
+  check_stage_tag(reader, kStageTagNative);
+}
 
 const char* engine_kind_name(EngineKind kind) noexcept {
   switch (kind) {
@@ -53,6 +85,15 @@ class WhsStage final : public PipelineStage {
     return node_.policy_epoch();
   }
 
+  void save_state(CheckpointWriter& writer) const override {
+    writer.put_u64(kStageTagWhs);
+    node_.save_state(writer);
+  }
+  void restore_state(CheckpointReader& reader) override {
+    check_stage_tag(reader, kStageTagWhs);
+    node_.restore_state(reader);
+  }
+
  private:
   SamplingNode node_;
 };
@@ -77,6 +118,15 @@ class SrsStage final : public PipelineStage {
     return node_.policy_epoch();
   }
 
+  void save_state(CheckpointWriter& writer) const override {
+    writer.put_u64(kStageTagSrs);
+    node_.save_state(writer);
+  }
+  void restore_state(CheckpointReader& reader) override {
+    check_stage_tag(reader, kStageTagSrs);
+    node_.restore_state(reader);
+  }
+
  private:
   SrsNode node_;
 };
@@ -98,6 +148,15 @@ class SnapshotStage final : public PipelineStage {
 
   PolicyEpoch policy_epoch() const noexcept override {
     return node_.policy_epoch();
+  }
+
+  void save_state(CheckpointWriter& writer) const override {
+    writer.put_u64(kStageTagSnapshot);
+    node_.save_state(writer);
+  }
+  void restore_state(CheckpointReader& reader) override {
+    check_stage_tag(reader, kStageTagSnapshot);
+    node_.restore_state(reader);
   }
 
  private:
@@ -269,6 +328,12 @@ EdgeTree::EdgeTree(EdgeTreeConfig config) : config_(std::move(config)) {
     }
   }
   root_stage_ = make_stage(stages_.size(), 0);
+
+  detached_.resize(config_.layer_widths.size() + 1);
+  for (std::size_t layer = 0; layer < config_.layer_widths.size(); ++layer) {
+    detached_[layer].assign(config_.layer_widths[layer], 0);
+  }
+  detached_.back().assign(1, 0);  // the root
 }
 
 std::size_t EdgeTree::leaf_count() const noexcept {
@@ -296,6 +361,15 @@ void EdgeTree::tick(const std::vector<std::vector<Item>>& items_per_leaf) {
                                        : 1;
     std::vector<std::vector<ItemBundle>> next_psi(next_width);
     for (std::size_t i = 0; i < stages_[layer].size(); ++i) {
+      if (detached_[layer][i] != 0) {
+        // Dead node: swallow its inputs into the lost-weight accounting
+        // and emit nothing. The parent sees an empty contribution — by
+        // the Fig. 3 carry-over rule its weights stay consistent, so the
+        // surviving sub-streams' estimates remain exact (Eq. 8).
+        window_degraded_ = true;
+        for (const ItemBundle& bundle : psi[i]) swallow_lost(bundle);
+        continue;
+      }
       auto outputs = stages_[layer][i]->process_interval(psi[i]);
       // Children map onto parents by index scaling (contiguous blocks),
       // the shape of the paper's 8-4-2-1 testbed.
@@ -309,6 +383,11 @@ void EdgeTree::tick(const std::vector<std::vector<Item>>& items_per_leaf) {
   }
 
   // Root: sample once more, then accumulate into Θ.
+  if (detached_.back()[0] != 0) {
+    window_degraded_ = true;
+    for (const ItemBundle& bundle : psi[0]) swallow_lost(bundle);
+    return;
+  }
   for (const auto& bundle : psi[0]) items_at_root_ += bundle.items.size();
   for (SampledBundle& bundle : root_stage_->process_interval(psi[0])) {
     theta_.add(bundle);
@@ -318,11 +397,28 @@ void EdgeTree::tick(const std::vector<std::vector<Item>>& items_per_leaf) {
 ApproxResult EdgeTree::close_window(double confidence) {
   ApproxResult result = approximate_query(theta_, confidence);
   theta_.clear();
+  result.lost_weight = lost_weight_;
+  result.lost_items = lost_items_;
+  result.degraded = window_degraded_ || lost_items_ > 0;
+  // Loss accounting is per window; the next window starts degraded only
+  // if some subtree is still detached as it opens.
+  lost_weight_ = 0.0;
+  lost_items_ = 0;
+  window_degraded_ = false;
+  for (const auto& layer : detached_) {
+    for (const std::uint8_t flag : layer) {
+      if (flag != 0) window_degraded_ = true;
+    }
+  }
   return result;
 }
 
 ApproxResult EdgeTree::run_query(double confidence) const {
-  return approximate_query(theta_, confidence);
+  ApproxResult result = approximate_query(theta_, confidence);
+  result.lost_weight = lost_weight_;
+  result.lost_items = lost_items_;
+  result.degraded = window_degraded_ || lost_items_ > 0;
+  return result;
 }
 
 void EdgeTree::set_sampling_fraction(double end_to_end) {
@@ -357,5 +453,93 @@ EdgeTree::TreeMetrics EdgeTree::metrics() const {
 }
 
 const ThetaStore& EdgeTree::theta() const { return theta_; }
+
+// ---------------------------------------------------------------------------
+// Fault tolerance
+
+void EdgeTree::swallow_lost(const ItemBundle& bundle) {
+  // Σ over items of W^in(source): interior bundles carry a weight for
+  // every stratum they contain (each stage sets W^out per stratum), and
+  // leaf input is raw weight-1 data — so this sum equals the original
+  // item count the dead subtree had delivered, exactly (Eq. 8).
+  for (const Item& item : bundle.items) {
+    lost_weight_ += bundle.w_in.get(item.source);
+    ++lost_items_;
+  }
+}
+
+std::uint8_t& EdgeTree::detached_flag(std::size_t layer, std::size_t index) {
+  if (layer >= detached_.size() || index >= detached_[layer].size()) {
+    throw std::invalid_argument("edge tree: no node at (layer, index)");
+  }
+  return detached_[layer][index];
+}
+
+void EdgeTree::detach_subtree(std::size_t layer, std::size_t index) {
+  detached_flag(layer, index) = 1;
+  window_degraded_ = true;
+}
+
+void EdgeTree::reattach_subtree(std::size_t layer, std::size_t index) {
+  detached_flag(layer, index) = 0;
+}
+
+bool EdgeTree::subtree_detached(std::size_t layer, std::size_t index) const {
+  return const_cast<EdgeTree*>(this)->detached_flag(layer, index) != 0;
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint / restore
+//
+// Section order (shared byte-for-byte with ConcurrentEdgeTree::checkpoint
+// so snapshots are interchangeable between the two executions):
+// fingerprint, live end-to-end fraction, control plane, stages in
+// layer-major order with the root last, Θ, tree counters, fault state.
+
+Checkpoint EdgeTree::checkpoint() const {
+  CheckpointWriter writer(CheckpointKind::kTree);
+  write_tree_fingerprint(writer, config_);
+  writer.put_double(config_.sampling_fraction);
+  write_control_plane(writer, config_.control_plane.get());
+  for (const auto& layer : stages_) {
+    for (const auto& stage : layer) stage->save_state(writer);
+  }
+  root_stage_->save_state(writer);
+  writer.put_theta(theta_);
+  writer.put_u64(items_ingested_);
+  writer.put_u64(items_at_root_);
+  for (const auto& layer : detached_) {
+    for (const std::uint8_t flag : layer) writer.put_bool(flag != 0);
+  }
+  writer.put_double(lost_weight_);
+  writer.put_u64(lost_items_);
+  writer.put_bool(window_degraded_);
+  return writer.finish();
+}
+
+void EdgeTree::restore(const Checkpoint& checkpoint) {
+  CheckpointReader reader(checkpoint, CheckpointKind::kTree);
+  verify_tree_fingerprint(reader, config_);
+  // The live fraction may have drifted from the constructed one via
+  // set_sampling_fraction; restore the drift too.
+  config_.sampling_fraction = reader.get_double();
+  per_layer_fraction_ = per_layer_fraction(config_.sampling_fraction,
+                                           config_.layer_widths.size() + 1);
+  restore_control_plane(reader, config_.control_plane.get());
+  for (auto& layer : stages_) {
+    for (auto& stage : layer) stage->restore_state(reader);
+  }
+  root_stage_->restore_state(reader);
+  reader.get_theta(theta_);
+  items_ingested_ = reader.get_u64();
+  items_at_root_ = reader.get_u64();
+  for (auto& layer : detached_) {
+    for (std::uint8_t& flag : layer) flag = reader.get_bool() ? 1 : 0;
+  }
+  lost_weight_ = reader.get_double();
+  lost_items_ = reader.get_u64();
+  window_degraded_ = reader.get_bool();
+  reader.expect_exhausted();
+}
 
 }  // namespace approxiot::core

@@ -28,6 +28,10 @@
 
 namespace approxiot::core {
 
+class CheckpointWriter;
+class CheckpointReader;
+struct Checkpoint;
+
 // kSnapshot is the related-work comparator (§VII: sensor-side "snapshot
 // sampling" [38, 39]): forward whole intervals every 1/fraction ticks.
 enum class EngineKind { kApproxIoT, kSrs, kNative, kSnapshot };
@@ -50,6 +54,15 @@ class PipelineStage {
   [[nodiscard]] virtual PolicyEpoch policy_epoch() const noexcept {
     return 0;
   }
+
+  /// Serializes the stage's cross-interval sampling state (RNG streams,
+  /// remembered weights, counters, resolved epoch) — everything needed
+  /// for a restored stage to continue bit-identically. Each engine tags
+  /// its payload; restore_state validates the tag, so checkpoints cannot
+  /// cross engines. The default pair is the stateless pass-through
+  /// (NativeStage): a tag and nothing else.
+  virtual void save_state(CheckpointWriter& writer) const;
+  virtual void restore_state(CheckpointReader& reader);
 };
 
 struct EdgeTreeConfig {
@@ -179,9 +192,44 @@ class EdgeTree {
   [[nodiscard]] const ThetaStore& theta() const;
   [[nodiscard]] EngineKind engine() const noexcept { return config_.engine; }
 
+  // --- fault tolerance -----------------------------------------------------
+
+  /// Snapshots every stage's sampling state, Θ, the policy epoch and the
+  /// tree counters. Restoring the snapshot into a tree built from the
+  /// same config and feeding it the remaining input reproduces the
+  /// uninterrupted run bit for bit. The byte format is shared with
+  /// ConcurrentEdgeTree, so snapshots are interchangeable between the
+  /// sequential and concurrent executions of the same logical tree.
+  [[nodiscard]] Checkpoint checkpoint() const;
+  /// Throws CheckpointError on a topology/engine mismatch or a malformed
+  /// snapshot; the tree is unchanged on throw only for header mismatches
+  /// (a mid-payload failure leaves it partially restored — rebuild it).
+  void restore(const Checkpoint& checkpoint);
+
+  /// Detaches the subtree whose root is node (layer, index): from the
+  /// next tick on, its inputs are swallowed and counted as lost weight
+  /// instead of sampled and forwarded. Parents see an empty contribution
+  /// (the Fig. 3 carry-over rule keeps their weights consistent), so the
+  /// surviving sub-streams' estimates stay exact — see
+  /// ApproxResult::lost_weight for the math. `layer ==
+  /// layer_widths.size()` addresses the root.
+  void detach_subtree(std::size_t layer, std::size_t index);
+  void reattach_subtree(std::size_t layer, std::size_t index);
+  [[nodiscard]] bool subtree_detached(std::size_t layer,
+                                      std::size_t index) const;
+  /// Lost weight accumulated in the current window (reset by
+  /// close_window, which also reports it in the result).
+  [[nodiscard]] double lost_weight() const noexcept { return lost_weight_; }
+
  private:
   std::unique_ptr<PipelineStage> make_stage(std::size_t layer,
                                             std::size_t index);
+  /// &detached flag for (layer, index); throws on a bad address.
+  [[nodiscard]] std::uint8_t& detached_flag(std::size_t layer,
+                                            std::size_t index);
+  /// Counts `bundle`'s items into the lost-weight accumulators at the
+  /// weights they carry (Σ |I|·W == the original count, by Eq. 8).
+  void swallow_lost(const ItemBundle& bundle);
 
   EdgeTreeConfig config_;
   double per_layer_fraction_{1.0};
@@ -191,6 +239,13 @@ class EdgeTree {
   ThetaStore theta_;
   std::uint64_t items_ingested_{0};
   std::uint64_t items_at_root_{0};
+  // detached_[layer][index]; the extra last layer is the root. uint8_t,
+  // not bool: vector<bool> has no addressable elements.
+  std::vector<std::vector<std::uint8_t>> detached_;
+  double lost_weight_{0.0};
+  std::uint64_t lost_items_{0};
+  /// Any detach active at any point during the current window.
+  bool window_degraded_{false};
 };
 
 }  // namespace approxiot::core

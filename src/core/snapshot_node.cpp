@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/checkpoint.hpp"
+
 namespace approxiot::core {
 
 SnapshotNode::SnapshotNode(SnapshotNodeConfig config) : config_(config) {
@@ -25,6 +27,20 @@ void SnapshotNode::set_fraction(double fraction) {
     if (config_.period == 0) config_.period = 1;
   }
   if (config_.phase >= config_.period) config_.phase = 0;
+}
+
+void SnapshotNode::save_state(CheckpointWriter& writer) const {
+  writer.put_u64(config_.period);
+  writer.put_u64(config_.phase);
+  writer.put_u64(interval_index_);
+  writer.put_u64(policy_epoch_);
+}
+
+void SnapshotNode::restore_state(CheckpointReader& reader) {
+  config_.period = static_cast<std::uint32_t>(reader.get_u64());
+  config_.phase = static_cast<std::uint32_t>(reader.get_u64());
+  interval_index_ = reader.get_u64();
+  policy_epoch_ = reader.get_u64();
 }
 
 std::vector<SampledBundle> SnapshotNode::process_interval(

@@ -61,6 +61,11 @@ class SnapshotNode {
     return policy_epoch_;
   }
 
+  /// Checkpoint hooks: period, phase, interval counter, resolved epoch —
+  /// the full decimation state (no RNG; the scheme is deterministic).
+  void save_state(CheckpointWriter& writer) const;
+  void restore_state(CheckpointReader& reader);
+
  private:
   SnapshotNodeConfig config_;
   std::uint64_t interval_index_{0};

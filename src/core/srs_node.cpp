@@ -1,5 +1,7 @@
 #include "core/srs_node.hpp"
 
+#include "core/checkpoint.hpp"
+
 namespace approxiot::core {
 
 SrsNode::SrsNode(SrsNodeConfig config)
@@ -54,6 +56,25 @@ std::vector<SampledBundle> SrsNode::process_interval(
   }
   ++metrics_.intervals;
   return outputs;
+}
+
+void SrsNode::save_state(CheckpointWriter& writer) const {
+  writer.put_double(sampler_.probability());
+  writer.put_rng(sampler_.rng_state());
+  writer.put_u64(sampler_.seen());
+  writer.put_u64(sampler_.kept());
+  writer.put_u64(policy_epoch_);
+  writer.put_weight_map(remembered_weights_);
+}
+
+void SrsNode::restore_state(CheckpointReader& reader) {
+  sampler_.set_probability(reader.get_double());
+  sampler_.set_rng_state(reader.get_rng());
+  const std::uint64_t seen = reader.get_u64();
+  const std::uint64_t kept = reader.get_u64();
+  sampler_.restore_counters(seen, kept);
+  policy_epoch_ = reader.get_u64();
+  reader.get_weight_map(remembered_weights_);
 }
 
 SrsRootNode::SrsRootNode(SrsNodeConfig config) : node_(config) {}

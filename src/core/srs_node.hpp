@@ -54,6 +54,11 @@ class SrsNode {
     return policy_epoch_;
   }
 
+  /// Checkpoint hooks: probability, coin-flip RNG stream, seen/kept
+  /// counters, remembered weights, resolved epoch.
+  void save_state(CheckpointWriter& writer) const;
+  void restore_state(CheckpointReader& reader);
+
  private:
   SrsNodeConfig config_;
   PolicyEpoch policy_epoch_{0};

@@ -68,6 +68,24 @@ class ThetaStore {
     return epoch_seen_ ? epoch_max_ : 0;
   }
 
+  /// Raw epoch-span state, for checkpointing. add_pair() cannot rebuild it
+  /// faithfully (it folds its own epoch argument into the span), so a
+  /// restore replays the pairs first and then overwrites the span with the
+  /// exact values the checkpoint recorded.
+  struct EpochSpan {
+    std::uint64_t min{0};
+    std::uint64_t max{0};
+    bool seen{false};
+  };
+  [[nodiscard]] EpochSpan epoch_span() const noexcept {
+    return EpochSpan{epoch_min_, epoch_max_, epoch_seen_};
+  }
+  void restore_epoch_span(const EpochSpan& span) noexcept {
+    epoch_min_ = span.min;
+    epoch_max_ = span.max;
+    epoch_seen_ = span.seen;
+  }
+
  private:
   void note_epoch(std::uint64_t epoch) noexcept;
 

@@ -58,6 +58,16 @@ class WHSampler {
 
   [[nodiscard]] const WHSampConfig& config() const noexcept { return config_; }
 
+  /// The sampler's only cross-call state is its RNG (the reservoir and
+  /// scratch arenas are rearmed every call); exposing it is all a
+  /// checkpoint needs to resume the exact draw sequence.
+  [[nodiscard]] Rng::State rng_state() const noexcept {
+    return rng_.save_state();
+  }
+  void set_rng_state(const Rng::State& state) noexcept {
+    rng_.restore_state(state);
+  }
+
  private:
   Rng rng_;
   WHSampConfig config_;

@@ -144,6 +144,15 @@ Status Consumer::seek(const TopicPartition& tp, Offset offset) {
     return Status::not_found("partition not assigned to consumer '" +
                              client_id_ + "'");
   }
+  // Clamp to the log end. A position past end_offset would make lag()
+  // negative, and a negative per-partition lag silently cancels real lag
+  // from other partitions in total_lag() — so caught_up()/watermark
+  // flushes could fire while records are still unread.
+  auto topic = broker_->topic(tp.topic);
+  if (topic.is_ok() && tp.partition < topic.value()->partition_count()) {
+    const Offset end = topic.value()->partition(tp.partition).end_offset();
+    if (offset > end) offset = end;
+  }
   it->second = offset;
   return Status::ok();
 }

@@ -95,8 +95,17 @@ ConcurrentEdgeTree::ConcurrentEdgeTree(ConcurrentTreeConfig config,
       NodeRuntime& node = nodes_[layer][i];
       node.stage = core::make_pipeline_stage(sc);
       node.layer = layer;
+      node.fault = std::make_unique<FaultState>();
       node.output = layer < widths.size() ? new_channel() : nullptr;
     }
+  }
+
+  if (config_.chaos.enabled) {
+    if (config_.chaos.kill_every_n_intervals == 0) {
+      throw std::invalid_argument(
+          "chaos: kill_every_n_intervals must be >= 1");
+    }
+    chaos_rng_.reseed(config_.chaos.seed);
   }
 
   // Wiring. Leaves read the source channels; node i of layer L feeds
@@ -378,6 +387,23 @@ core::ApproxResult ConcurrentEdgeTree::close_window(double confidence) {
     result = core::approximate_query(theta_, confidence);
     theta_.clear();
   }
+  // Loss accounting is per window, same semantics as EdgeTree: report and
+  // reset; the next window opens degraded only if some node is still dead.
+  bool any_dead = false;
+  for (const auto& layer : nodes_) {
+    for (const NodeRuntime& node : layer) {
+      if (node.fault->dead.load(std::memory_order_acquire)) any_dead = true;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    result.lost_weight = lost_weight_;
+    result.lost_items = lost_items_;
+    result.degraded = window_degraded_ || lost_items_ > 0;
+    lost_weight_ = 0.0;
+    lost_items_ = 0;
+    window_degraded_ = any_dead;
+  }
   AIOT_OBS(
       if (windows_closed_ != nullptr) windows_closed_->increment();
       if (tracer_ != nullptr &&
@@ -443,8 +469,16 @@ std::vector<double> ConcurrentEdgeTree::adaptive_history() const {
 }
 
 core::ApproxResult ConcurrentEdgeTree::run_query(double confidence) const {
-  std::lock_guard<std::mutex> lock(theta_mutex_);
-  return core::approximate_query(theta_, confidence);
+  core::ApproxResult result;
+  {
+    std::lock_guard<std::mutex> lock(theta_mutex_);
+    result = core::approximate_query(theta_, confidence);
+  }
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  result.lost_weight = lost_weight_;
+  result.lost_items = lost_items_;
+  result.degraded = window_degraded_ || lost_items_ > 0;
+  return result;
 }
 
 ConcurrentEdgeTree::TreeMetrics ConcurrentEdgeTree::metrics() const {
@@ -468,6 +502,238 @@ ConcurrentEdgeTree::TreeMetrics ConcurrentEdgeTree::metrics() const {
     m.items_forwarded_per_layer.push_back(forwarded);
   }
   return m;
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection & recovery
+
+ConcurrentEdgeTree::NodeRuntime& ConcurrentEdgeTree::node_at(
+    std::size_t layer, std::size_t index) {
+  if (layer >= nodes_.size() || index >= nodes_[layer].size()) {
+    throw std::invalid_argument("concurrent tree: no node at (layer, index)");
+  }
+  return nodes_[layer][index];
+}
+
+const ConcurrentEdgeTree::NodeRuntime& ConcurrentEdgeTree::node_at(
+    std::size_t layer, std::size_t index) const {
+  return const_cast<ConcurrentEdgeTree*>(this)->node_at(layer, index);
+}
+
+void ConcurrentEdgeTree::kill_node(std::size_t layer, std::size_t index,
+                                   bool capture) {
+  NodeRuntime& node = node_at(layer, index);
+  if (node.output == nullptr) {
+    throw std::invalid_argument(
+        "the root cannot be killed (stop() the tree instead)");
+  }
+  FaultState& fault = *node.fault;
+  if (fault.dead.load(std::memory_order_acquire)) return;  // idempotent
+  // Request order matters: the capture flag must be visible before the
+  // worker observes dead == true, which the release store guarantees.
+  fault.capture_requested.store(capture, std::memory_order_relaxed);
+  fault.dead.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    ++kills_;
+    window_degraded_ = true;
+  }
+  AIOT_OBS(
+      if (stats_ != nullptr) stats_->counter("tree/faults/kills").increment();
+      if (tracer_ != nullptr && control_track_ != obs::ScopedSpan::kNoTrack) {
+        tracer_->instant(control_track_, "node-kill",
+                         static_cast<std::int64_t>((layer << 16) | index));
+      });
+}
+
+void ConcurrentEdgeTree::revive_node(std::size_t layer, std::size_t index,
+                                     bool restore) {
+  NodeRuntime& node = node_at(layer, index);
+  FaultState& fault = *node.fault;
+  if (!fault.dead.load(std::memory_order_acquire)) return;  // idempotent
+  // A capture the worker never serviced (killed and revived between two
+  // of its intervals) must be cancelled: a stale self-capture AFTER
+  // revival would pass live state off as the at-death snapshot.
+  fault.capture_requested.store(false, std::memory_order_relaxed);
+  bool has_capture = false;
+  {
+    std::lock_guard<std::mutex> lock(fault.mutex);
+    has_capture = fault.saved.has_value();
+  }
+  fault.restore_requested.store(restore && has_capture,
+                                std::memory_order_relaxed);
+  fault.dead.store(false, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    ++revives_;
+  }
+  AIOT_OBS(
+      if (stats_ != nullptr) {
+        stats_->counter("tree/faults/revives").increment();
+      } if (tracer_ != nullptr &&
+            control_track_ != obs::ScopedSpan::kNoTrack) {
+        tracer_->instant(control_track_, "node-revive",
+                         static_cast<std::int64_t>((layer << 16) | index));
+      });
+}
+
+bool ConcurrentEdgeTree::node_dead(std::size_t layer,
+                                   std::size_t index) const {
+  return node_at(layer, index).fault->dead.load(std::memory_order_acquire);
+}
+
+ConcurrentEdgeTree::FaultMetrics ConcurrentEdgeTree::fault_metrics() const {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  FaultMetrics m;
+  m.kills = kills_;
+  m.revives = revives_;
+  m.lost_items = total_lost_items_;
+  m.lost_weight = total_lost_weight_;
+  return m;
+}
+
+void ConcurrentEdgeTree::absorb_dead_interval(
+    NodeRuntime& node, const std::vector<core::ItemBundle>& psi) {
+  // Σ over items of W^in(source) — the same Eq. 8 identity EdgeTree's
+  // swallow_lost relies on: interior bundles carry a weight per stratum
+  // and leaf input is raw weight-1 data, so the sum equals the original
+  // delivered count of the dead subtree, exactly.
+  double weight = 0.0;
+  std::uint64_t items = 0;
+  for (const core::ItemBundle& bundle : psi) {
+    for (const Item& item : bundle.items) {
+      weight += bundle.w_in.get(item.source);
+      ++items;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    lost_weight_ += weight;
+    lost_items_ += items;
+    total_lost_weight_ += weight;
+    total_lost_items_ += items;
+    window_degraded_ = true;
+  }
+  AIOT_OBS(if (stats_ != nullptr && items > 0) {
+    stats_->counter("tree/faults/lost_items").increment(items);
+    stats_->gauge("tree/faults/lost_weight").set(total_lost_weight_);
+  });
+}
+
+void ConcurrentEdgeTree::chaos_step() {
+  // Root-worker-only: complete_root_interval is called exclusively from
+  // the root node's thread (kThreads) or task (kEvents — a task never
+  // runs on two workers at once), so this state is single-threaded.
+  std::uint64_t completed = 0;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    completed = intervals_completed_;
+  }
+  for (auto it = chaos_pending_.begin(); it != chaos_pending_.end();) {
+    if (std::get<2>(*it) <= completed) {
+      revive_node(std::get<0>(*it), std::get<1>(*it),
+                  config_.chaos.checkpoint_restore);
+      it = chaos_pending_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (++chaos_since_kill_ < config_.chaos.kill_every_n_intervals) return;
+  chaos_since_kill_ = 0;
+  // Victim: a uniformly random alive non-root node.
+  std::vector<std::pair<std::size_t, std::size_t>> alive;
+  for (std::size_t layer = 0; layer + 1 < nodes_.size(); ++layer) {
+    for (std::size_t i = 0; i < nodes_[layer].size(); ++i) {
+      if (!nodes_[layer][i].fault->dead.load(std::memory_order_acquire)) {
+        alive.emplace_back(layer, i);
+      }
+    }
+  }
+  if (alive.empty()) return;
+  const auto [layer, index] = alive[chaos_rng_.next_below(alive.size())];
+  kill_node(layer, index, config_.chaos.checkpoint_restore);
+  chaos_pending_.emplace_back(layer, index,
+                              completed + config_.chaos.dead_intervals);
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint / restore
+//
+// Section order (shared byte-for-byte with core::EdgeTree::checkpoint so
+// snapshots are interchangeable between the two executions): fingerprint,
+// live end-to-end fraction, control plane, stages in layer-major order
+// with the root last, Θ, tree counters, fault state.
+
+core::Checkpoint ConcurrentEdgeTree::checkpoint() const {
+  core::CheckpointWriter writer(core::CheckpointKind::kTree);
+  core::write_tree_fingerprint(writer, config_.tree);
+  writer.put_double(config_.tree.sampling_fraction);
+  core::write_control_plane(writer, config_.tree.control_plane.get());
+  for (const auto& layer : nodes_) {
+    for (const NodeRuntime& node : layer) node.stage->save_state(writer);
+  }
+  {
+    std::lock_guard<std::mutex> lock(theta_mutex_);
+    writer.put_theta(theta_);
+  }
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    writer.put_u64(items_ingested_);
+    writer.put_u64(items_at_root_);
+  }
+  // Dead flags take the detach-flag slots: one bool per node, layer-major,
+  // root last — a dead node restores as a detached subtree in EdgeTree
+  // and vice versa.
+  for (const auto& layer : nodes_) {
+    for (const NodeRuntime& node : layer) {
+      writer.put_bool(node.fault->dead.load(std::memory_order_acquire));
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    writer.put_double(lost_weight_);
+    writer.put_u64(lost_items_);
+    writer.put_bool(window_degraded_);
+  }
+  return writer.finish();
+}
+
+void ConcurrentEdgeTree::restore(const core::Checkpoint& checkpoint) {
+  core::CheckpointReader reader(checkpoint, core::CheckpointKind::kTree);
+  core::verify_tree_fingerprint(reader, config_.tree);
+  config_.tree.sampling_fraction = reader.get_double();
+  core::restore_control_plane(reader, config_.tree.control_plane.get());
+  for (auto& layer : nodes_) {
+    for (NodeRuntime& node : layer) node.stage->restore_state(reader);
+  }
+  {
+    std::lock_guard<std::mutex> lock(theta_mutex_);
+    reader.get_theta(theta_);
+  }
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    items_ingested_ = reader.get_u64();
+    items_at_root_ = reader.get_u64();
+  }
+  for (auto& layer : nodes_) {
+    for (NodeRuntime& node : layer) {
+      FaultState& fault = *node.fault;
+      fault.capture_requested.store(false, std::memory_order_relaxed);
+      fault.restore_requested.store(false, std::memory_order_relaxed);
+      {
+        std::lock_guard<std::mutex> lock(fault.mutex);
+        fault.saved.reset();
+      }
+      fault.dead.store(reader.get_bool(), std::memory_order_release);
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    lost_weight_ = reader.get_double();
+    lost_items_ = reader.get_u64();
+    window_degraded_ = reader.get_bool();
+  }
+  reader.expect_exhausted();
 }
 
 void ConcurrentEdgeTree::node_loop(NodeRuntime& node) {
@@ -572,6 +838,40 @@ std::optional<IntervalMessage> ConcurrentEdgeTree::execute_node_interval(
     NodeRuntime& node, std::int64_t interval,
     const std::vector<core::ItemBundle>& psi) {
   const bool is_root = node.output == nullptr;
+
+  // Fault gate. All stage access stays on this worker — the only thread
+  // that ever touches node.stage — so capture/restore need no stage lock:
+  // kill_node/revive_node only flip request flags, and the dead flag's
+  // release/acquire pairing publishes them to us.
+  FaultState& fault = *node.fault;
+  if (fault.dead.load(std::memory_order_acquire)) {
+    if (fault.capture_requested.exchange(false, std::memory_order_acq_rel)) {
+      // Self-capture at the moment of death: the stage state after the
+      // last interval it completed alive.
+      core::Checkpoint saved = core::checkpoint_stage(*node.stage);
+      std::lock_guard<std::mutex> lock(fault.mutex);
+      fault.saved = std::move(saved);
+    }
+    absorb_dead_interval(node, psi);
+    if (is_root) {
+      // A dead root still completes the interval (drain() must not hang)
+      // — it just folds nothing into Θ.
+      complete_root_interval(interval);
+      return std::nullopt;
+    }
+    // Forward an empty message so the parent's interval alignment — and
+    // the end-of-stream cascade — survive the outage.
+    IntervalMessage out;
+    out.interval = interval;
+    return out;
+  }
+  if (fault.restore_requested.exchange(false, std::memory_order_acq_rel)) {
+    std::lock_guard<std::mutex> lock(fault.mutex);
+    if (fault.saved.has_value()) {
+      core::restore_stage(*node.stage, *fault.saved);
+    }
+  }
+
   [[maybe_unused]] std::int64_t t_phase = 0;
   AIOT_OBS(t_phase = obs_now_us(););
 
@@ -788,6 +1088,10 @@ void ConcurrentEdgeTree::complete_root_interval(std::int64_t interval) {
           .record(static_cast<double>(latency_us));
     }
   }
+
+  // Built-in chaos: kill/revive decisions ride the root's own interval
+  // completions, so the fault schedule is deterministic per seed.
+  if (config_.chaos.enabled) chaos_step();
 
   // Mid-window feedback (§IV-B live): every N completed root intervals,
   // observe the running window's confidence interval and let the

@@ -40,18 +40,23 @@
 // kThreads is kept as the oracle the equivalence tests pin kEvents to.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
+#include <tuple>
 #include <vector>
 
+#include "common/rng.hpp"
 #include "common/types.hpp"
 #include "core/adaptive.hpp"
 #include "core/batch.hpp"
+#include "core/checkpoint.hpp"
 #include "core/control_plane.hpp"
 #include "core/pipeline.hpp"
 #include "core/theta_store.hpp"
@@ -152,6 +157,29 @@ struct ConcurrentTreeConfig {
   /// without it.
   obs::StatsRegistry* stats{nullptr};
   obs::Tracer* tracer{nullptr};
+
+  /// Built-in chaos driver: every `kill_every_n_intervals` completed root
+  /// intervals the tree kills one random non-root node (optionally
+  /// capturing its state first), leaves it dead for `dead_intervals` root
+  /// intervals, then revives it (optionally restoring the capture). Runs
+  /// entirely on the root worker inside complete_root_interval, so it is
+  /// deterministic for a fixed seed and interval schedule. Intervals that
+  /// reach a dead node are swallowed into lost_weight/lost_items — the
+  /// surviving sub-streams stay exact per Eq. 8 and the window result is
+  /// flagged degraded.
+  struct ChaosConfig {
+    bool enabled{false};
+    /// Root intervals between kills (>= 1 when enabled).
+    std::size_t kill_every_n_intervals{8};
+    /// Root intervals a victim stays dead before its scheduled revival.
+    std::size_t dead_intervals{2};
+    /// Capture the victim's stage state at kill and restore it at
+    /// revival. Off = the revived node restarts from its constructed
+    /// state (cold restart; weights re-derive from remembered carry).
+    bool checkpoint_restore{true};
+    std::uint64_t seed{42};
+  };
+  ChaosConfig chaos{};
 };
 
 class ConcurrentEdgeTree {
@@ -250,6 +278,52 @@ class ConcurrentEdgeTree {
   /// Safe while workers run.
   void kick();
 
+  // --- fault injection & recovery ----------------------------------------
+
+  /// Marks node (layer, index) dead. Its worker keeps draining channels
+  /// (so the tree never deadlocks under kBlock) but swallows every
+  /// interval into lost_weight/lost_items instead of sampling, and
+  /// forwards empty interval messages so parents stay aligned. With
+  /// `capture` the worker snapshots the stage's state (reservoir, RNG,
+  /// weight carry, epoch) at its next interval — the capture revive_node
+  /// can restore. Safe while workers run; the root cannot be killed
+  /// (kill the whole tree instead). Addressing: layer == layer_widths
+  /// indexes the root, same convention as core::EdgeTree.
+  void kill_node(std::size_t layer, std::size_t index, bool capture = true);
+
+  /// Brings a killed node back. With `restore` (and a capture available)
+  /// the worker restores the captured stage state before its next
+  /// interval — continuing the reservoir streak bit-identically; without
+  /// it the node restarts cold from its constructed state.
+  void revive_node(std::size_t layer, std::size_t index,
+                   bool restore = true);
+
+  [[nodiscard]] bool node_dead(std::size_t layer, std::size_t index) const;
+
+  struct FaultMetrics {
+    std::uint64_t kills{0};
+    std::uint64_t revives{0};
+    std::uint64_t lost_items{0};
+    double lost_weight{0.0};
+  };
+  [[nodiscard]] FaultMetrics fault_metrics() const;
+
+  // --- checkpoint / restore ----------------------------------------------
+
+  /// Serializes the full tree state (stages, Θ, control plane, fault
+  /// accounting) in the SAME byte layout as core::EdgeTree::checkpoint,
+  /// so snapshots are interchangeable between the sequential and
+  /// concurrent executions. Call only when quiescent (after drain() with
+  /// no concurrent push, or before the first push): a mid-flight snapshot
+  /// would tear across layers that are pipelining different intervals.
+  [[nodiscard]] core::Checkpoint checkpoint() const;
+
+  /// Restores a kTree checkpoint (from this class or core::EdgeTree) into
+  /// this tree. Same quiescence requirement as checkpoint(). Interval
+  /// sequence numbers restart at 0 — the channel protocol is private to
+  /// one run; only sampling state carries over.
+  void restore(const core::Checkpoint& checkpoint);
+
  private:
   /// Event-mode task state. Only the one worker currently running the
   /// node's task touches it (the JobScheduler's state machine guarantees
@@ -275,11 +349,29 @@ class ConcurrentEdgeTree {
     bool done{false};
   };
 
+  /// Per-node kill/revive state. The atomics are the cross-thread
+  /// surface: kill_node/revive_node (any thread) flip request flags, and
+  /// the node's own worker — the only thread ever touching the stage —
+  /// acts on them at its next interval boundary. `saved` is written by
+  /// the worker (self-capture) and read by the worker (restore), with
+  /// `mutex` guarding against a concurrent external checkpoint() reading
+  /// it; the dead flag's release/acquire pairing orders the request flags.
+  struct FaultState {
+    std::atomic<bool> dead{false};
+    std::atomic<bool> capture_requested{false};
+    std::atomic<bool> restore_requested{false};
+    std::mutex mutex;
+    std::optional<core::Checkpoint> saved;
+  };
+
   struct NodeRuntime {
     std::unique_ptr<core::PipelineStage> stage;
     std::vector<BoundedChannel<IntervalMessage>*> inputs;
     BoundedChannel<IntervalMessage>* output{nullptr};  // null at the root
     std::size_t layer{0};
+    /// unique_ptr so NodeRuntime stays movable (FaultState holds a mutex
+    /// and atomics). Allocated for every node at construction.
+    std::unique_ptr<FaultState> fault;
     std::unique_ptr<EventState> event;  // kEvents only
     // Per-node observability sinks, resolved once at construction (null /
     // kNoTrack when unbound — the loop hooks then cost one null check,
@@ -323,6 +415,18 @@ class ConcurrentEdgeTree {
   /// (mid-window observations) and from close_window() callers.
   void observe_and_publish(const core::ApproxResult& result);
 
+  [[nodiscard]] NodeRuntime& node_at(std::size_t layer, std::size_t index);
+  [[nodiscard]] const NodeRuntime& node_at(std::size_t layer,
+                                           std::size_t index) const;
+  /// Dead-node interval path: optional self-capture, swallow Ψ into the
+  /// lost accounting, count the interval. Runs on the node's own worker.
+  void absorb_dead_interval(NodeRuntime& node,
+                            const std::vector<core::ItemBundle>& psi);
+  /// Chaos driver step; runs on the root worker only (single-threaded in
+  /// both runtime modes — complete_root_interval is only ever called from
+  /// the root node's task/thread), so its state needs no lock.
+  void chaos_step();
+
   ConcurrentTreeConfig config_;
   MetricsRegistry* metrics_{nullptr};
 
@@ -365,6 +469,23 @@ class ConcurrentEdgeTree {
   std::uint64_t intervals_completed_{0};
   std::map<std::int64_t, std::int64_t> push_times_us_;
   bool stopped_{false};
+  /// Fault accounting, guarded by state_mutex_ (written by whichever
+  /// worker owns a dead node's interval, read by close_window/run_query).
+  double lost_weight_{0.0};
+  std::uint64_t lost_items_{0};
+  bool window_degraded_{false};
+  /// Cumulative across windows (fault_metrics); the per-window pair above
+  /// resets at close_window like EdgeTree's.
+  double total_lost_weight_{0.0};
+  std::uint64_t total_lost_items_{0};
+  std::uint64_t kills_{0};
+  std::uint64_t revives_{0};
+  /// Chaos driver state; root-worker-only (see chaos_step).
+  Rng chaos_rng_{0};
+  std::size_t chaos_since_kill_{0};
+  /// (layer, index, revive-at-completed-interval-count) per dead victim.
+  std::vector<std::tuple<std::size_t, std::size_t, std::uint64_t>>
+      chaos_pending_;
   /// kEvents: the root task observed end-of-stream (all closes cascaded
   /// through); guarded by state_mutex_, signalled on drained_cv_.
   bool root_finished_{false};

@@ -107,6 +107,58 @@ std::size_t FlowQueueSource::flush() {
   return flush_through(max_seen_interval_);
 }
 
+core::Checkpoint FlowQueueSource::checkpoint() const {
+  if (!buffered_.empty()) {
+    throw core::CheckpointError(
+        "FlowQueueSource::checkpoint: interval buffer not empty — flush() "
+        "first, or the buffered records would be skipped on restore");
+  }
+  core::CheckpointWriter writer(core::CheckpointKind::kSource);
+  writer.put_string(config_.topic);
+  writer.put_i64(config_.interval.us);
+  const auto& assignment = consumer_.assignment();
+  writer.put_u64(assignment.size());
+  for (const flowqueue::TopicPartition& tp : assignment) {
+    writer.put_string(tp.topic);
+    writer.put_u64(tp.partition);
+    writer.put_i64(consumer_.position(tp));
+  }
+  writer.put_i64(next_interval_);
+  writer.put_i64(max_seen_interval_);
+  core::write_control_plane(writer, tree_->control_plane().get());
+  return writer.finish();
+}
+
+void FlowQueueSource::restore(const core::Checkpoint& checkpoint) {
+  core::CheckpointReader reader(checkpoint,
+                                core::CheckpointKind::kSource);
+  const std::string topic = reader.get_string();
+  const std::int64_t interval_us = reader.get_i64();
+  if (topic != config_.topic || interval_us != config_.interval.us) {
+    throw core::CheckpointError(
+        "FlowQueueSource::restore: checkpoint is for topic '" + topic +
+        "', this source consumes '" + config_.topic + "'");
+  }
+  const std::uint64_t partitions = reader.get_u64();
+  for (std::uint64_t i = 0; i < partitions; ++i) {
+    flowqueue::TopicPartition tp;
+    tp.topic = reader.get_string();
+    tp.partition = static_cast<std::uint32_t>(reader.get_u64());
+    const flowqueue::Offset offset = reader.get_i64();
+    if (Status s = consumer_.seek(tp, offset); !s.is_ok()) {
+      throw core::CheckpointError("FlowQueueSource::restore: seek failed: " +
+                                  s.message());
+    }
+  }
+  next_interval_ = reader.get_i64();
+  max_seen_interval_ = reader.get_i64();
+  // Re-applying the epoch here (not just the fraction) keeps replayed
+  // output stamped exactly as the pre-failure run stamped it (§IV-B).
+  core::restore_control_plane(reader, tree_->control_plane().get());
+  reader.expect_exhausted();
+  buffered_.clear();
+}
+
 std::size_t FlowQueueSource::flush_through(std::int64_t last_interval) {
   std::size_t pushed = 0;
   std::size_t gap_budget = config_.max_gap_intervals;

@@ -96,6 +96,22 @@ class FlowQueueSource {
     return watermark_flushes_;
   }
 
+  /// Serializes the replay cursor: per-partition consumer offsets, the
+  /// interval counters, and the tree's control-plane epoch + budget. Call
+  /// after flush() — a non-empty interval buffer throws, because those
+  /// records sit behind already-advanced offsets and a restore would skip
+  /// them silently.
+  [[nodiscard]] core::Checkpoint checkpoint() const;
+
+  /// Resumes from a checkpoint() snapshot: seeks every partition back to
+  /// its recorded offset and re-installs the policy epoch on the tree's
+  /// control plane (so replayed output carries the same epoch stamps).
+  /// Call after start(). Re-polled records whose interval is below the
+  /// restored cursor are counted as late_records and dropped — the
+  /// mechanism that makes replay double-count-free even when offsets are
+  /// rewound conservatively.
+  void restore(const core::Checkpoint& checkpoint);
+
  private:
   std::size_t flush_through(std::int64_t last_interval);
 

@@ -49,6 +49,19 @@ class BernoulliSampler {
     kept_ = 0;
   }
 
+  /// Checkpoint hooks: the sampler's full cross-call state is its RNG
+  /// words plus the running counters (p is restored via set_probability).
+  [[nodiscard]] Rng::State rng_state() const noexcept {
+    return rng_.save_state();
+  }
+  void set_rng_state(const Rng::State& state) noexcept {
+    rng_.restore_state(state);
+  }
+  void restore_counters(std::uint64_t seen, std::uint64_t kept) noexcept {
+    seen_ = seen;
+    kept_ = kept;
+  }
+
  private:
   double p_;
   Rng rng_;

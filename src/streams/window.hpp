@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <map>
 #include <vector>
 
@@ -49,11 +50,30 @@ class TumblingWindows {
   [[nodiscard]] SimTime window_size() const noexcept { return size_; }
 
   /// State for the window containing `t`, default-constructed on first
-  /// access.
-  State& state_at(SimTime t) { return windows_[window_of(t)]; }
+  /// access. A timestamp whose window is already closed (its end + grace
+  /// passed a close_expired watermark, or close_all flushed it) gets a
+  /// quarantine state instead: the contribution is counted in
+  /// late_dropped() and discarded, never resurrecting a retired window —
+  /// a late record must not re-open window k after k's aggregate was
+  /// already emitted, or the window would be reported twice. The
+  /// quarantine is reset on every late access, so late contributions
+  /// cannot accumulate into each other either. Works for arbitrarily
+  /// out-of-order input, including timestamps before the stream origin
+  /// (negative window indices).
+  State& state_at(SimTime t) {
+    const WindowKey key = window_of(t);
+    if (key.index <= closed_through_) {
+      ++late_dropped_;
+      late_bin_ = State{};
+      return late_bin_;
+    }
+    return windows_[key];
+  }
 
   /// Extracts and removes every window whose end (+grace) is at or before
-  /// `stream_time`, oldest first.
+  /// `stream_time`, oldest first. Advances the lateness watermark over
+  /// every such window — including empty ones that never materialised, so
+  /// a late first record for a long-quiet window is still dropped.
   [[nodiscard]] std::vector<std::pair<WindowKey, State>> close_expired(
       SimTime stream_time) {
     std::vector<std::pair<WindowKey, State>> out;
@@ -66,14 +86,25 @@ class TumblingWindows {
         break;  // map is ordered by window index == time order
       }
     }
+    // Window k is expired iff (k+1)*size + grace <= stream_time; the
+    // largest such k is the window one before the one containing
+    // (stream_time - grace).
+    const std::int64_t expired_through =
+        window_of(SimTime{stream_time.us - grace_.us}).index - 1;
+    if (expired_through > closed_through_) closed_through_ = expired_through;
     return out;
   }
 
-  /// Extracts every remaining window (shutdown flush).
+  /// Extracts every remaining window (shutdown flush). Everything up to
+  /// the newest flushed window is closed for late arrivals afterwards.
   [[nodiscard]] std::vector<std::pair<WindowKey, State>> close_all() {
     std::vector<std::pair<WindowKey, State>> out;
     for (auto& [key, state] : windows_) {
       out.emplace_back(key, std::move(state));
+    }
+    if (!windows_.empty() &&
+        windows_.rbegin()->first.index > closed_through_) {
+      closed_through_ = windows_.rbegin()->first.index;
     }
     windows_.clear();
     return out;
@@ -83,10 +114,20 @@ class TumblingWindows {
     return windows_.size();
   }
 
+  /// Contributions discarded because their window was already closed.
+  [[nodiscard]] std::uint64_t late_dropped() const noexcept {
+    return late_dropped_;
+  }
+
  private:
   SimTime size_;
   SimTime grace_;
   std::map<WindowKey, State> windows_;
+  /// Highest window index retired so far; nothing closed yet at the
+  /// sentinel minimum (so pre-origin timestamps still work).
+  std::int64_t closed_through_{std::numeric_limits<std::int64_t>::min()};
+  std::uint64_t late_dropped_{0};
+  State late_bin_{};
 };
 
 }  // namespace approxiot::streams

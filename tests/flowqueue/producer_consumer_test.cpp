@@ -167,6 +167,38 @@ TEST_F(ProducerConsumerTest, SeekUnassignedPartitionFails) {
   EXPECT_FALSE(consumer.seek(TopicPartition{"t", 0}, -2).is_ok());
 }
 
+// Regression: seeking past the log end used to store the raw offset, so
+// that partition reported NEGATIVE lag — which silently cancelled real
+// lag from other partitions in total_lag() and could flip caught_up()
+// while records were still unread. The position now clamps to end_offset.
+TEST_F(ProducerConsumerTest, SeekPastLogEndClampsToEndOffset) {
+  Producer producer(broker_);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(
+        producer.send_to_partition("t", 0, "k", payload(std::to_string(i)))
+            .is_ok());
+  }
+  ASSERT_TRUE(producer.send_to_partition("t", 1, "k", payload("x")).is_ok());
+
+  Consumer consumer(broker_, "solo");
+  ASSERT_TRUE(
+      consumer.assign({TopicPartition{"t", 0}, TopicPartition{"t", 1}})
+          .is_ok());
+
+  // Overshoot partition 0 (3 records) by a mile.
+  ASSERT_TRUE(consumer.seek(TopicPartition{"t", 0}, 1'000'000).is_ok());
+  EXPECT_EQ(consumer.position(TopicPartition{"t", 0}), 3);
+
+  // Partition 1 still has its record unread: the -999997 phantom lag must
+  // not cancel it.
+  EXPECT_EQ(consumer.total_lag(), 1);
+  EXPECT_FALSE(consumer.caught_up());
+  auto batch = consumer.poll(100);
+  ASSERT_TRUE(batch.is_ok());
+  EXPECT_EQ(batch.value().size(), 1u);
+  EXPECT_TRUE(consumer.caught_up());
+}
+
 TEST_F(ProducerConsumerTest, AssignAfterSubscribeFails) {
   Consumer consumer(broker_, "c");
   ASSERT_TRUE(consumer.subscribe("g", {"t"}).is_ok());

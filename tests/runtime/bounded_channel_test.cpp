@@ -233,5 +233,65 @@ TEST(BoundedChannelTest, MultiProducerStressDeliversEveryValue) {
   EXPECT_EQ(channel.dropped(), 0u);
 }
 
+// Race: close() vs close() vs a consumer parked in pop(). The closed_
+// check under the lock makes exactly ONE closer the one that fires the
+// readiness waiters — a double-fire would make an event-driven consumer
+// process end-of-stream twice, and a lost wake would strand it forever.
+TEST(BoundedChannelTest, RacingClosesFireWaitersExactlyOnceNoLostWake) {
+  constexpr int kRounds = 200;
+  constexpr int kClosers = 4;
+  for (int round = 0; round < kRounds; ++round) {
+    BoundedChannel<int> channel(2);
+    std::atomic<int> readable_fired{0};
+    std::atomic<int> writable_fired{0};
+    channel.set_readable_waiter([&] { ++readable_fired; });
+    channel.set_writable_waiter([&] { ++writable_fired; });
+
+    // Consumer parks on the empty channel BEFORE any close: the wake it
+    // gets can only come from close's notify — the lost-wake surface.
+    std::atomic<bool> consumer_done{false};
+    std::thread consumer([&] {
+      EXPECT_EQ(channel.pop(), std::nullopt);
+      consumer_done = true;
+    });
+
+    std::vector<std::thread> closers;
+    for (int c = 0; c < kClosers; ++c) {
+      closers.emplace_back([&] { channel.close(); });
+    }
+    for (auto& t : closers) t.join();
+    consumer.join();
+
+    EXPECT_TRUE(consumer_done);
+    EXPECT_EQ(readable_fired.load(), 1);
+    EXPECT_EQ(writable_fired.load(), 1);
+    EXPECT_TRUE(channel.closed());
+  }
+}
+
+// The closed-loser side of the race: a producer blocked on a full channel
+// must wake and fail its push when close() lands, never stay parked.
+TEST(BoundedChannelTest, CloseWakesBlockedProducer) {
+  BoundedChannel<int> channel(1);
+  ASSERT_TRUE(channel.push(1));  // fills the channel
+
+  std::atomic<bool> push_returned{false};
+  std::thread producer([&] {
+    EXPECT_FALSE(channel.push(2));  // blocks until close, then fails
+    push_returned = true;
+  });
+
+  // Give the producer time to actually park on not_full_.
+  while (channel.size() != 1) std::this_thread::yield();
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  channel.close();
+  producer.join();
+  EXPECT_TRUE(push_returned);
+
+  // The pre-close value stays poppable after close (drain semantics).
+  EXPECT_EQ(channel.pop().value(), 1);
+  EXPECT_EQ(channel.pop(), std::nullopt);
+}
+
 }  // namespace
 }  // namespace approxiot::runtime

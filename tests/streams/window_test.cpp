@@ -97,5 +97,73 @@ TEST(TumblingWindowsTest, ZeroSizeFallsBackToOneSecond) {
   EXPECT_EQ(windows.window_size().us, 1'000'000);
 }
 
+TEST(TumblingWindowsTest, LateRecordCannotResurrectClosedWindow) {
+  TumblingWindows<CountState> windows(SimTime::from_seconds(1.0));
+  windows.state_at(SimTime::from_millis(100)).count = 7;
+  auto closed = windows.close_expired(SimTime::from_seconds(1.0));
+  ASSERT_EQ(closed.size(), 1u);
+  EXPECT_EQ(closed[0].second.count, 7);
+
+  // Window 0's aggregate was already emitted: a straggler for it goes to
+  // the quarantine bin, is counted, and does not re-open the window.
+  windows.state_at(SimTime::from_millis(500)).count++;
+  EXPECT_EQ(windows.late_dropped(), 1u);
+  EXPECT_EQ(windows.open_windows(), 0u);
+  EXPECT_TRUE(windows.close_expired(SimTime::from_seconds(10.0)).empty());
+}
+
+TEST(TumblingWindowsTest, LateRecordForEmptyNeverMaterialisedWindowDrops) {
+  TumblingWindows<CountState> windows(SimTime::from_seconds(1.0));
+  // Stream time races ahead with no data at all; windows 0..8 expire
+  // without ever materialising in the map.
+  EXPECT_TRUE(windows.close_expired(SimTime::from_seconds(9.0)).empty());
+  windows.state_at(SimTime::from_seconds(3.5)).count++;  // late, window 3
+  EXPECT_EQ(windows.late_dropped(), 1u);
+  EXPECT_EQ(windows.open_windows(), 0u);
+  // The current (unexpired) window still accepts data.
+  windows.state_at(SimTime::from_seconds(9.5)).count++;
+  EXPECT_EQ(windows.late_dropped(), 1u);
+  EXPECT_EQ(windows.open_windows(), 1u);
+}
+
+// Regression: a record arriving with a *negative* timestamp after any
+// window closed must be treated as (very) late, not as a fresh window —
+// and before anything closed, pre-origin timestamps are legitimate data.
+TEST(TumblingWindowsTest, NegativeLatenessAfterCloseIsDropped) {
+  TumblingWindows<CountState> windows(SimTime::from_seconds(1.0));
+  windows.state_at(SimTime::from_millis(-500)).count = 1;  // window -1: ok
+  EXPECT_EQ(windows.late_dropped(), 0u);
+  EXPECT_EQ(windows.open_windows(), 1u);
+
+  auto closed = windows.close_expired(SimTime::from_seconds(2.0));
+  ASSERT_EQ(closed.size(), 1u);
+  EXPECT_EQ(closed[0].first.index, -1);
+
+  windows.state_at(SimTime::from_seconds(-7.3)).count++;  // window -8: late
+  EXPECT_EQ(windows.late_dropped(), 1u);
+  EXPECT_EQ(windows.open_windows(), 0u);
+}
+
+TEST(TumblingWindowsTest, LateContributionsDoNotAccumulateInQuarantine) {
+  TumblingWindows<CountState> windows(SimTime::from_seconds(1.0));
+  (void)windows.close_expired(SimTime::from_seconds(5.0));
+  CountState& first = windows.state_at(SimTime::from_millis(100));
+  first.count = 41;
+  // The next late access sees a fresh bin, not the previous straggler.
+  EXPECT_EQ(windows.state_at(SimTime::from_millis(200)).count, 0);
+  EXPECT_EQ(windows.late_dropped(), 2u);
+}
+
+TEST(TumblingWindowsTest, CloseAllAdvancesTheLatenessWatermark) {
+  TumblingWindows<CountState> windows(SimTime::from_seconds(1.0));
+  windows.state_at(SimTime::from_seconds(4.5)).count = 1;
+  EXPECT_EQ(windows.close_all().size(), 1u);
+  windows.state_at(SimTime::from_seconds(4.7)).count++;  // flushed window
+  EXPECT_EQ(windows.late_dropped(), 1u);
+  windows.state_at(SimTime::from_seconds(5.5)).count++;  // beyond: fine
+  EXPECT_EQ(windows.late_dropped(), 1u);
+  EXPECT_EQ(windows.open_windows(), 1u);
+}
+
 }  // namespace
 }  // namespace approxiot::streams
